@@ -1,0 +1,125 @@
+//! Flooding: forward every new message to every peer.
+
+use std::collections::HashSet;
+
+use wsg_net::{Context, NodeId, Protocol};
+
+use crate::Delivery;
+
+/// Wire message: payload plus identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodMsg<T> {
+    /// (origin, seq) identity.
+    pub origin: NodeId,
+    /// Origin-assigned sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// A flooding node: on first receipt, forward to *all* peers. The
+/// maximally reliable and maximally wasteful comparator — n·(n−1) copies
+/// per message.
+#[derive(Debug, Clone)]
+pub struct FloodNode<T> {
+    peers: Vec<NodeId>,
+    next_seq: u64,
+    seen: HashSet<(NodeId, u64)>,
+    delivered: Vec<Delivery<T>>,
+    forwards: u64,
+}
+
+impl<T: Clone> FloodNode<T> {
+    /// A node flooding to `peers`.
+    pub fn new(peers: Vec<NodeId>) -> Self {
+        FloodNode {
+            peers,
+            next_seq: 0,
+            seen: HashSet::new(),
+            delivered: Vec::new(),
+            forwards: 0,
+        }
+    }
+
+    /// Deliveries at this node.
+    pub fn delivered(&self) -> &[Delivery<T>] {
+        &self.delivered
+    }
+
+    /// Copies this node forwarded.
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Publish a new payload (delivered locally and flooded).
+    pub fn publish(&mut self, payload: T, ctx: &mut dyn Context<FloodMsg<T>>) {
+        let msg = FloodMsg { origin: ctx.self_id(), seq: self.next_seq, payload };
+        self.next_seq += 1;
+        self.accept(msg, ctx);
+    }
+
+    fn accept(&mut self, msg: FloodMsg<T>, ctx: &mut dyn Context<FloodMsg<T>>) {
+        if !self.seen.insert((msg.origin, msg.seq)) {
+            return;
+        }
+        self.delivered.push(Delivery { seq: msg.seq, at: ctx.now(), payload: msg.payload.clone() });
+        for peer in self.peers.clone() {
+            self.forwards += 1;
+            ctx.send(peer, msg.clone());
+        }
+    }
+}
+
+impl<T: Clone> Protocol for FloodNode<T> {
+    type Message = FloodMsg<T>;
+
+    fn on_message(&mut self, _from: NodeId, msg: Self::Message, ctx: &mut dyn Context<Self::Message>) {
+        self.accept(msg, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_net::sim::{SimConfig, SimNet};
+
+    fn build(n: usize, config: SimConfig) -> SimNet<FloodNode<u32>> {
+        let mut net = SimNet::new(config);
+        net.add_nodes(n, |id| {
+            FloodNode::new((0..n).map(NodeId).filter(|p| *p != id).collect())
+        });
+        net.start();
+        net
+    }
+
+    #[test]
+    fn reaches_everyone() {
+        let mut net = build(12, SimConfig::default().seed(1));
+        net.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        net.run_to_quiescence();
+        for id in net.node_ids() {
+            assert_eq!(net.node(id).delivered().len(), 1);
+        }
+    }
+
+    #[test]
+    fn quadratic_message_cost() {
+        let n = 16;
+        let mut net = build(n, SimConfig::default().seed(2));
+        net.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        net.run_to_quiescence();
+        let total: u64 = (0..n).map(|i| net.node(NodeId(i)).forwards()).sum();
+        assert_eq!(total, (n as u64) * (n as u64 - 1), "every node floods once");
+    }
+
+    #[test]
+    fn survives_heavy_loss() {
+        let mut net = build(24, SimConfig::default().seed(3).drop_probability(0.5));
+        net.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        net.run_to_quiescence();
+        let reached = (0..24)
+            .filter(|i| !net.node(NodeId(*i)).delivered().is_empty())
+            .count();
+        assert_eq!(reached, 24, "23 independent copies per node defeat 50% loss");
+    }
+}

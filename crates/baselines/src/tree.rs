@@ -1,0 +1,146 @@
+//! Static k-ary spanning-tree multicast.
+
+use std::collections::HashSet;
+
+use wsg_net::{Context, NodeId, Protocol};
+
+use crate::Delivery;
+
+/// Wire message: payload plus origin sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeMsg<T> {
+    /// Root-assigned sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// A node of a static k-ary dissemination tree rooted at node 0: node `i`'s
+/// children are `k·i + 1 ..= k·i + k`. Message-optimal (n − 1 copies) and
+/// latency O(log_k n), but a single crashed interior node silently loses
+/// its entire subtree — the failure mode experiment E4 exposes.
+#[derive(Debug, Clone)]
+pub struct TreeNode<T> {
+    children: Vec<NodeId>,
+    next_seq: u64,
+    seen: HashSet<u64>,
+    delivered: Vec<Delivery<T>>,
+}
+
+impl<T: Clone> TreeNode<T> {
+    /// The node with identity `me` in a `k`-ary tree of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    pub fn new(me: NodeId, n: usize, k: usize) -> Self {
+        assert!(k > 0, "tree arity must be positive");
+        let children = (1..=k)
+            .map(|j| k * me.index() + j)
+            .filter(|&c| c < n)
+            .map(NodeId)
+            .collect();
+        TreeNode { children, next_seq: 0, seen: HashSet::new(), delivered: Vec::new() }
+    }
+
+    /// Deliveries at this node.
+    pub fn delivered(&self) -> &[Delivery<T>] {
+        &self.delivered
+    }
+
+    /// This node's children in the tree.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Publish from this node (meaningful at the root).
+    pub fn publish(&mut self, payload: T, ctx: &mut dyn Context<TreeMsg<T>>) {
+        let msg = TreeMsg { seq: self.next_seq, payload };
+        self.next_seq += 1;
+        self.accept(msg, ctx);
+    }
+
+    fn accept(&mut self, msg: TreeMsg<T>, ctx: &mut dyn Context<TreeMsg<T>>) {
+        if !self.seen.insert(msg.seq) {
+            return;
+        }
+        self.delivered.push(Delivery { seq: msg.seq, at: ctx.now(), payload: msg.payload.clone() });
+        for child in self.children.clone() {
+            ctx.send(child, msg.clone());
+        }
+    }
+}
+
+impl<T: Clone> Protocol for TreeNode<T> {
+    type Message = TreeMsg<T>;
+
+    fn on_message(&mut self, _from: NodeId, msg: Self::Message, ctx: &mut dyn Context<Self::Message>) {
+        self.accept(msg, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_net::sim::{SimConfig, SimNet};
+
+    fn build(n: usize, k: usize, config: SimConfig) -> SimNet<TreeNode<u32>> {
+        let mut net = SimNet::new(config);
+        net.add_nodes(n, |id| TreeNode::new(id, n, k));
+        net.start();
+        net
+    }
+
+    #[test]
+    fn covers_all_with_minimal_messages() {
+        let n = 31;
+        let mut net = build(n, 2, SimConfig::default().seed(1));
+        net.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        net.run_to_quiescence();
+        for id in net.node_ids() {
+            assert_eq!(net.node(id).delivered().len(), 1);
+        }
+        assert_eq!(net.stats().sent, (n - 1) as u64, "exactly n-1 copies");
+    }
+
+    #[test]
+    fn interior_crash_loses_subtree() {
+        let n = 15; // binary: node 1's subtree = {1,3,4,7,8,9,10}
+        let mut net = build(n, 2, SimConfig::default().seed(2));
+        net.crash(NodeId(1));
+        net.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        net.run_to_quiescence();
+        let lost: Vec<usize> = (0..n)
+            .filter(|&i| net.node(NodeId(i)).delivered().is_empty())
+            .collect();
+        assert_eq!(lost, vec![1, 3, 4, 7, 8, 9, 10], "whole subtree dark");
+    }
+
+    #[test]
+    fn arity_shapes_children() {
+        let node: TreeNode<u32> = TreeNode::new(NodeId(0), 10, 3);
+        assert_eq!(node.children(), &[NodeId(1), NodeId(2), NodeId(3)]);
+        let leaf: TreeNode<u32> = TreeNode::new(NodeId(9), 10, 3);
+        assert!(leaf.children().is_empty());
+    }
+
+    #[test]
+    fn single_lost_link_loses_subtree_under_loss() {
+        // With loss, coverage decays much faster than per-link loss rate
+        // because each lost interior edge kills a subtree.
+        let n = 127;
+        let mut net = build(n, 2, SimConfig::default().seed(3).drop_probability(0.1));
+        net.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        net.run_to_quiescence();
+        let reached = (0..n)
+            .filter(|&i| !net.node(NodeId(i)).delivered().is_empty())
+            .count();
+        assert!(reached < n, "10% link loss must lose someone in a 127-node tree");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn zero_arity_rejected() {
+        let _: TreeNode<u32> = TreeNode::new(NodeId(0), 4, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! A — ablation experiments for the design choices in DESIGN.md §7.
+
+use wsg_bench::experiments::ablations;
+use wsg_bench::Table;
+
+fn main() {
+    println!("A1 — lazy-push retry fallback (n=64, lazy push under loss)");
+    let rows = ablations::retry_ablation(64, &[0.0, 0.1, 0.25, 0.4], 5);
+    let mut table = Table::new(&["loss", "coverage with retry", "coverage without"]);
+    for r in &rows {
+        table.row_owned(vec![
+            format!("{:.2}", r.loss),
+            format!("{:.4}", r.with_retry),
+            format!("{:.4}", r.without_retry),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nA2 — periodic-tick jitter (n=64, pull style, 3s)");
+    let rows = ablations::jitter_ablation(64, 7);
+    let mut table = Table::new(&["jitter", "peak sends / 10ms window", "total sends"]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.jitter.to_string(),
+            r.peak_burst.to_string(),
+            r.total_pulls.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nA4 — forwarding discipline (n=128, r=16): infect-and-die vs infect-forever");
+    let rows = ablations::discipline_ablation(128, &[1, 2, 3, 4, 6], 16, 13);
+    let mut table = Table::new(&[
+        "f", "die coverage", "die payloads", "forever coverage", "forever payloads",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.fanout.to_string(),
+            format!("{:.4}", r.die_coverage),
+            r.die_payloads.to_string(),
+            format!("{:.4}", r.forever_coverage),
+            r.forever_payloads.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nA3 — payload buffer capacity (n=12, node partitioned through 60 messages, then heals)");
+    let rows = ablations::buffer_ablation(12, &[4, 16, 64, 256, 1024], 60, 5);
+    let mut table = Table::new(&["buffer capacity", "fraction recovered after heal"]);
+    for r in &rows {
+        table.row_owned(vec![r.capacity.to_string(), format!("{:.3}", r.recovered)]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,40 @@
+//! E2 — delivery ratio and atomicity vs fanout (Eugster et al.
+//! configuration result the paper cites in §2).
+
+use wsg_bench::experiments::e2_reliability;
+use wsg_bench::Table;
+
+fn main() {
+    println!("E2 — reliability vs fanout (eager push, r fixed)");
+    println!("claim: f,r configurable for any target coverage; atomic w.h.p. near f = ln n + c\n");
+    let rows = e2_reliability::sweep(&[128, 512], 10, 12, 20);
+    let mut table = Table::new(&[
+        "n", "f", "r", "coverage(sim)", "coverage(pred)", "P(atomic)(sim)", "P(atomic)(pred)",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.n.to_string(),
+            r.fanout.to_string(),
+            r.rounds.to_string(),
+            format!("{:.4}", r.coverage_sim),
+            format!("{:.4}", r.coverage_pred),
+            format!("{:.2}", r.atomicity_sim),
+            format!("{:.2}", r.atomicity_pred),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nln(128)={:.2}, ln(512)={:.2} — the atomicity knee sits there.", (128f64).ln(), (512f64).ln());
+
+    println!("\n(b) coverage under message loss (n=256, f=5, r=12)");
+    let rows = e2_reliability::loss_sweep(256, 5, 12, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 20);
+    let mut table = Table::new(&["loss", "coverage(sim)", "coverage(pred, lossy mean-field)"]);
+    for r in &rows {
+        table.row_owned(vec![
+            format!("{:.1}", r.loss),
+            format!("{:.4}", r.coverage_sim),
+            format!("{:.4}", r.coverage_pred),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nloss just rescales the effective fanout: f_eff = f(1-p).");
+}

@@ -1,0 +1,27 @@
+//! E3 — dissemination latency and per-node load vs system size.
+
+use wsg_bench::experiments::e3_scalability;
+use wsg_bench::Table;
+
+fn main() {
+    println!("E3 — scalability (eager push, f=6)");
+    println!("claim: O(log n) rounds, bounded per-node load; a central sender needs O(n)\n");
+    let rows = e3_scalability::sweep(&[16, 32, 64, 128, 256, 512, 1024, 2048], 6, 5);
+    let mut table = Table::new(&[
+        "n", "rounds(sim)", "rounds(pred)", "completion_ms", "lat p50 ms", "lat p99 ms", "gossip max node load", "central sender load", "coverage",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.n.to_string(),
+            format!("{:.1}", r.rounds_sim),
+            r.rounds_pred.to_string(),
+            format!("{:.1}", r.completion_ms),
+            r.latency_p50_ms.to_string(),
+            r.latency_p99_ms.to_string(),
+            format!("{:.1}", r.gossip_max_node_load),
+            r.central_sender_load.to_string(),
+            format!("{:.4}", r.coverage),
+        ]);
+    }
+    print!("{}", table.render());
+}

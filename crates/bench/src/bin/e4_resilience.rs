@@ -1,0 +1,51 @@
+//! E4 — survivor coverage under crashes and message loss.
+
+use wsg_bench::experiments::e4_resilience;
+use wsg_bench::Table;
+
+fn main() {
+    let n = 256;
+    println!("E4 — resilience to process and network faults (n={n})");
+    println!("claim: gossip is 'highly resilient to network and process faults'\n");
+
+    println!("(a) crash sweep — survivor coverage");
+    let rows = e4_resilience::crash_sweep(n, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 10);
+    let mut table = Table::new(&["crash fraction", "gossip", "tree(k=2)", "direct"]);
+    for r in &rows {
+        table.row_owned(vec![
+            format!("{:.1}", r.fault),
+            format!("{:.4}", r.gossip),
+            format!("{:.4}", r.tree),
+            format!("{:.4}", r.direct),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n(b) loss sweep — coverage");
+    let rows = e4_resilience::loss_sweep(n, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 10);
+    let mut table = Table::new(&["loss probability", "gossip", "tree(k=2)", "direct"]);
+    for r in &rows {
+        table.row_owned(vec![
+            format!("{:.1}", r.fault),
+            format!("{:.4}", r.gossip),
+            format!("{:.4}", r.tree),
+            format!("{:.4}", r.direct),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n(c) continuous churn (n=128, 20 messages, crash every 400ms / down 2s)");
+    let rows = e4_resilience::churn_comparison(128, 20, 5);
+    let mut table = Table::new(&[
+        "style", "churned-node coverage", "stable-node coverage",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.style.to_string(),
+            format!("{:.4}", r.churned_node_coverage),
+            format!("{:.4}", r.stable_node_coverage),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\npush-pull's periodic reconciliation repairs nodes that were down at publish time.");
+}

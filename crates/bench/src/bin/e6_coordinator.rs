@@ -1,0 +1,40 @@
+//! E6 — load on the most loaded node: coordinator vs broker vs gossip peers.
+
+use wsg_bench::experiments::e6_coordinator;
+use wsg_bench::Table;
+
+fn main() {
+    println!("E6 — coordinator load vs system size (20 notifications each)");
+    println!("claim: the coordinator handles control traffic only; a broker carries the data plane\n");
+    let rows = e6_coordinator::sweep(&[8, 16, 32, 64, 128], 20, 7);
+    let mut table = Table::new(&[
+        "subscribers", "coordinator recv (control)", "broker recv (data)", "gossip mean recv/node",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.n.to_string(),
+            r.coordinator_received.to_string(),
+            r.broker_received.to_string(),
+            format!("{:.1}", r.gossip_mean_received),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\ncoordinator load is per-membership-change; broker load is per-message x n.");
+
+    println!("\n(b) distributed coordinator (paper §3): n=64 subscribers, 20 notifications");
+    let rows = e6_coordinator::distributed_sweep(64, &[1, 2, 4, 8], 20, 9);
+    let mut table = Table::new(&[
+        "replicas", "busiest client load", "mean sync load", "busiest total", "coverage",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.coordinators.to_string(),
+            r.max_client_received.to_string(),
+            format!("{:.1}", r.mean_sync_received),
+            r.max_coordinator_received.to_string(),
+            format!("{:.4}", r.coverage),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nreplicas split subscribe/register traffic; replication gossip is the flat overhead.");
+}

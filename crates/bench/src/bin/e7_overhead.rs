@@ -1,0 +1,25 @@
+//! E7 — redundancy and control overhead vs fanout; eager vs lazy push.
+
+use wsg_bench::experiments::e7_overhead;
+use wsg_bench::Table;
+
+fn main() {
+    let n = 256;
+    println!("E7 — message overhead (n={n}, r=12)");
+    println!("claim: reliability comes from 'redundancy and randomization'; here is its price\n");
+    let rows = e7_overhead::sweep(n, &[1, 2, 3, 4, 6, 8, 10], 12, 11);
+    let mut table = Table::new(&[
+        "f", "coverage", "eager payloads/node", "predicted", "lazy payloads/node", "lazy control/node",
+    ]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.fanout.to_string(),
+            format!("{:.4}", r.coverage),
+            format!("{:.2}", r.eager_redundancy),
+            format!("{:.2}", r.predicted_redundancy),
+            format!("{:.2}", r.lazy_redundancy),
+            format!("{:.2}", r.lazy_control),
+        ]);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,267 @@
+//! A — ablations of the design choices DESIGN.md calls out.
+//!
+//! * **A1 — lazy-push retry fallback:** without re-requesting a payload
+//!   from fallback advertisers, one lost `IWANT`/`Push` permanently stalls
+//!   the message at that node;
+//! * **A2 — periodic-tick jitter:** synchronized ticks bunch pull traffic
+//!   into bursts (high peak concurrent load); jitter flattens them;
+//! * **A3 — payload-buffer capacity:** anti-entropy can only repair from
+//!   payloads still buffered — undersized buffers leave permanent gaps.
+
+use wsg_gossip::{GossipConfig, GossipEngine, GossipParams, GossipStyle};
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::{LatencyModel, NodeId, SimDuration, SimTime};
+
+/// Result of the A1 retry ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryRow {
+    /// Message loss probability.
+    pub loss: f64,
+    /// Coverage with the retry fallback enabled.
+    pub with_retry: f64,
+    /// Coverage with the retry fallback disabled.
+    pub without_retry: f64,
+}
+
+/// A1: lazy push under loss, retry on vs off.
+pub fn retry_ablation(n: usize, losses: &[f64], seeds: u64) -> Vec<RetryRow> {
+    let params = GossipParams::atomic_for(n);
+    let run = |loss: f64, retry: bool, seed: u64| -> f64 {
+        let base = GossipConfig::new(GossipStyle::LazyPush, params.clone())
+            .interval(SimDuration::from_millis(50));
+        let config = if retry { base } else { base.without_retry() };
+        let mut net = SimNet::new(
+            SimConfig::default()
+                .seed(seed)
+                .drop_probability(loss)
+                .latency(LatencyModel::constant_millis(2)),
+        );
+        net.add_nodes(n, |id| {
+            let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+            GossipEngine::<u64>::new(config.clone(), peers)
+        });
+        net.start();
+        net.invoke(NodeId(0), |e, ctx| {
+            e.publish(1, ctx);
+        });
+        net.run_until(SimTime::from_secs(10));
+        (0..n).filter(|i| !net.node(NodeId(*i)).delivered().is_empty()).count() as f64 / n as f64
+    };
+    losses
+        .iter()
+        .map(|&loss| {
+            let mut with = 0.0;
+            let mut without = 0.0;
+            for seed in 0..seeds {
+                with += run(loss, true, seed * 13 + 1);
+                without += run(loss, false, seed * 13 + 1);
+            }
+            RetryRow {
+                loss,
+                with_retry: with / seeds as f64,
+                without_retry: without / seeds as f64,
+            }
+        })
+        .collect()
+}
+
+/// Result of the A2 jitter ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterRow {
+    /// Whether jitter was enabled.
+    pub jitter: bool,
+    /// Peak number of pull requests landing in any single 10 ms window.
+    pub peak_burst: u64,
+    /// Total pull requests over the run (load sanity check).
+    pub total_pulls: u64,
+}
+
+/// A2: pull-style tick synchronisation, jitter on vs off. All nodes start
+/// simultaneously, so without jitter their ticks collide forever.
+pub fn jitter_ablation(n: usize, seed: u64) -> Vec<JitterRow> {
+    [true, false]
+        .into_iter()
+        .map(|jitter| {
+            let base = GossipConfig::new(GossipStyle::Pull, GossipParams::new(2, 4))
+                .interval(SimDuration::from_millis(100));
+            let config = if jitter { base } else { base.without_jitter() };
+            let mut net = SimNet::new(
+                SimConfig::default()
+                    .seed(seed)
+                    .latency(LatencyModel::constant_millis(1)),
+            );
+            net.add_nodes(n, |id| {
+                let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+                GossipEngine::<u64>::new(config.clone(), peers)
+            });
+            // Track per-10ms-window send bursts via the tracer.
+            use std::sync::{Arc, Mutex};
+            let windows: Arc<Mutex<std::collections::HashMap<u64, u64>>> = Arc::default();
+            let sink = windows.clone();
+            net.set_tracer(Box::new(move |ev| {
+                if ev.kind == wsg_net::TraceKind::Send {
+                    *sink.lock().unwrap().entry(ev.time.as_millis() / 10).or_insert(0) += 1;
+                }
+            }));
+            net.start();
+            net.run_until(SimTime::from_secs(3));
+            let windows = windows.lock().unwrap();
+            JitterRow {
+                jitter,
+                peak_burst: windows.values().copied().max().unwrap_or(0),
+                total_pulls: windows.values().sum(),
+            }
+        })
+        .collect()
+}
+
+/// Result of the A3 buffer ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferRow {
+    /// Payload buffer capacity.
+    pub capacity: usize,
+    /// Fraction of published messages the rejoining node recovered.
+    pub recovered: f64,
+}
+
+/// A3: a node is partitioned away while `messages` are published, then
+/// heals; anti-entropy can only repair what peers still buffer.
+pub fn buffer_ablation(n: usize, capacities: &[usize], messages: u64, seed: u64) -> Vec<BufferRow> {
+    capacities
+        .iter()
+        .map(|&capacity| {
+            let config = GossipConfig::new(GossipStyle::AntiEntropy, GossipParams::new(2, 4))
+                .interval(SimDuration::from_millis(40))
+                .buffer_capacity(capacity);
+            let mut net = SimNet::new(
+                SimConfig::default()
+                    .seed(seed)
+                    .latency(LatencyModel::constant_millis(1)),
+            );
+            net.add_nodes(n, |id| {
+                let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+                GossipEngine::<u64>::new(config.clone(), peers)
+            });
+            net.start();
+            let victim = NodeId(n - 1);
+            net.isolate(&[victim]);
+            for m in 0..messages {
+                net.invoke(NodeId(0), move |e, ctx| {
+                    e.publish(m, ctx);
+                });
+                net.run_until(net.now() + SimDuration::from_millis(30));
+            }
+            net.run_until(net.now() + SimDuration::from_secs(1));
+            net.heal();
+            net.run_until(net.now() + SimDuration::from_secs(20));
+            let recovered = net.node(victim).delivered().len() as f64 / messages as f64;
+            BufferRow { capacity, recovered }
+        })
+        .collect()
+}
+
+/// Result of the A4 forwarding-discipline ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisciplineRow {
+    /// Fanout swept.
+    pub fanout: usize,
+    /// Coverage, infect-and-die.
+    pub die_coverage: f64,
+    /// Payload copies, infect-and-die.
+    pub die_payloads: u64,
+    /// Coverage, infect-forever.
+    pub forever_coverage: f64,
+    /// Payload copies, infect-forever.
+    pub forever_payloads: u64,
+}
+
+/// A4: infect-and-die vs infect-forever across slim fanouts.
+pub fn discipline_ablation(n: usize, fanouts: &[usize], rounds: u32, seed: u64) -> Vec<DisciplineRow> {
+    use wsg_gossip::ForwardDiscipline;
+    let run = |fanout: usize, discipline: ForwardDiscipline| -> (f64, u64) {
+        let mut net = SimNet::new(SimConfig::default().seed(seed));
+        net.add_nodes(n, |id| {
+            let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+            GossipEngine::<u64>::new(
+                GossipConfig::new(GossipStyle::EagerPush, GossipParams::new(fanout, rounds))
+                    .discipline(discipline)
+                    .interval(SimDuration::from_millis(50)),
+                peers,
+            )
+        });
+        net.start();
+        net.invoke(NodeId(0), |e, ctx| {
+            e.publish(1, ctx);
+        });
+        net.run_until(SimTime::from_secs(5));
+        let reached = (0..n)
+            .filter(|i| !net.node(NodeId(*i)).delivered().is_empty())
+            .count() as f64
+            / n as f64;
+        let payloads: u64 = (0..n).map(|i| net.node(NodeId(i)).stats().payloads_sent).sum();
+        (reached, payloads)
+    };
+    fanouts
+        .iter()
+        .map(|&fanout| {
+            let (die_coverage, die_payloads) = run(fanout, ForwardDiscipline::InfectAndDie);
+            let (forever_coverage, forever_payloads) =
+                run(fanout, ForwardDiscipline::InfectForever);
+            DisciplineRow { fanout, die_coverage, die_payloads, forever_coverage, forever_payloads }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_retry_rescues_lossy_lazy_push() {
+        let rows = retry_ablation(48, &[0.25], 3);
+        let row = &rows[0];
+        assert!(
+            row.with_retry > row.without_retry + 0.05,
+            "retry {} vs no-retry {}",
+            row.with_retry,
+            row.without_retry
+        );
+        assert!(row.with_retry > 0.95, "retry coverage {}", row.with_retry);
+    }
+
+    #[test]
+    fn a2_jitter_flattens_bursts() {
+        let rows = jitter_ablation(64, 7);
+        let with = rows.iter().find(|r| r.jitter).unwrap();
+        let without = rows.iter().find(|r| !r.jitter).unwrap();
+        assert!(
+            without.peak_burst as f64 > with.peak_burst as f64 * 1.5,
+            "synchronized peak {} vs jittered {}",
+            without.peak_burst,
+            with.peak_burst
+        );
+    }
+
+    #[test]
+    fn a4_forever_converges_where_die_cannot() {
+        let rows = discipline_ablation(96, &[1, 2], 24, 9);
+        let f1 = &rows[0];
+        assert!(f1.forever_coverage > 0.9, "forever {}", f1.forever_coverage);
+        assert!(f1.die_coverage < 0.5, "die {}", f1.die_coverage);
+        assert!(f1.forever_payloads > f1.die_payloads);
+    }
+
+    #[test]
+    fn a3_small_buffers_lose_history() {
+        let rows = buffer_ablation(12, &[4, 512], 60, 5);
+        let small = rows.iter().find(|r| r.capacity == 4).unwrap();
+        let large = rows.iter().find(|r| r.capacity == 512).unwrap();
+        assert!(large.recovered > 0.95, "large buffer {}", large.recovered);
+        assert!(
+            small.recovered < large.recovered - 0.3,
+            "small {} vs large {}",
+            small.recovered,
+            large.recovered
+        );
+    }
+}

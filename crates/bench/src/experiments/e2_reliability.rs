@@ -1,0 +1,136 @@
+//! E2 — reliability vs fanout (paper §2, citing Eugster et al.):
+//! "parameters f and r can be configured such that any desired average
+//! number of receivers successfully get the message … atomically delivered
+//! with high probability."
+//!
+//! Sweeps fanout for fixed round budgets and system sizes; reports the
+//! simulated mean coverage and atomicity probability next to the
+//! mean-field/random-graph predictions.
+
+use wsg_gossip::{analysis, GossipParams};
+use wsg_net::sim::SimConfig;
+
+use super::{eager_net, run_once};
+
+/// One row of the E2 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// System size.
+    pub n: usize,
+    /// Fanout swept.
+    pub fanout: usize,
+    /// Round budget.
+    pub rounds: u32,
+    /// Mean fraction of nodes reached (simulated).
+    pub coverage_sim: f64,
+    /// Mean-field predicted coverage.
+    pub coverage_pred: f64,
+    /// Fraction of runs that reached every node (simulated).
+    pub atomicity_sim: f64,
+    /// Random-graph predicted atomicity probability.
+    pub atomicity_pred: f64,
+}
+
+/// Run the sweep: for each `n`, fanout 1..=max_fanout, `seeds` runs each.
+pub fn sweep(ns: &[usize], max_fanout: usize, rounds: u32, seeds: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        for fanout in 1..=max_fanout {
+            let params = GossipParams::new(fanout, rounds);
+            let mut coverage_sum = 0.0;
+            let mut atomic_count = 0u64;
+            for seed in 0..seeds {
+                let outcome = run_once(
+                    eager_net(n, &params, SimConfig::default().seed(seed * 1000 + fanout as u64)),
+                    n,
+                );
+                coverage_sum += outcome.coverage;
+                atomic_count += outcome.atomic as u64;
+            }
+            rows.push(Row {
+                n,
+                fanout,
+                rounds,
+                coverage_sim: coverage_sum / seeds as f64,
+                coverage_pred: analysis::expected_coverage(n, fanout, rounds),
+                atomicity_sim: atomic_count as f64 / seeds as f64,
+                atomicity_pred: analysis::atomicity_probability(n, fanout),
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the E2 loss table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRow {
+    /// Message loss probability.
+    pub loss: f64,
+    /// Simulated mean coverage.
+    pub coverage_sim: f64,
+    /// Mean-field prediction with the lossy recurrence.
+    pub coverage_pred: f64,
+}
+
+/// Loss sweep at fixed (n, f, r): the lossy mean-field model vs simulation.
+pub fn loss_sweep(n: usize, fanout: usize, rounds: u32, losses: &[f64], seeds: u64) -> Vec<LossRow> {
+    let params = GossipParams::new(fanout, rounds);
+    losses
+        .iter()
+        .map(|&loss| {
+            let mut coverage_sum = 0.0;
+            for seed in 0..seeds {
+                let config = SimConfig::default().seed(seed * 101 + 7).drop_probability(loss);
+                coverage_sum += run_once(eager_net(n, &params, config), n).coverage;
+            }
+            LossRow {
+                loss,
+                coverage_sim: coverage_sum / seeds as f64,
+                coverage_pred: analysis::expected_coverage_lossy(n, fanout, rounds, loss),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_monotone_and_prediction_close() {
+        let rows = sweep(&[64], 6, 10, 8);
+        assert_eq!(rows.len(), 6);
+        // Coverage grows with fanout.
+        assert!(rows[5].coverage_sim >= rows[0].coverage_sim);
+        // High-fanout coverage near 1 and near prediction.
+        let top = &rows[5];
+        assert!(top.coverage_sim > 0.99);
+        assert!((top.coverage_sim - top.coverage_pred).abs() < 0.05);
+    }
+
+    #[test]
+    fn lossy_prediction_tracks_simulation() {
+        let rows = loss_sweep(128, 4, 10, &[0.0, 0.3], 8);
+        for row in &rows {
+            assert!(
+                (row.coverage_sim - row.coverage_pred).abs() < 0.08,
+                "loss {}: sim {} vs pred {}",
+                row.loss,
+                row.coverage_sim,
+                row.coverage_pred
+            );
+        }
+        assert!(rows[1].coverage_sim < rows[0].coverage_sim);
+    }
+
+    #[test]
+    fn atomicity_crossover_happens_near_ln_n() {
+        let rows = sweep(&[64], 8, 12, 12);
+        // ln(64) ~ 4.16: fanout 2 should rarely be atomic, fanout 8
+        // should almost always be.
+        let low = rows.iter().find(|r| r.fanout == 2).unwrap();
+        let high = rows.iter().find(|r| r.fanout == 8).unwrap();
+        assert!(low.atomicity_sim < 0.5, "f=2 atomicity {}", low.atomicity_sim);
+        assert!(high.atomicity_sim > 0.8, "f=8 atomicity {}", high.atomicity_sim);
+    }
+}

@@ -1,0 +1,105 @@
+//! E3 — scalability (paper §1/§4: "scaling to large number of
+//! participants"): dissemination latency in rounds and per-node load as
+//! the system grows, gossip vs the centralized sender.
+//!
+//! Expected shapes: gossip completes in O(log n) rounds with O(f) per-node
+//! load; a centralized sender needs O(n) sends from one node.
+
+use wsg_gossip::{analysis, GossipParams};
+use wsg_net::sim::SimConfig;
+use wsg_net::NodeId;
+
+use super::eager_net;
+
+/// One row of the E3 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// System size.
+    pub n: usize,
+    /// Mean max hop count at completion (simulated).
+    pub rounds_sim: f64,
+    /// Mean-field predicted rounds to 99.9% coverage.
+    pub rounds_pred: u32,
+    /// Mean virtual completion time, milliseconds.
+    pub completion_ms: f64,
+    /// Median per-node delivery latency, milliseconds.
+    pub latency_p50_ms: u64,
+    /// 99th-percentile per-node delivery latency, milliseconds.
+    pub latency_p99_ms: u64,
+    /// Mean messages sent by the busiest gossip node.
+    pub gossip_max_node_load: f64,
+    /// Messages the centralized sender must send (= n − 1).
+    pub central_sender_load: u64,
+    /// Mean coverage achieved.
+    pub coverage: f64,
+}
+
+/// Sweep system sizes with a fixed fanout.
+pub fn sweep(ns: &[usize], fanout: usize, seeds: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &n in ns {
+        // Generous round budget so latency is measured, not truncated.
+        let rounds = (n as f64).log2().ceil() as u32 * 3 + 6;
+        let params = GossipParams::new(fanout, rounds);
+        let mut rounds_sum = 0.0;
+        let mut completion_sum = 0.0;
+        let mut load_sum = 0.0;
+        let mut coverage_sum = 0.0;
+        let mut latencies = wsg_net::Histogram::new();
+        for seed in 0..seeds {
+            let mut net = eager_net(n, &params, SimConfig::default().seed(seed + 7));
+            net.invoke(NodeId(0), |engine, ctx| {
+                engine.publish(1, ctx);
+            });
+            net.run_to_quiescence();
+            let outcome = super::summarize(&net, n);
+            rounds_sum += outcome.max_round as f64;
+            completion_sum += outcome.completion_ms as f64;
+            coverage_sum += outcome.coverage;
+            load_sum += net.stats().max_sent() as f64;
+            for i in 1..n {
+                if let Some(delivery) = net.node(NodeId(i)).delivered().first() {
+                    latencies.record(delivery.at.as_millis());
+                }
+            }
+        }
+        rows.push(Row {
+            n,
+            rounds_sim: rounds_sum / seeds as f64,
+            rounds_pred: analysis::rounds_to_coverage(n, fanout, 0.999),
+            completion_ms: completion_sum / seeds as f64,
+            latency_p50_ms: latencies.quantile(0.5),
+            latency_p99_ms: latencies.quantile(0.99),
+            gossip_max_node_load: load_sum / seeds as f64,
+            central_sender_load: (n - 1) as u64,
+            coverage: coverage_sum / seeds as f64,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_grow_sublinearly() {
+        let rows = sweep(&[32, 256], 6, 4);
+        assert_eq!(rows.len(), 2);
+        let (small, large) = (&rows[0], &rows[1]);
+        assert!(large.rounds_sim > small.rounds_sim * 0.8, "rounds should grow");
+        // 8x nodes must cost far less than 8x rounds (log growth).
+        assert!(large.rounds_sim < small.rounds_sim * 4.0);
+        assert!(small.coverage > 0.99 && large.coverage > 0.99);
+    }
+
+    #[test]
+    fn per_node_load_stays_bounded_while_central_grows() {
+        let rows = sweep(&[32, 256], 5, 4);
+        let (small, large) = (&rows[0], &rows[1]);
+        assert_eq!(large.central_sender_load, 255);
+        // Gossip's busiest node sends ~fanout messages regardless of n.
+        assert!(large.gossip_max_node_load <= small.gossip_max_node_load * 3.0);
+        assert!(large.gossip_max_node_load < large.central_sender_load as f64 / 4.0);
+    }
+}

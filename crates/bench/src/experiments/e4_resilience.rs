@@ -1,0 +1,291 @@
+//! E4 — resilience (paper §2: "highly resilient to network and process
+//! faults"): survivor coverage under crash and loss sweeps, gossip vs the
+//! dissemination tree vs best-effort central unicast.
+
+use wsg_baselines::{DirectNode, TreeNode};
+use wsg_gossip::{GossipConfig, GossipEngine, GossipParams, GossipStyle};
+use wsg_net::faults::FaultSchedule;
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::{NodeId, SimDuration, SimTime};
+
+use super::eager_net;
+
+/// One row of an E4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Fault intensity: crash fraction or loss probability.
+    pub fault: f64,
+    /// Survivor coverage of eager-push gossip.
+    pub gossip: f64,
+    /// Survivor coverage of the binary dissemination tree.
+    pub tree: f64,
+    /// Survivor coverage of best-effort direct unicast.
+    pub direct: f64,
+}
+
+fn crashed_set(n: usize, fraction: f64) -> Vec<NodeId> {
+    // Deterministic, well-spread victim set excluding the origin (node 0).
+    let victims = ((n as f64) * fraction).round() as usize;
+    (0..victims).map(|i| NodeId(1 + (i * 7919) % (n - 1))).collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .take(victims)
+        .collect()
+}
+
+fn survivor_coverage(reached: &[bool], crashed: &[NodeId], n: usize) -> f64 {
+    let crashed: std::collections::HashSet<usize> = crashed.iter().map(|c| c.0).collect();
+    let survivors: Vec<usize> = (0..n).filter(|i| !crashed.contains(i)).collect();
+    survivors.iter().filter(|i| reached[**i]).count() as f64 / survivors.len() as f64
+}
+
+/// Crash sweep: fraction of crashed processes vs survivor coverage.
+pub fn crash_sweep(n: usize, fractions: &[f64], seeds: u64) -> Vec<Row> {
+    let params = GossipParams::atomic_for(n);
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let mut sums = (0.0, 0.0, 0.0);
+            for seed in 0..seeds {
+                let crashed = crashed_set(n, fraction);
+                let config = || SimConfig::default().seed(seed * 31 + 1);
+
+                // gossip
+                let mut g = eager_net(n, &params, config());
+                for c in &crashed {
+                    g.crash(*c);
+                }
+                g.invoke(NodeId(0), |e, ctx| {
+                    e.publish(1, ctx);
+                });
+                g.run_to_quiescence();
+                let reached: Vec<bool> =
+                    (0..n).map(|i| !g.node(NodeId(i)).delivered().is_empty()).collect();
+                sums.0 += survivor_coverage(&reached, &crashed, n);
+
+                // tree
+                let mut t = SimNet::new(config());
+                t.add_nodes(n, |id| TreeNode::<u64>::new(id, n, 2));
+                t.start();
+                for c in &crashed {
+                    t.crash(*c);
+                }
+                t.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+                t.run_to_quiescence();
+                let reached: Vec<bool> =
+                    (0..n).map(|i| !t.node(NodeId(i)).delivered().is_empty()).collect();
+                sums.1 += survivor_coverage(&reached, &crashed, n);
+
+                // direct
+                let mut d = SimNet::new(config());
+                d.add_nodes(n, |id| {
+                    if id.index() == 0 {
+                        DirectNode::<u64>::new((1..n).map(NodeId).collect())
+                    } else {
+                        DirectNode::new(Vec::new())
+                    }
+                });
+                d.start();
+                for c in &crashed {
+                    d.crash(*c);
+                }
+                d.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+                d.run_to_quiescence();
+                let reached: Vec<bool> = (0..n)
+                    .map(|i| i == 0 || !d.node(NodeId(i)).delivered().is_empty())
+                    .collect();
+                sums.2 += survivor_coverage(&reached, &crashed, n);
+            }
+            Row {
+                fault: fraction,
+                gossip: sums.0 / seeds as f64,
+                tree: sums.1 / seeds as f64,
+                direct: sums.2 / seeds as f64,
+            }
+        })
+        .collect()
+}
+
+/// Loss sweep: per-message loss probability vs coverage (no crashes).
+pub fn loss_sweep(n: usize, losses: &[f64], seeds: u64) -> Vec<Row> {
+    let params = GossipParams::atomic_for(n);
+    losses
+        .iter()
+        .map(|&loss| {
+            let mut sums = (0.0, 0.0, 0.0);
+            for seed in 0..seeds {
+                let config = || SimConfig::default().seed(seed * 77 + 3).drop_probability(loss);
+
+                let g = super::run_once(eager_net(n, &params, config()), n);
+                sums.0 += g.coverage;
+
+                let mut t = SimNet::new(config());
+                t.add_nodes(n, |id| TreeNode::<u64>::new(id, n, 2));
+                t.start();
+                t.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+                t.run_to_quiescence();
+                sums.1 += (0..n)
+                    .filter(|i| !t.node(NodeId(*i)).delivered().is_empty())
+                    .count() as f64
+                    / n as f64;
+
+                let mut d = SimNet::new(config());
+                d.add_nodes(n, |id| {
+                    if id.index() == 0 {
+                        DirectNode::<u64>::new((1..n).map(NodeId).collect())
+                    } else {
+                        DirectNode::new(Vec::new())
+                    }
+                });
+                d.start();
+                d.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+                d.run_to_quiescence();
+                let direct_reached = 1 + (1..n)
+                    .filter(|i| !d.node(NodeId(*i)).delivered().is_empty())
+                    .count();
+                sums.2 += direct_reached as f64 / n as f64;
+            }
+            Row {
+                fault: loss,
+                gossip: sums.0 / seeds as f64,
+                tree: sums.1 / seeds as f64,
+                direct: sums.2 / seeds as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E4(c) churn comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRow {
+    /// Gossip style compared.
+    pub style: GossipStyle,
+    /// Mean fraction of messages eventually held by each node that was
+    /// ever down during the run (did the protocol repair them?).
+    pub churned_node_coverage: f64,
+    /// Mean fraction held by never-down nodes.
+    pub stable_node_coverage: f64,
+}
+
+/// E4(c): continuous churn — one node crashes every `period`, down for
+/// `downtime`, while `messages` are published. Push-pull repairs nodes
+/// that were down at publish time; plain eager push cannot.
+pub fn churn_comparison(n: usize, messages: u64, seed: u64) -> Vec<ChurnRow> {
+    [GossipStyle::EagerPush, GossipStyle::PushPull]
+        .into_iter()
+        .map(|style| {
+            let params = GossipParams::atomic_for(n);
+            let mut net = SimNet::new(SimConfig::default().seed(seed));
+            net.add_nodes(n, |id| {
+                let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+                GossipEngine::<u64>::new(
+                    GossipConfig::new(style, params.clone())
+                        .interval(SimDuration::from_millis(100)),
+                    peers,
+                )
+            });
+            net.start();
+            // Churn pool excludes the publisher.
+            let pool: Vec<NodeId> = (1..n).map(NodeId).collect();
+            let horizon = SimTime::from_secs(2 + messages / 2);
+            let schedule = FaultSchedule::new().churn(
+                &pool,
+                SimTime::from_millis(200),
+                horizon,
+                SimDuration::from_millis(400),
+                SimDuration::from_secs(2),
+                seed * 3 + 1,
+            );
+            // Interleave publications with the fault script by running in
+            // small steps.
+            let mut published = 0u64;
+            let mut t = SimTime::ZERO;
+            while t < horizon {
+                t += SimDuration::from_millis(500);
+                schedule.run(&mut net, t);
+                if published < messages {
+                    let value = published;
+                    net.invoke(NodeId(0), move |e, ctx| {
+                        e.publish(value, ctx);
+                    });
+                    published += 1;
+                }
+            }
+            // Everyone is eventually up; give pull time to repair.
+            for id in net.node_ids() {
+                net.recover(id);
+            }
+            schedule.run(&mut net, horizon + SimDuration::from_secs(20));
+
+            let churned = schedule.victims();
+            let mut churned_cov = (0.0, 0usize);
+            let mut stable_cov = (0.0, 0usize);
+            for i in 1..n {
+                let id = NodeId(i);
+                let held = net.node(id).delivered().len() as f64 / messages as f64;
+                if churned.contains(&id) {
+                    churned_cov.0 += held;
+                    churned_cov.1 += 1;
+                } else {
+                    stable_cov.0 += held;
+                    stable_cov.1 += 1;
+                }
+            }
+            ChurnRow {
+                style,
+                churned_node_coverage: churned_cov.0 / churned_cov.1.max(1) as f64,
+                stable_node_coverage: stable_cov.0 / stable_cov.1.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_dominates_under_crashes() {
+        let rows = crash_sweep(64, &[0.0, 0.3], 3);
+        let clean = &rows[0];
+        assert!(clean.gossip > 0.99 && clean.tree > 0.99 && clean.direct > 0.99);
+        let faulty = &rows[1];
+        assert!(faulty.gossip > 0.9, "gossip {}", faulty.gossip);
+        assert!(faulty.gossip > faulty.tree + 0.1, "tree should collapse");
+    }
+
+    #[test]
+    fn gossip_dominates_under_loss() {
+        let rows = loss_sweep(64, &[0.3], 3);
+        let row = &rows[0];
+        assert!(row.gossip > row.direct + 0.1, "gossip {} direct {}", row.gossip, row.direct);
+        assert!(row.gossip > row.tree, "gossip {} tree {}", row.gossip, row.tree);
+    }
+
+    #[test]
+    fn churn_pushpull_repairs_eager_does_not() {
+        let rows = churn_comparison(48, 8, 3);
+        let eager = rows.iter().find(|r| r.style == GossipStyle::EagerPush).unwrap();
+        let pushpull = rows.iter().find(|r| r.style == GossipStyle::PushPull).unwrap();
+        assert!(
+            pushpull.churned_node_coverage > 0.99,
+            "push-pull churned coverage {}",
+            pushpull.churned_node_coverage
+        );
+        assert!(
+            pushpull.churned_node_coverage > eager.churned_node_coverage + 0.05,
+            "push-pull {} vs eager {}",
+            pushpull.churned_node_coverage,
+            eager.churned_node_coverage
+        );
+        assert!(eager.stable_node_coverage > 0.95);
+    }
+
+    #[test]
+    fn crashed_set_is_deterministic_and_excludes_origin() {
+        let a = crashed_set(100, 0.3);
+        let b = crashed_set(100, 0.3);
+        assert_eq!(a, b);
+        assert!(!a.contains(&NodeId(0)));
+        assert!(a.len() >= 28 && a.len() <= 30);
+    }
+}

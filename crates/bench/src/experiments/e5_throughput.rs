@@ -1,0 +1,171 @@
+//! E5 — stable throughput under perturbation (paper §1, citing Birman et
+//! al.'s bimodal multicast): a windowed, ack-based reliable multicast's
+//! goodput collapses when even a few receivers slow down, while gossip's
+//! throughput to healthy receivers stays flat.
+
+use wsg_baselines::{BrokerMsg, BrokerNode};
+use wsg_gossip::GossipParams;
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::{LatencyModel, NodeId, SimDuration, SimTime};
+
+use super::eager_net;
+
+/// One row of the E5 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Fraction of receivers perturbed (slowed down).
+    pub perturbed: f64,
+    /// Mean deliveries/second at healthy receivers, windowed broker.
+    pub broker_throughput: f64,
+    /// Mean deliveries/second at healthy receivers, eager-push gossip.
+    pub gossip_throughput: f64,
+}
+
+/// Sweep the perturbed fraction. The publisher offers `rate` msg/s for
+/// `duration_secs` of virtual time; perturbed receivers process messages
+/// `perturb_ms` late (delaying their acks).
+pub fn sweep(
+    n: usize,
+    fractions: &[f64],
+    rate: u64,
+    duration_secs: u64,
+    perturb_ms: u64,
+    seed: u64,
+) -> Vec<Row> {
+    fractions
+        .iter()
+        .map(|&fraction| {
+            let slow = ((n - 1) as f64 * fraction).round() as usize;
+            let slow_set: Vec<NodeId> = (0..slow).map(|i| NodeId(n - 1 - i)).collect();
+            Row {
+                perturbed: fraction,
+                broker_throughput: broker_run(n, &slow_set, rate, duration_secs, perturb_ms, seed),
+                gossip_throughput: gossip_run(n, &slow_set, rate, duration_secs, perturb_ms, seed),
+            }
+        })
+        .collect()
+}
+
+fn healthy_receivers(n: usize, slow: &[NodeId]) -> Vec<NodeId> {
+    (1..n)
+        .map(NodeId)
+        .filter(|id| !slow.contains(id))
+        .collect()
+}
+
+fn broker_run(
+    n: usize,
+    slow: &[NodeId],
+    rate: u64,
+    duration_secs: u64,
+    perturb_ms: u64,
+    seed: u64,
+) -> f64 {
+    let config = SimConfig::default()
+        .seed(seed)
+        .latency(LatencyModel::constant_millis(2));
+    let mut net = SimNet::new(config);
+    let subscribers: Vec<NodeId> = (1..n).map(NodeId).collect();
+    net.add_nodes(n, |id| {
+        if id.index() == 0 {
+            // Window of 8 outstanding messages: the sender-side flow
+            // control every practical reliable multicast needs.
+            BrokerNode::<u64>::broker(subscribers.clone(), SimDuration::from_millis(20))
+                .with_window(8)
+                .with_max_retries(1000)
+        } else {
+            BrokerNode::subscriber(NodeId(0))
+        }
+    });
+    net.start();
+    for id in slow {
+        net.perturb(*id, SimDuration::from_millis(perturb_ms));
+    }
+    let total = rate * duration_secs;
+    for k in 0..total {
+        let at = SimTime::from_micros(k * 1_000_000 / rate);
+        net.run_until(at);
+        net.send_external(NodeId(0), NodeId(0), BrokerMsg::Publish(k));
+    }
+    net.run_until(SimTime::from_secs(duration_secs));
+    let healthy = healthy_receivers(n, slow);
+    let delivered: usize = healthy
+        .iter()
+        .map(|id| {
+            net.node(*id)
+                .delivered()
+                .iter()
+                .filter(|d| d.at <= SimTime::from_secs(duration_secs))
+                .count()
+        })
+        .sum();
+    delivered as f64 / healthy.len() as f64 / duration_secs as f64
+}
+
+fn gossip_run(
+    n: usize,
+    slow: &[NodeId],
+    rate: u64,
+    duration_secs: u64,
+    perturb_ms: u64,
+    seed: u64,
+) -> f64 {
+    let config = SimConfig::default()
+        .seed(seed)
+        .latency(LatencyModel::constant_millis(2));
+    let params = GossipParams::atomic_for(n);
+    let mut net = eager_net(n, &params, config);
+    for id in slow {
+        net.perturb(*id, SimDuration::from_millis(perturb_ms));
+    }
+    let total = rate * duration_secs;
+    for k in 0..total {
+        let at = SimTime::from_micros(k * 1_000_000 / rate);
+        net.run_until(at);
+        net.invoke(NodeId(0), |engine, ctx| {
+            engine.publish(k, ctx);
+        });
+    }
+    net.run_until(SimTime::from_secs(duration_secs));
+    let healthy = healthy_receivers(n, slow);
+    let delivered: usize = healthy
+        .iter()
+        .map(|id| {
+            net.node(*id)
+                .delivered()
+                .iter()
+                .filter(|d| d.at <= SimTime::from_secs(duration_secs))
+                .count()
+        })
+        .sum();
+    delivered as f64 / healthy.len() as f64 / duration_secs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broker_collapses_gossip_stays_flat() {
+        let rows = sweep(24, &[0.0, 0.25], 50, 4, 500, 1);
+        let clean = &rows[0];
+        let perturbed = &rows[1];
+        // Unperturbed: both sustain ~the offered 50 msg/s.
+        assert!(clean.broker_throughput > 40.0, "broker {}", clean.broker_throughput);
+        assert!(clean.gossip_throughput > 40.0, "gossip {}", clean.gossip_throughput);
+        // Perturbed: the windowed broker is gated by slow acks...
+        assert!(
+            perturbed.broker_throughput < clean.broker_throughput * 0.6,
+            "broker should collapse: {} vs {}",
+            perturbed.broker_throughput,
+            clean.broker_throughput
+        );
+        // ...gossip to healthy receivers keeps >90% of its goodput.
+        assert!(
+            perturbed.gossip_throughput > clean.gossip_throughput * 0.9,
+            "gossip should stay flat: {} vs {}",
+            perturbed.gossip_throughput,
+            clean.gossip_throughput
+        );
+    }
+}

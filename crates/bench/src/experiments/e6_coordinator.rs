@@ -1,0 +1,206 @@
+//! E6 — coordinator load (paper §3: a single Coordinator "knows the entire
+//! list of subscribers"; §1 demands scalability): how the load on the most
+//! loaded node grows with system size for (a) the WS-Gossip coordinator,
+//! which only handles control traffic, (b) a centralized broker, which
+//! handles every payload, and (c) the average gossip node.
+
+use ws_gossip::scenario::{
+    self, build_distributed_network, distributed_initiator, DistributedShape, Figure1Shape,
+    COORDINATOR,
+};
+use wsg_baselines::BrokerNode;
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::{NodeId, SimDuration};
+use wsg_xml::Element;
+
+/// One row of the E6 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Number of subscribers.
+    pub n: usize,
+    /// Notifications published.
+    pub notifications: u64,
+    /// Messages received by the WS-Gossip coordinator (control plane).
+    pub coordinator_received: u64,
+    /// Messages received by the centralized broker (data plane).
+    pub broker_received: u64,
+    /// Mean messages received per gossip subscriber (data plane).
+    pub gossip_mean_received: f64,
+}
+
+/// Sweep subscriber counts with `notifications` messages each.
+pub fn sweep(ns: &[usize], notifications: u64, seed: u64) -> Vec<Row> {
+    ns.iter()
+        .map(|&n| {
+            let (coordinator_received, gossip_mean_received) =
+                ws_gossip_run(n, notifications, seed);
+            let broker_received = broker_run(n, notifications, seed);
+            Row {
+                n,
+                notifications,
+                coordinator_received,
+                broker_received,
+                gossip_mean_received,
+            }
+        })
+        .collect()
+}
+
+fn ws_gossip_run(n: usize, notifications: u64, seed: u64) -> (u64, f64) {
+    // Half disseminators, half consumers.
+    let shape = Figure1Shape { disseminators: n / 2, consumers: n - n / 2 };
+    let mut net = scenario::build_figure1_network(SimConfig::default().seed(seed), shape);
+    scenario::subscribe_all(&mut net, "t");
+    net.run_to_quiescence();
+    scenario::activate(&mut net, "t");
+    net.run_to_quiescence();
+    for k in 0..notifications {
+        scenario::notify(&mut net, "t", Element::text_node("op", k.to_string()));
+    }
+    net.run_to_quiescence();
+    let coordinator_received = net.stats().received_per_node[COORDINATOR.index()];
+    let subscriber_received: u64 = net.stats().received_per_node[2..].iter().sum();
+    (coordinator_received, subscriber_received as f64 / n as f64)
+}
+
+fn broker_run(n: usize, notifications: u64, seed: u64) -> u64 {
+    let mut net = SimNet::new(SimConfig::default().seed(seed));
+    let subscribers: Vec<NodeId> = (1..=n).map(NodeId).collect();
+    net.add_nodes(n + 1, |id| {
+        if id.index() == 0 {
+            BrokerNode::<u64>::broker(subscribers.clone(), SimDuration::from_millis(50))
+        } else {
+            BrokerNode::subscriber(NodeId(0))
+        }
+    });
+    net.start();
+    for k in 0..notifications {
+        net.send_external(NodeId(1), NodeId(0), wsg_baselines::BrokerMsg::Publish(k));
+    }
+    net.run_to_quiescence();
+    net.stats().received_per_node[0]
+}
+
+/// One row of the distributed-coordinator table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRow {
+    /// Number of coordinator replicas.
+    pub coordinators: usize,
+    /// Max messages received by any single coordinator replica.
+    pub max_coordinator_received: u64,
+    /// Mean messages received per coordinator replica.
+    pub mean_coordinator_received: f64,
+    /// Max *client-facing* messages (subscribe/register/activate) at any
+    /// replica — the load that actually splits across replicas.
+    pub max_client_received: u64,
+    /// Mean replication-sync messages received per replica — the price of
+    /// distribution (constant per replica, independent of client count).
+    pub mean_sync_received: f64,
+    /// Coverage achieved.
+    pub coverage: f64,
+}
+
+/// Distributed-coordinator sweep (paper §3's final paragraph): the same
+/// workload with the subscriber list maintained across k replicas.
+pub fn distributed_sweep(
+    n: usize,
+    ks: &[usize],
+    notifications: u64,
+    seed: u64,
+) -> Vec<DistributedRow> {
+    ks.iter()
+        .map(|&k| {
+            let shape = DistributedShape {
+                coordinators: k,
+                disseminators: n / 2,
+                consumers: n - n / 2,
+            };
+            let mut net = build_distributed_network(SimConfig::default().seed(seed), shape);
+            scenario::subscribe_all(&mut net, "t");
+            net.run_until(wsg_net::SimTime::from_secs(3));
+            let initiator = distributed_initiator(shape);
+            net.invoke(initiator, |node, ctx| {
+                node.activate(wsg_coord::GossipProtocol::Push, "t", ctx)
+            });
+            net.run_until(wsg_net::SimTime::from_secs(4));
+            for m in 0..notifications {
+                net.invoke(initiator, move |node, ctx| {
+                    node.notify("t", Element::text_node("op", m.to_string()), ctx)
+                });
+            }
+            net.run_until(wsg_net::SimTime::from_secs(8));
+            let loads: Vec<u64> = (0..k)
+                .map(|c| net.stats().received_per_node[c])
+                .collect();
+            let syncs: Vec<u64> =
+                (0..k).map(|c| net.node(NodeId(c)).stats().sync_received).collect();
+            let client: Vec<u64> = loads
+                .iter()
+                .zip(&syncs)
+                .map(|(total, sync)| total - sync)
+                .collect();
+            DistributedRow {
+                coordinators: k,
+                max_coordinator_received: loads.iter().copied().max().unwrap_or(0),
+                mean_coordinator_received: loads.iter().sum::<u64>() as f64 / k as f64,
+                max_client_received: client.iter().copied().max().unwrap_or(0),
+                mean_sync_received: syncs.iter().sum::<u64>() as f64 / k as f64,
+                coverage: scenario::coverage(&net, 1),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broker_load_scales_with_data_coordinator_does_not() {
+        let rows = sweep(&[8, 32], 10, 1);
+        let (small, large) = (&rows[0], &rows[1]);
+        // Broker receives ~ n acks per message (plus publishes).
+        assert!(large.broker_received >= 10 * 32, "broker {}", large.broker_received);
+        assert!(large.broker_received as f64 >= small.broker_received as f64 * 3.0);
+        // The coordinator's control-plane load does NOT multiply with the
+        // number of notifications: once registered, no per-message calls.
+        assert!(
+            large.coordinator_received < large.broker_received,
+            "coordinator {} vs broker {}",
+            large.coordinator_received,
+            large.broker_received
+        );
+        // Gossip subscribers each carry a bounded share of the data plane.
+        assert!(large.gossip_mean_received >= 10.0, "subscribers saw every message");
+    }
+
+    #[test]
+    fn distributed_replicas_split_subscription_load_and_still_cover() {
+        let rows = distributed_sweep(24, &[1, 3], 3, 5);
+        assert!(rows[0].coverage >= 0.99, "k=1 coverage {}", rows[0].coverage);
+        assert!(rows[1].coverage >= 0.99, "k=3 coverage {}", rows[1].coverage);
+        // With 3 replicas the *client-facing* traffic (subscribe, register,
+        // activation) splits: the busiest replica serves fewer clients
+        // than the single coordinator did. Replication gossip is a
+        // separate, per-replica-constant overhead.
+        assert!(
+            rows[1].max_client_received < rows[0].max_client_received,
+            "k=3 busiest client load {} vs k=1 {}",
+            rows[1].max_client_received,
+            rows[0].max_client_received
+        );
+        assert!(rows[1].mean_sync_received > 0.0, "replication active");
+        assert_eq!(rows[0].mean_sync_received, 0.0, "no sync with a single replica");
+    }
+
+    #[test]
+    fn coordinator_load_is_per_membership_not_per_message() {
+        let few = sweep(&[16], 2, 2)[0].coordinator_received;
+        let many = sweep(&[16], 20, 2)[0].coordinator_received;
+        // 10x the messages must cost the coordinator far less than 10x.
+        assert!(
+            many < few * 3,
+            "coordinator load should be ~constant in message count: {few} -> {many}"
+        );
+    }
+}

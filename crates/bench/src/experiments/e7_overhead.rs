@@ -1,0 +1,92 @@
+//! E7 — message overhead and redundancy (paper §2: reliability comes from
+//! "redundancy and randomization"): what the redundancy costs, how it
+//! grows with `f`, and how lazy push trades latency for payload copies.
+
+use wsg_gossip::{analysis, GossipParams, GossipStyle};
+use wsg_net::sim::SimConfig;
+use wsg_net::NodeId;
+
+use super::{gossip_net, summarize};
+
+/// One row of the E7 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Fanout swept.
+    pub fanout: usize,
+    /// Coverage achieved (eager push).
+    pub coverage: f64,
+    /// Payload copies sent per node reached — eager push (simulated).
+    pub eager_redundancy: f64,
+    /// Mean-field predicted redundancy.
+    pub predicted_redundancy: f64,
+    /// Payload copies per node reached — lazy push (simulated).
+    pub lazy_redundancy: f64,
+    /// Control messages (IHAVE/IWANT) per node reached — lazy push.
+    pub lazy_control: f64,
+}
+
+/// Sweep fanout at fixed n and rounds.
+pub fn sweep(n: usize, fanouts: &[usize], rounds: u32, seed: u64) -> Vec<Row> {
+    fanouts
+        .iter()
+        .map(|&fanout| {
+            let params = GossipParams::new(fanout, rounds);
+
+            let mut eager = gossip_net(n, GossipStyle::EagerPush, &params, SimConfig::default().seed(seed));
+            eager.invoke(NodeId(0), |e, ctx| {
+                e.publish(1, ctx);
+            });
+            eager.run_to_quiescence();
+            let eager_out = summarize(&eager, n);
+            let eager_reached = (eager_out.coverage * n as f64).max(1.0);
+
+            let mut lazy = gossip_net(n, GossipStyle::LazyPush, &params, SimConfig::default().seed(seed));
+            lazy.invoke(NodeId(0), |e, ctx| {
+                e.publish(1, ctx);
+            });
+            lazy.run_to_quiescence();
+            let lazy_out = summarize(&lazy, n);
+            let lazy_reached = (lazy_out.coverage * n as f64).max(1.0);
+            let lazy_control: u64 = (0..n)
+                .map(|i| {
+                    let s = lazy.node(NodeId(i)).stats();
+                    s.ihave_sent + s.iwant_sent
+                })
+                .sum();
+
+            Row {
+                fanout,
+                coverage: eager_out.coverage,
+                eager_redundancy: eager_out.payloads as f64 / eager_reached,
+                predicted_redundancy: analysis::expected_redundancy(n, fanout, rounds),
+                lazy_redundancy: lazy_out.payloads as f64 / lazy_reached,
+                lazy_control: lazy_control as f64 / lazy_reached,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundancy_grows_with_fanout_lazy_stays_near_one() {
+        let rows = sweep(128, &[2, 4, 8], 12, 3);
+        assert!(rows[2].eager_redundancy > rows[0].eager_redundancy);
+        // Eager at f=8 sends ~8 copies per infection; lazy ships ~1 payload.
+        assert!(rows[2].eager_redundancy > 4.0, "eager {}", rows[2].eager_redundancy);
+        assert!(rows[2].lazy_redundancy < 2.5, "lazy {}", rows[2].lazy_redundancy);
+        // Lazy pays for it in control traffic instead.
+        assert!(rows[2].lazy_control > rows[2].lazy_redundancy);
+    }
+
+    #[test]
+    fn prediction_tracks_simulation_at_high_coverage() {
+        let rows = sweep(128, &[8], 12, 5);
+        let row = &rows[0];
+        assert!(row.coverage > 0.99);
+        let ratio = row.eager_redundancy / row.predicted_redundancy;
+        assert!((0.5..2.0).contains(&ratio), "sim {} vs pred {}", row.eager_redundancy, row.predicted_redundancy);
+    }
+}

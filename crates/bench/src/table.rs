@@ -1,0 +1,111 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// A right-aligned fixed-width text table.
+///
+/// ```
+/// use wsg_bench::Table;
+///
+/// let mut t = Table::new(&["n", "coverage"]);
+/// t.row(&["128", "0.997"]);
+/// let text = t.render();
+/// assert!(text.contains("coverage"));
+/// assert!(text.contains("0.997"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|h| h.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Append a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a header underline, columns padded to content width.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&render_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "long_header"]);
+        t.row(&["1", "2"]);
+        t.row(&["100", "2000"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].ends_with("   2"), "{:?}", lines[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row_owned(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

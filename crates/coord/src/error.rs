@@ -1,0 +1,32 @@
+use std::fmt;
+
+/// Errors raised by the coordination services and codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoordError {
+    /// A referenced coordination context is unknown (or expired).
+    UnknownContext(String),
+    /// The coordination type URI is not a WS-Gossip type.
+    UnsupportedCoordinationType(String),
+    /// An element could not be decoded as the expected construct.
+    Codec(String),
+    /// A participant tried to register twice for the same context.
+    AlreadyRegistered { context: String, participant: String },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::UnknownContext(id) => write!(f, "unknown coordination context '{id}'"),
+            CoordError::UnsupportedCoordinationType(t) => {
+                write!(f, "unsupported coordination type '{t}'")
+            }
+            CoordError::Codec(what) => write!(f, "malformed coordination element: {what}"),
+            CoordError::AlreadyRegistered { context, participant } => {
+                write!(f, "participant '{participant}' already registered in context '{context}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}

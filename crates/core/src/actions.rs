@@ -1,0 +1,69 @@
+//! WS-Addressing Action URIs of the WS-Gossip operations.
+
+use wsg_coord::WSGOSSIP_NS;
+
+/// Action of a `CreateCoordinationContext` request.
+pub fn create_context() -> String {
+    format!("{WSGOSSIP_NS}:CreateCoordinationContext")
+}
+
+/// Action of a `CreateCoordinationContextResponse`.
+pub fn create_context_response() -> String {
+    format!("{WSGOSSIP_NS}:CreateCoordinationContextResponse")
+}
+
+/// Action of a `Register` request.
+pub fn register() -> String {
+    format!("{WSGOSSIP_NS}:Register")
+}
+
+/// Action of a `RegisterResponse`.
+pub fn register_response() -> String {
+    format!("{WSGOSSIP_NS}:RegisterResponse")
+}
+
+/// Action of a `Subscribe` request.
+pub fn subscribe() -> String {
+    format!("{WSGOSSIP_NS}:Subscribe")
+}
+
+/// Action of a `SubscribeResponse` acknowledgement.
+pub fn subscribe_response() -> String {
+    format!("{WSGOSSIP_NS}:SubscribeResponse")
+}
+
+/// Action of an application notification (the `op` of Figure 1).
+pub fn notify() -> String {
+    format!("{WSGOSSIP_NS}:Notify")
+}
+
+/// Action of an `Unsubscribe` request.
+pub fn unsubscribe() -> String {
+    format!("{WSGOSSIP_NS}:Unsubscribe")
+}
+
+/// Action of a coordinator-to-coordinator state sync (distributed
+/// coordinator mode).
+pub fn coordinator_sync() -> String {
+    format!("{WSGOSSIP_NS}:CoordinatorSync")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn actions_are_distinct() {
+        let all = [
+            super::create_context(),
+            super::create_context_response(),
+            super::register(),
+            super::register_response(),
+            super::subscribe(),
+            super::subscribe_response(),
+            super::notify(),
+            super::coordinator_sync(),
+            super::unsubscribe(),
+        ];
+        let unique: std::collections::HashSet<&String> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+}

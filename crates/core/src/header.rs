@@ -1,0 +1,132 @@
+//! The `wsg:Gossip` SOAP header block.
+//!
+//! Travels with every disseminated notification. Carries the gossip
+//! identity of the message — originating endpoint plus sequence number —
+//! and the hop count (`round`). Deliberately **not** marked
+//! `mustUnderstand`: a Consumer with no gossip layer must be able to
+//! process the notification unchanged (paper §3, "completely unchanged and
+//! unaffected").
+
+use wsg_coord::WSGOSSIP_NS;
+use wsg_xml::Element;
+
+/// The decoded `wsg:Gossip` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipHeader {
+    /// Coordination-context identifier this message belongs to.
+    pub context_id: String,
+    /// Topic being disseminated.
+    pub topic: String,
+    /// Endpoint of the originating (Initiator) node.
+    pub origin: String,
+    /// Per-origin sequence number.
+    pub seq: u64,
+    /// Hop count: 0 as published, incremented at each forward.
+    pub round: u32,
+}
+
+impl GossipHeader {
+    /// The dedup key identifying the logical message across copies.
+    pub fn key(&self) -> (String, u64) {
+        (self.origin.clone(), self.seq)
+    }
+
+    /// Encode as the SOAP header element.
+    pub fn to_element(&self) -> Element {
+        let mut header = Element::in_ns("wsg", WSGOSSIP_NS, "Gossip");
+        header.push_child(
+            Element::in_ns("wsg", WSGOSSIP_NS, "Context").with_text(self.context_id.clone()),
+        );
+        header.push_child(Element::in_ns("wsg", WSGOSSIP_NS, "Topic").with_text(self.topic.clone()));
+        header.push_child(
+            Element::in_ns("wsg", WSGOSSIP_NS, "Origin").with_text(self.origin.clone()),
+        );
+        header.push_child(
+            Element::in_ns("wsg", WSGOSSIP_NS, "Seq").with_text(self.seq.to_string()),
+        );
+        header.push_child(
+            Element::in_ns("wsg", WSGOSSIP_NS, "Round").with_text(self.round.to_string()),
+        );
+        header
+    }
+
+    /// Decode from the SOAP header element, if it is one.
+    pub fn from_element(element: &Element) -> Option<GossipHeader> {
+        if !element.name().matches(Some(WSGOSSIP_NS), "Gossip") {
+            return None;
+        }
+        Some(GossipHeader {
+            context_id: element.child_ns(WSGOSSIP_NS, "Context")?.text(),
+            topic: element.child_ns(WSGOSSIP_NS, "Topic")?.text(),
+            origin: element.child_ns(WSGOSSIP_NS, "Origin")?.text(),
+            seq: element.child_ns(WSGOSSIP_NS, "Seq")?.text().parse().ok()?,
+            round: element.child_ns(WSGOSSIP_NS, "Round")?.text().parse().ok()?,
+        })
+    }
+
+    /// Find and decode the gossip header of an envelope.
+    pub fn from_envelope(envelope: &wsg_soap::Envelope) -> Option<GossipHeader> {
+        envelope
+            .header(WSGOSSIP_NS, "Gossip")
+            .and_then(GossipHeader::from_element)
+    }
+
+    /// A copy of this header with the hop count incremented.
+    pub fn next_round(&self) -> GossipHeader {
+        GossipHeader { round: self.round + 1, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GossipHeader {
+        GossipHeader {
+            context_id: "urn:ws-gossip:ctx:0".into(),
+            topic: "quotes".into(),
+            origin: "http://node1/gossip".into(),
+            seq: 42,
+            round: 3,
+        }
+    }
+
+    #[test]
+    fn element_roundtrip() {
+        let header = sample();
+        assert_eq!(GossipHeader::from_element(&header.to_element()), Some(header));
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = wsg_soap::Envelope::request(
+            wsg_soap::MessageHeaders::request("http://x", "urn:op"),
+            wsg_xml::Element::new("op"),
+        )
+        .with_header(sample().to_element());
+        let wire = env.to_xml();
+        let parsed = wsg_soap::Envelope::parse(&wire).unwrap();
+        assert_eq!(GossipHeader::from_envelope(&parsed), Some(sample()));
+    }
+
+    #[test]
+    fn next_round_increments_only_round() {
+        let header = sample();
+        let next = header.next_round();
+        assert_eq!(next.round, 4);
+        assert_eq!(next.key(), header.key());
+    }
+
+    #[test]
+    fn foreign_header_ignored() {
+        let foreign = Element::in_ns("x", "urn:other", "Gossip");
+        assert_eq!(GossipHeader::from_element(&foreign), None);
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let mut el = sample().to_element();
+        el.child_mut("Seq").unwrap().set_text("not-a-number");
+        assert_eq!(GossipHeader::from_element(&el), None);
+    }
+}

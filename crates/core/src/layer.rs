@@ -1,0 +1,550 @@
+//! The gossip layer: the handler in the middleware stack.
+//!
+//! Paper §3: adopting WS-PushGossip at a Disseminator "will require
+//! configuring an additional handler, the gossip layer, in the middleware
+//! stack, which intercepts the outgoing message and re-routes it to
+//! selected destinations" and "upon arrival … if this is an unknown gossip
+//! interaction, it registers itself with the Registration service, thus
+//! obtaining gossip targets to which it will forward the message."
+//!
+//! [`GossipHandler`] implements exactly that as a [`wsg_soap::Handler`]:
+//!
+//! * **outbound** messages carrying a `wsg:Gossip` header are intercepted;
+//!   copies are re-routed to `fanout` peers from the current grant;
+//! * **inbound** gossip messages are deduplicated, delivered to the
+//!   application (`Continue`), and forwarded another round;
+//! * the first message of an unknown interaction triggers a `Register`
+//!   call to the context's Registration service; messages queue until the
+//!   `RegisterResponse` grant arrives.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::seq::SliceRandom;
+
+use wsg_coord::{CoordinationContext, GossipGrant, RegistrationService, WSCOOR_NS, WSGOSSIP_NS};
+use wsg_net::Pcg32;
+use wsg_soap::{
+    Envelope, EndpointReference, Handler, HandlerOutcome, MessageContext, MessageHeaders, Uuid,
+};
+use wsg_xml::QName;
+
+use crate::actions;
+use crate::header::GossipHeader;
+
+/// Counters exposed by the gossip layer (experiment E1/E7 bookkeeping).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GossipLayerStats {
+    /// Outgoing notifications intercepted at the origin.
+    pub intercepted: u64,
+    /// Forward copies re-routed to peers.
+    pub forwards_sent: u64,
+    /// `Register` calls issued for unknown interactions.
+    pub registers_sent: u64,
+    /// Inbound copies suppressed as duplicates.
+    pub duplicates_suppressed: u64,
+}
+
+#[derive(Debug)]
+struct LayerState {
+    me: String,
+    rng: Pcg32,
+    seen: HashSet<(String, u64)>,
+    seen_order: VecDeque<(String, u64)>,
+    seen_cap: usize,
+    grants: HashMap<String, GossipGrant>,
+    pending: HashMap<String, Vec<Envelope>>,
+    registering: HashSet<String>,
+    stats: GossipLayerStats,
+}
+
+impl LayerState {
+    fn fresh_message_id(&mut self) -> String {
+        Uuid::random(&mut self.rng).to_urn()
+    }
+
+    /// Record a message key in the dedup set, evicting the oldest entries
+    /// beyond the configured cap. Returns `true` when the key was new.
+    fn mark_seen(&mut self, key: (String, u64)) -> bool {
+        if !self.seen.insert(key.clone()) {
+            return false;
+        }
+        self.seen_order.push_back(key);
+        while self.seen_order.len() > self.seen_cap {
+            if let Some(evicted) = self.seen_order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    fn sample_peers(&mut self, grant: &GossipGrant) -> Vec<String> {
+        let mut pool: Vec<String> = grant
+            .peers
+            .iter()
+            .filter(|p| p.as_str() != self.me)
+            .cloned()
+            .collect();
+        pool.shuffle(&mut self.rng);
+        pool.truncate(grant.fanout);
+        pool
+    }
+}
+
+/// Shared handle onto the gossip layer: the node keeps one clone (to seed
+/// grants and read statistics), the handler in the chain keeps the other.
+#[derive(Debug, Clone)]
+pub struct GossipLayerHandle {
+    state: Arc<Mutex<LayerState>>,
+}
+
+impl GossipLayerHandle {
+    /// A new layer for the node with endpoint `me`; `seed` fixes the
+    /// deterministic peer-sampling stream.
+    pub fn new(me: impl Into<String>, seed: u64) -> Self {
+        GossipLayerHandle {
+            state: Arc::new(Mutex::new(LayerState {
+                me: me.into(),
+                rng: Pcg32::new(seed, 0x60551),
+                seen: HashSet::new(),
+                seen_order: VecDeque::new(),
+                seen_cap: usize::MAX,
+                grants: HashMap::new(),
+                pending: HashMap::new(),
+                registering: HashSet::new(),
+                stats: GossipLayerStats::default(),
+            })),
+        }
+    }
+
+    /// Build the chain handler sharing this state.
+    pub fn handler(&self) -> GossipHandler {
+        GossipHandler { state: self.state.clone() }
+    }
+
+    /// Bound the duplicate-suppression memory to the most recent `cap`
+    /// message keys (FIFO eviction). Unbounded by default; long-running
+    /// deployments should set a cap and accept that a message older than
+    /// the window could, in principle, be re-delivered.
+    pub fn set_seen_cap(&self, cap: usize) {
+        assert!(cap > 0, "seen cap must be positive");
+        self.state.lock().seen_cap = cap;
+    }
+
+    /// Install a grant (e.g. the one returned by Activation) — present
+    /// interactions forward immediately instead of registering first.
+    pub fn set_grant(&self, context_id: &str, grant: GossipGrant) {
+        self.state.lock().grants.insert(context_id.to_string(), grant);
+    }
+
+    /// The grant for a context, if known.
+    pub fn grant(&self, context_id: &str) -> Option<GossipGrant> {
+        self.state.lock().grants.get(context_id).cloned()
+    }
+
+    /// Layer counters.
+    pub fn stats(&self) -> GossipLayerStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Number of distinct messages seen.
+    pub fn seen_count(&self) -> usize {
+        self.state.lock().seen.len()
+    }
+}
+
+/// The middleware handler; see the [module documentation](self).
+#[derive(Debug)]
+pub struct GossipHandler {
+    state: Arc<Mutex<LayerState>>,
+}
+
+impl GossipHandler {
+    /// Build the forward copies of `envelope` for the next round and queue
+    /// them on the message context.
+    fn forward(
+        state: &mut LayerState,
+        ctx: &mut MessageContext,
+        envelope: &Envelope,
+        header: &GossipHeader,
+        grant: &GossipGrant,
+    ) {
+        if header.round >= grant.rounds {
+            return; // round budget exhausted
+        }
+        let next = header.next_round();
+        for peer in state.sample_peers(grant) {
+            let mut copy = envelope.clone();
+            copy.take_header(WSGOSSIP_NS, "Gossip");
+            copy.push_header(next.to_element());
+            let message_id = state.fresh_message_id();
+            let addressing = copy.addressing_mut();
+            addressing.set_to(peer);
+            addressing.set_message_id(message_id);
+            addressing.set_from(EndpointReference::new(state.me.clone()));
+            state.stats.forwards_sent += 1;
+            ctx.send_envelope(copy);
+        }
+    }
+
+    /// Queue `envelope` until a grant arrives, registering with the
+    /// context's Registration service if we have not yet.
+    fn queue_and_register(
+        state: &mut LayerState,
+        ctx: &mut MessageContext,
+        envelope: &Envelope,
+        header: &GossipHeader,
+    ) {
+        state
+            .pending
+            .entry(header.context_id.clone())
+            .or_default()
+            .push(envelope.clone());
+        if !state.registering.insert(header.context_id.clone()) {
+            return; // register already in flight
+        }
+        // The registration address travels in the CoordinationContext
+        // header of the message itself.
+        let registration = envelope
+            .header(WSCOOR_NS, "CoordinationContext")
+            .and_then(|h| CoordinationContext::from_header(h).ok())
+            .map(|c| c.registration_service().to_string());
+        let Some(registration) = registration else {
+            return; // no context header: nothing we can do
+        };
+        let me = state.me.clone();
+        let body = RegistrationService::encode_register(&header.context_id, &me);
+        let headers = MessageHeaders::request(registration, actions::register())
+            .with_message_id(state.fresh_message_id())
+            .with_from(EndpointReference::new(me))
+            .with_reply_to(EndpointReference::new(state.me.clone()));
+        state.stats.registers_sent += 1;
+        ctx.send_envelope(Envelope::request(headers, body));
+    }
+
+    fn handle_register_response(&self, ctx: &mut MessageContext) -> HandlerOutcome {
+        let mut state = self.state.lock();
+        let Some(body) = ctx.envelope.body() else {
+            return HandlerOutcome::Consumed;
+        };
+        let Ok(grant) = GossipGrant::from_parent(body) else {
+            return HandlerOutcome::Consumed;
+        };
+        let Some(context_id) = body
+            .child_ns(WSGOSSIP_NS, "ContextIdentifier")
+            .map(|c| c.text())
+        else {
+            return HandlerOutcome::Consumed;
+        };
+        state.grants.insert(context_id.clone(), grant.clone());
+        state.registering.remove(&context_id);
+        let queued = state.pending.remove(&context_id).unwrap_or_default();
+        for envelope in queued {
+            if let Some(header) = GossipHeader::from_envelope(&envelope) {
+                Self::forward(&mut state, ctx, &envelope, &header, &grant);
+            }
+        }
+        HandlerOutcome::Consumed
+    }
+}
+
+impl Handler for GossipHandler {
+    fn name(&self) -> &str {
+        "gossip"
+    }
+
+    fn understands(&self, header: &QName) -> bool {
+        header.matches(Some(WSGOSSIP_NS), "Gossip")
+            || header.matches(Some(WSCOOR_NS), "CoordinationContext")
+    }
+
+    fn process(&mut self, ctx: &mut MessageContext) -> HandlerOutcome {
+        use wsg_soap::handler::Direction;
+
+        // Grant arrivals are middleware-level traffic.
+        if ctx.direction == Direction::Inbound
+            && ctx.envelope.addressing().action() == Some(actions::register_response().as_str())
+        {
+            return self.handle_register_response(ctx);
+        }
+
+        let Some(header) = GossipHeader::from_envelope(&ctx.envelope) else {
+            return HandlerOutcome::Continue; // not gossip traffic
+        };
+
+        match ctx.direction {
+            Direction::Outbound => {
+                // Interception at the origin: never let the original (which
+                // is addressed to a topic URI, not a node) hit the wire.
+                let mut state = self.state.lock();
+                state.stats.intercepted += 1;
+                state.mark_seen(header.key());
+                let envelope = ctx.envelope.clone();
+                match state.grants.get(&header.context_id).cloned() {
+                    Some(grant) => Self::forward(&mut state, ctx, &envelope, &header, &grant),
+                    None => Self::queue_and_register(&mut state, ctx, &envelope, &header),
+                }
+                HandlerOutcome::Consumed
+            }
+            Direction::Inbound => {
+                let mut state = self.state.lock();
+                if !state.mark_seen(header.key()) {
+                    state.stats.duplicates_suppressed += 1;
+                    return HandlerOutcome::Consumed;
+                }
+                let envelope = ctx.envelope.clone();
+                match state.grants.get(&header.context_id).cloned() {
+                    Some(grant) => Self::forward(&mut state, ctx, &envelope, &header, &grant),
+                    None => Self::queue_and_register(&mut state, ctx, &envelope, &header),
+                }
+                drop(state);
+                HandlerOutcome::Continue // deliver to the application too
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_coord::{GossipPolicy, GossipProtocol};
+    use wsg_soap::handler::{Direction, Disposition};
+    use wsg_soap::HandlerChain;
+    use wsg_xml::Element;
+
+    fn notification(ctx_id: &str, origin: &str, seq: u64, round: u32) -> Envelope {
+        let context = CoordinationContext::new(
+            ctx_id,
+            GossipProtocol::Push,
+            "http://node0/registration",
+            GossipPolicy::default(),
+        );
+        let gossip = GossipHeader {
+            context_id: ctx_id.to_string(),
+            topic: "quotes".into(),
+            origin: origin.to_string(),
+            seq,
+            round,
+        };
+        Envelope::request(
+            MessageHeaders::request(crate::endpoint::topic_uri("quotes"), actions::notify())
+                .with_message_id("urn:uuid:test-1"),
+            Element::text_node("tick", "ACME"),
+        )
+        .with_header(context.to_header())
+        .with_header(gossip.to_element())
+    }
+
+    fn grant(peers: &[&str]) -> GossipGrant {
+        GossipGrant {
+            fanout: 2,
+            rounds: 4,
+            peers: peers.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+
+    fn chain_with(handle: &GossipLayerHandle) -> HandlerChain {
+        let mut chain = HandlerChain::new();
+        chain.push(Box::new(handle.handler()));
+        chain
+    }
+
+    #[test]
+    fn outbound_with_grant_reroutes_to_fanout_peers() {
+        let handle = GossipLayerHandle::new("http://node1/gossip", 1);
+        handle.set_grant("ctx", grant(&["http://node2/gossip", "http://node3/gossip", "http://node4/gossip"]));
+        let mut chain = chain_with(&handle);
+        let result = chain.process(
+            Direction::Outbound,
+            notification("ctx", "http://node1/gossip", 0, 0),
+            "http://node1/gossip",
+        );
+        assert!(matches!(result.disposition, Disposition::Consumed));
+        assert_eq!(result.sends.len(), 2, "fanout 2");
+        for copy in &result.sends {
+            let header = GossipHeader::from_envelope(copy).unwrap();
+            assert_eq!(header.round, 1);
+            assert_ne!(copy.addressing().to(), Some("http://node1/gossip"));
+            assert_eq!(copy.addressing().action(), Some(actions::notify().as_str()));
+        }
+        assert_eq!(handle.stats().intercepted, 1);
+        assert_eq!(handle.stats().forwards_sent, 2);
+    }
+
+    #[test]
+    fn outbound_without_grant_registers_and_queues() {
+        let handle = GossipLayerHandle::new("http://node1/gossip", 2);
+        let mut chain = chain_with(&handle);
+        let result = chain.process(
+            Direction::Outbound,
+            notification("ctx", "http://node1/gossip", 0, 0),
+            "http://node1/gossip",
+        );
+        assert!(matches!(result.disposition, Disposition::Consumed));
+        assert_eq!(result.sends.len(), 1);
+        let register = &result.sends[0];
+        assert_eq!(register.addressing().action(), Some(actions::register().as_str()));
+        assert_eq!(register.addressing().to(), Some("http://node0/registration"));
+        assert_eq!(handle.stats().registers_sent, 1);
+    }
+
+    #[test]
+    fn inbound_new_message_delivers_and_forwards() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 3);
+        handle.set_grant("ctx", grant(&["http://node3/gossip", "http://node4/gossip"]));
+        let mut chain = chain_with(&handle);
+        let result = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 0, 1),
+            "http://node2/gossip",
+        );
+        assert!(matches!(result.disposition, Disposition::Deliver(_)), "app must see it");
+        assert_eq!(result.sends.len(), 2);
+        for copy in &result.sends {
+            assert_eq!(GossipHeader::from_envelope(copy).unwrap().round, 2);
+        }
+    }
+
+    #[test]
+    fn inbound_duplicate_suppressed() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 4);
+        handle.set_grant("ctx", grant(&["http://node3/gossip"]));
+        let mut chain = chain_with(&handle);
+        let first = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 7, 1),
+            "http://node2/gossip",
+        );
+        assert!(matches!(first.disposition, Disposition::Deliver(_)));
+        let second = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 7, 2),
+            "http://node2/gossip",
+        );
+        assert!(matches!(second.disposition, Disposition::Consumed));
+        assert!(second.sends.is_empty(), "duplicates are not re-forwarded");
+        assert_eq!(handle.stats().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn round_budget_stops_forwarding() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 5);
+        handle.set_grant("ctx", grant(&["http://node3/gossip"])); // rounds = 4
+        let mut chain = chain_with(&handle);
+        let result = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 0, 4),
+            "http://node2/gossip",
+        );
+        assert!(matches!(result.disposition, Disposition::Deliver(_)), "still delivered");
+        assert!(result.sends.is_empty(), "round 4 >= budget 4: no forward");
+    }
+
+    #[test]
+    fn grant_arrival_flushes_pending() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 6);
+        let mut chain = chain_with(&handle);
+        // An inbound message for an unknown interaction queues + registers.
+        let first = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 0, 1),
+            "http://node2/gossip",
+        );
+        assert_eq!(first.sends.len(), 1, "register only");
+        // Now the RegisterResponse arrives.
+        let mut body = grant(&["http://node5/gossip", "http://node6/gossip"]).to_register_response();
+        body.push_child(
+            Element::in_ns("wsg", WSGOSSIP_NS, "ContextIdentifier").with_text("ctx"),
+        );
+        let response = Envelope::request(
+            MessageHeaders::request("http://node2/gossip", actions::register_response()),
+            body,
+        );
+        let result = chain.process(Direction::Inbound, response, "http://node2/gossip");
+        assert!(matches!(result.disposition, Disposition::Consumed));
+        assert_eq!(result.sends.len(), 2, "queued message forwarded to 2 peers");
+        assert!(handle.grant("ctx").is_some());
+    }
+
+    #[test]
+    fn second_message_in_known_context_forwards_without_register() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 7);
+        handle.set_grant("ctx", grant(&["http://node3/gossip"]));
+        let mut chain = chain_with(&handle);
+        for seq in 0..3 {
+            let result = chain.process(
+                Direction::Inbound,
+                notification("ctx", "http://node1/gossip", seq, 1),
+                "http://node2/gossip",
+            );
+            assert_eq!(result.sends.len(), 1);
+        }
+        assert_eq!(handle.stats().registers_sent, 0);
+    }
+
+    #[test]
+    fn non_gossip_traffic_passes_through() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 8);
+        let mut chain = chain_with(&handle);
+        let plain = Envelope::request(
+            MessageHeaders::request("http://node2/gossip", "urn:other:Op"),
+            Element::new("op"),
+        );
+        let result = chain.process(Direction::Inbound, plain, "http://node2/gossip");
+        assert!(matches!(result.disposition, Disposition::Deliver(_)));
+        assert!(result.sends.is_empty());
+    }
+
+    #[test]
+    fn seen_cap_bounds_memory_with_fifo_eviction() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 10);
+        handle.set_seen_cap(3);
+        handle.set_grant("ctx", grant(&["http://node3/gossip"]));
+        let mut chain = chain_with(&handle);
+        for seq in 0..10 {
+            chain.process(
+                Direction::Inbound,
+                notification("ctx", "http://node1/gossip", seq, 1),
+                "http://node2/gossip",
+            );
+        }
+        assert_eq!(handle.seen_count(), 3, "bounded at the cap");
+        // A message inside the window is still deduplicated...
+        let result = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 9, 2),
+            "http://node2/gossip",
+        );
+        assert!(matches!(result.disposition, Disposition::Consumed));
+        // ...one outside the window is (by design) re-admitted.
+        let result = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 0, 2),
+            "http://node2/gossip",
+        );
+        assert!(matches!(result.disposition, Disposition::Deliver(_)));
+    }
+
+    #[test]
+    fn forwards_never_target_self() {
+        let handle = GossipLayerHandle::new("http://node2/gossip", 9);
+        handle.set_grant(
+            "ctx",
+            GossipGrant {
+                fanout: 5,
+                rounds: 9,
+                peers: vec!["http://node2/gossip".into(), "http://node3/gossip".into()],
+            },
+        );
+        let mut chain = chain_with(&handle);
+        let result = chain.process(
+            Direction::Inbound,
+            notification("ctx", "http://node1/gossip", 0, 1),
+            "http://node2/gossip",
+        );
+        for copy in &result.sends {
+            assert_ne!(copy.addressing().to(), Some("http://node2/gossip"));
+        }
+    }
+}

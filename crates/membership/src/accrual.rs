@@ -1,0 +1,221 @@
+//! The φ accrual failure detector (Hayashibara et al., SRDS'04).
+//!
+//! Fixed timeouts (the [`crate::FailureDetectorConfig`] policy) must be
+//! tuned to the worst-case heartbeat gap; the accrual detector instead
+//! *learns* each member's inter-arrival distribution and outputs a
+//! continuous suspicion level
+//! `φ(t) = -log10( P(no heartbeat for t | history) )`,
+//! so the same threshold adapts to fast LAN members and slow WAN members
+//! alike. Applications pick a φ threshold (8 ≈ "one in 10⁸ chance this is
+//! a false positive under the learned distribution").
+
+use wsg_net::{SimDuration, SimTime};
+
+/// Sliding-window estimator of one member's heartbeat inter-arrival
+/// distribution, with the φ suspicion computation.
+///
+/// ```
+/// use wsg_membership::PhiAccrual;
+/// use wsg_net::{SimTime, SimDuration};
+///
+/// let mut phi = PhiAccrual::new(64);
+/// let mut t = SimTime::ZERO;
+/// for _ in 0..20 {
+///     t = t + SimDuration::from_millis(100);
+///     phi.heartbeat(t);
+/// }
+/// // Right after a heartbeat, suspicion is low...
+/// assert!(phi.phi(t + SimDuration::from_millis(100)) < 2.0);
+/// // ...after 10 missed intervals it is overwhelming.
+/// assert!(phi.phi(t + SimDuration::from_millis(1000)) > 8.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhiAccrual {
+    window: usize,
+    intervals: Vec<f64>, // seconds, ring-buffered
+    next_slot: usize,
+    last_heartbeat: Option<SimTime>,
+}
+
+impl PhiAccrual {
+    /// A detector remembering the last `window` inter-arrival intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window < 2`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "need at least two samples of history");
+        PhiAccrual {
+            window,
+            intervals: Vec::new(),
+            next_slot: 0,
+            last_heartbeat: None,
+        }
+    }
+
+    /// Record a heartbeat arrival at `now`.
+    pub fn heartbeat(&mut self, now: SimTime) {
+        if let Some(last) = self.last_heartbeat {
+            let interval = now.since(last).as_secs_f64();
+            if self.intervals.len() < self.window {
+                self.intervals.push(interval);
+            } else {
+                self.intervals[self.next_slot] = interval;
+                self.next_slot = (self.next_slot + 1) % self.window;
+            }
+        }
+        self.last_heartbeat = Some(now);
+    }
+
+    /// Number of learned intervals.
+    pub fn samples(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Mean learned inter-arrival time.
+    pub fn mean_interval(&self) -> Option<SimDuration> {
+        if self.intervals.is_empty() {
+            return None;
+        }
+        let mean = self.intervals.iter().sum::<f64>() / self.intervals.len() as f64;
+        Some(SimDuration::from_secs_f64(mean))
+    }
+
+    /// The suspicion level at `now`: `-log10 P(silence this long)` under a
+    /// normal model of the learned intervals. Returns 0 while there is not
+    /// enough history (detector stays optimistic until it has learned).
+    pub fn phi(&self, now: SimTime) -> f64 {
+        let Some(last) = self.last_heartbeat else {
+            return 0.0;
+        };
+        if self.intervals.len() < 2 {
+            return 0.0;
+        }
+        let elapsed = now.since(last).as_secs_f64();
+        let n = self.intervals.len() as f64;
+        let mean = self.intervals.iter().sum::<f64>() / n;
+        let variance = self
+            .intervals
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        // Floor the std-dev so a perfectly regular stream doesn't produce
+        // infinite suspicion at the first microsecond of jitter.
+        let sigma = variance.sqrt().max(mean / 10.0).max(1e-6);
+        let z = (elapsed - mean) / sigma;
+        // P(X > elapsed) for X ~ N(mean, sigma), via the complementary
+        // error function approximated with Abramowitz–Stegun 7.1.26.
+        let p_later = 0.5 * erfc(z / std::f64::consts::SQRT_2);
+        -p_later.max(1e-300).log10()
+    }
+
+    /// Convenience: suspicion exceeds the given threshold.
+    pub fn is_suspect(&self, now: SimTime, threshold: f64) -> bool {
+        self.phi(now) >= threshold
+    }
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf_abs = 1.0 - poly * (-x_abs * x_abs).exp();
+    if sign_negative {
+        1.0 + erf_abs
+    } else {
+        1.0 - erf_abs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_regular(phi: &mut PhiAccrual, period_ms: u64, count: usize) -> SimTime {
+        let mut t = SimTime::ZERO;
+        for _ in 0..count {
+            t += SimDuration::from_millis(period_ms);
+            phi.heartbeat(t);
+        }
+        t
+    }
+
+    #[test]
+    fn erfc_reference_points() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-4);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-4);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut phi = PhiAccrual::new(32);
+        let t = feed_regular(&mut phi, 100, 30);
+        let shortly = phi.phi(t + SimDuration::from_millis(110));
+        let soon = phi.phi(t + SimDuration::from_millis(125));
+        let later = phi.phi(t + SimDuration::from_millis(400));
+        assert!(shortly < soon, "{shortly} !< {soon}");
+        assert!(soon < later, "{soon} !< {later}");
+        // A perfectly regular stream saturates suspicion quickly once the
+        // learned interval is clearly exceeded.
+        assert!(later > 8.0, "{later}");
+    }
+
+    #[test]
+    fn adapts_to_slow_members() {
+        // A member beating every 1s should NOT be suspected after 1.2s,
+        // while a 100ms member should be: same threshold, learned rates.
+        let mut fast = PhiAccrual::new(32);
+        let t_fast = feed_regular(&mut fast, 100, 30);
+        let mut slow = PhiAccrual::new(32);
+        let t_slow = feed_regular(&mut slow, 1000, 30);
+
+        let threshold = 3.0;
+        assert!(fast.is_suspect(t_fast + SimDuration::from_millis(1200), threshold));
+        assert!(!slow.is_suspect(t_slow + SimDuration::from_millis(1200), threshold));
+    }
+
+    #[test]
+    fn tolerates_jittery_streams() {
+        // Heartbeats alternating 50ms/350ms: a fixed 200ms timeout would
+        // false-positive constantly; phi stays low at 350ms silences.
+        let mut phi = PhiAccrual::new(32);
+        let mut t = SimTime::ZERO;
+        for i in 0..40 {
+            let gap = if i % 2 == 0 { 50 } else { 350 };
+            t += SimDuration::from_millis(gap);
+            phi.heartbeat(t);
+        }
+        assert!(phi.phi(t + SimDuration::from_millis(350)) < 3.0);
+        assert!(phi.phi(t + SimDuration::from_secs(3)) > 8.0);
+    }
+
+    #[test]
+    fn no_history_means_no_suspicion() {
+        let phi = PhiAccrual::new(8);
+        assert_eq!(phi.phi(SimTime::from_secs(100)), 0.0);
+        let mut phi = PhiAccrual::new(8);
+        phi.heartbeat(SimTime::from_secs(1));
+        assert_eq!(phi.phi(SimTime::from_secs(100)), 0.0, "one beat is not a distribution");
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut phi = PhiAccrual::new(4);
+        feed_regular(&mut phi, 100, 50);
+        assert_eq!(phi.samples(), 4);
+        assert_eq!(phi.mean_interval().unwrap().as_millis(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "two samples")]
+    fn tiny_window_rejected() {
+        let _ = PhiAccrual::new(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Failure-detector timing policy.
+
+use wsg_net::SimDuration;
+
+/// Timeouts governing the alive → suspect → dead → forgotten progression.
+///
+/// The classic heartbeat-style detector: a member whose gossip-propagated
+/// heartbeat has not progressed for `suspect_after` becomes *suspect*
+/// (still usable as a peer if you err towards availability), after
+/// `fail_after` it is *dead* (excluded from peer selection), and after
+/// `forget_after` its entry is garbage-collected.
+///
+/// ```
+/// use wsg_membership::FailureDetectorConfig;
+/// use wsg_net::SimDuration;
+///
+/// let fd = FailureDetectorConfig::default();
+/// assert!(fd.suspect_after() < fd.fail_after());
+/// assert!(fd.fail_after() < fd.forget_after());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureDetectorConfig {
+    suspect_after: SimDuration,
+    fail_after: SimDuration,
+    forget_after: SimDuration,
+}
+
+impl Default for FailureDetectorConfig {
+    /// Suspect after 2 s, fail after 6 s, forget after 60 s — matched to
+    /// the default 200 ms membership gossip interval.
+    fn default() -> Self {
+        Self::for_interval(SimDuration::from_millis(200))
+    }
+}
+
+impl FailureDetectorConfig {
+    /// A policy with explicit timeouts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `suspect_after < fail_after < forget_after`.
+    pub fn new(
+        suspect_after: SimDuration,
+        fail_after: SimDuration,
+        forget_after: SimDuration,
+    ) -> Self {
+        assert!(
+            suspect_after < fail_after && fail_after < forget_after,
+            "timeouts must be ordered suspect < fail < forget"
+        );
+        FailureDetectorConfig { suspect_after, fail_after, forget_after }
+    }
+
+    /// Scale all timeouts to a given gossip interval: suspect at 10
+    /// intervals, fail at 30, forget at 300. Epidemic heartbeat propagation
+    /// occasionally leaves second-long gaps between updates of any given
+    /// entry, so the suspicion window must be a healthy multiple of the
+    /// gossip interval to avoid false positives.
+    pub fn for_interval(interval: SimDuration) -> Self {
+        FailureDetectorConfig {
+            suspect_after: interval.saturating_mul(10),
+            fail_after: interval.saturating_mul(30),
+            forget_after: interval.saturating_mul(300),
+        }
+    }
+
+    /// Age at which a member becomes suspect.
+    pub fn suspect_after(&self) -> SimDuration {
+        self.suspect_after
+    }
+
+    /// Age at which a member is declared dead.
+    pub fn fail_after(&self) -> SimDuration {
+        self.fail_after
+    }
+
+    /// Age at which a dead member's entry is dropped.
+    pub fn forget_after(&self) -> SimDuration {
+        self.forget_after
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ordered() {
+        let fd = FailureDetectorConfig::default();
+        assert!(fd.suspect_after() < fd.fail_after());
+        assert!(fd.fail_after() < fd.forget_after());
+    }
+
+    #[test]
+    fn for_interval_scales() {
+        let fd = FailureDetectorConfig::for_interval(SimDuration::from_millis(100));
+        assert_eq!(fd.suspect_after(), SimDuration::from_millis(1000));
+        assert_eq!(fd.fail_after(), SimDuration::from_millis(3000));
+        assert_eq!(fd.forget_after(), SimDuration::from_millis(30_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_rejected() {
+        let _ = FailureDetectorConfig::new(
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(9),
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! The membership table.
+
+use std::collections::BTreeMap;
+
+use wsg_net::{NodeId, SimTime};
+
+/// Liveness status assigned by the failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemberStatus {
+    /// Fresh heartbeats are arriving.
+    Alive,
+    /// No fresh heartbeat for longer than the suspect timeout.
+    Suspect,
+    /// No fresh heartbeat for longer than the fail timeout; excluded from
+    /// peer selection and will eventually be forgotten.
+    Dead,
+}
+
+/// What one node believes about one member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The member's heartbeat counter (monotonic at the member itself).
+    pub heartbeat: u64,
+    /// Local time at which `heartbeat` last increased.
+    pub last_progress: SimTime,
+    /// Current liveness verdict.
+    pub status: MemberStatus,
+}
+
+/// A node's view of the membership: member → freshest known evidence.
+///
+/// Views merge by keeping, per member, the entry with the highest
+/// heartbeat; the merge is commutative, associative and idempotent, which
+/// is what lets heartbeats spread by gossip.
+///
+/// ```
+/// use wsg_membership::MembershipView;
+/// use wsg_net::{NodeId, SimTime};
+///
+/// let mut view = MembershipView::new();
+/// view.record(NodeId(1), 10, SimTime::from_millis(5));
+/// view.record(NodeId(1), 8, SimTime::from_millis(9)); // stale, ignored
+/// assert_eq!(view.heartbeat(NodeId(1)), Some(10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipView {
+    members: BTreeMap<NodeId, MemberInfo>,
+}
+
+impl MembershipView {
+    /// An empty view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record evidence that `member`'s heartbeat has reached `heartbeat`.
+    /// Stale evidence (≤ current) is ignored except that it may resurrect
+    /// an unknown member entry. Returns `true` when the entry progressed.
+    pub fn record(&mut self, member: NodeId, heartbeat: u64, now: SimTime) -> bool {
+        match self.members.get_mut(&member) {
+            Some(info) => {
+                if heartbeat > info.heartbeat {
+                    info.heartbeat = heartbeat;
+                    info.last_progress = now;
+                    info.status = MemberStatus::Alive;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.members.insert(
+                    member,
+                    MemberInfo { heartbeat, last_progress: now, status: MemberStatus::Alive },
+                );
+                true
+            }
+        }
+    }
+
+    /// Merge another view's evidence into this one (gossip receipt).
+    /// Returns how many entries progressed.
+    pub fn merge(&mut self, entries: &[(NodeId, u64)], now: SimTime) -> usize {
+        entries
+            .iter()
+            .filter(|(member, heartbeat)| self.record(*member, *heartbeat, now))
+            .count()
+    }
+
+    /// The heartbeat snapshot to gossip to peers.
+    pub fn snapshot(&self) -> Vec<(NodeId, u64)> {
+        self.members
+            .iter()
+            .filter(|(_, info)| info.status != MemberStatus::Dead)
+            .map(|(member, info)| (*member, info.heartbeat))
+            .collect()
+    }
+
+    /// Reassess statuses given timeouts; `suspect_after`/`fail_after` are
+    /// maximum ages of the last heartbeat progress, `forget_after` removes
+    /// dead entries so the table cannot grow without bound.
+    pub fn reassess(
+        &mut self,
+        now: SimTime,
+        suspect_after: wsg_net::SimDuration,
+        fail_after: wsg_net::SimDuration,
+        forget_after: wsg_net::SimDuration,
+    ) {
+        self.members.retain(|_, info| now.since(info.last_progress) < forget_after);
+        for info in self.members.values_mut() {
+            let age = now.since(info.last_progress);
+            info.status = if age >= fail_after {
+                MemberStatus::Dead
+            } else if age >= suspect_after {
+                MemberStatus::Suspect
+            } else {
+                MemberStatus::Alive
+            };
+        }
+    }
+
+    /// Known heartbeat of a member.
+    pub fn heartbeat(&self, member: NodeId) -> Option<u64> {
+        self.members.get(&member).map(|info| info.heartbeat)
+    }
+
+    /// Status of a member, if known.
+    pub fn status(&self, member: NodeId) -> Option<MemberStatus> {
+        self.members.get(&member).map(|info| info.status)
+    }
+
+    /// Members currently considered alive.
+    pub fn alive(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .filter(|(_, info)| info.status == MemberStatus::Alive)
+            .map(|(member, _)| *member)
+            .collect()
+    }
+
+    /// Members considered alive *or* merely suspect (useful peer pool when
+    /// erring towards availability).
+    pub fn not_dead(&self) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .filter(|(_, info)| info.status != MemberStatus::Dead)
+            .map(|(member, _)| *member)
+            .collect()
+    }
+
+    /// Number of alive members.
+    pub fn alive_count(&self) -> usize {
+        self.members.values().filter(|i| i.status == MemberStatus::Alive).count()
+    }
+
+    /// Total entries (any status).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_net::SimDuration;
+
+    #[test]
+    fn record_keeps_freshest() {
+        let mut v = MembershipView::new();
+        assert!(v.record(NodeId(1), 5, SimTime::from_millis(1)));
+        assert!(!v.record(NodeId(1), 5, SimTime::from_millis(2)));
+        assert!(!v.record(NodeId(1), 3, SimTime::from_millis(3)));
+        assert!(v.record(NodeId(1), 6, SimTime::from_millis(4)));
+        assert_eq!(v.heartbeat(NodeId(1)), Some(6));
+    }
+
+    #[test]
+    fn merge_counts_progress() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(0), 3, SimTime::ZERO);
+        let progressed = v.merge(&[(NodeId(0), 2), (NodeId(1), 1), (NodeId(0), 9)], SimTime::from_millis(1));
+        assert_eq!(progressed, 2); // NodeId(1) new + NodeId(0) -> 9
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = MembershipView::new();
+        let entries = vec![(NodeId(0), 4), (NodeId(1), 2)];
+        a.merge(&entries, SimTime::ZERO);
+        let again = a.merge(&entries, SimTime::from_millis(5));
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn reassess_progression_alive_suspect_dead_forgotten() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(7), 1, SimTime::ZERO);
+        let suspect = SimDuration::from_millis(100);
+        let fail = SimDuration::from_millis(300);
+        let forget = SimDuration::from_millis(1000);
+
+        v.reassess(SimTime::from_millis(50), suspect, fail, forget);
+        assert_eq!(v.status(NodeId(7)), Some(MemberStatus::Alive));
+
+        v.reassess(SimTime::from_millis(150), suspect, fail, forget);
+        assert_eq!(v.status(NodeId(7)), Some(MemberStatus::Suspect));
+
+        v.reassess(SimTime::from_millis(400), suspect, fail, forget);
+        assert_eq!(v.status(NodeId(7)), Some(MemberStatus::Dead));
+        assert!(v.alive().is_empty());
+        assert!(v.not_dead().is_empty());
+
+        v.reassess(SimTime::from_millis(1100), suspect, fail, forget);
+        assert_eq!(v.status(NodeId(7)), None, "dead entries eventually forgotten");
+    }
+
+    #[test]
+    fn fresh_heartbeat_resurrects_suspect() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(2), 1, SimTime::ZERO);
+        v.reassess(
+            SimTime::from_millis(200),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(2000),
+        );
+        assert_eq!(v.status(NodeId(2)), Some(MemberStatus::Suspect));
+        v.record(NodeId(2), 2, SimTime::from_millis(210));
+        assert_eq!(v.status(NodeId(2)), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn snapshot_excludes_dead() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(0), 1, SimTime::ZERO);
+        v.record(NodeId(1), 1, SimTime::from_millis(560));
+        v.reassess(
+            SimTime::from_millis(600),
+            SimDuration::from_millis(20),
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(10_000),
+        );
+        // NodeId(0) dead (age 600ms), NodeId(1) suspect (age 40ms >= 20, < 100)
+        let snap = v.snapshot();
+        assert_eq!(snap, vec![(NodeId(1), 1)]);
+    }
+}

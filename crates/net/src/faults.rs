@@ -1,0 +1,214 @@
+//! Scripted fault injection: a timeline of crash/recover/partition events
+//! applied while the simulation runs.
+//!
+//! Experiments like "crash 20% of the nodes at t=1s, heal the partition at
+//! t=4s, churn continuously at rate λ" become declarative: build a
+//! [`FaultSchedule`], then drive the run with
+//! [`FaultSchedule::run`] instead of interleaving `run_until` and
+//! mutation calls by hand.
+
+use crate::protocol::{NodeId, Protocol};
+use crate::rng::Pcg32;
+use crate::sim::SimNet;
+use crate::time::{SimDuration, SimTime};
+
+/// One scripted fault event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash a node at the given time.
+    Crash(NodeId),
+    /// Recover a crashed node.
+    Recover(NodeId),
+    /// Partition the listed nodes away from everyone else.
+    Isolate(Vec<NodeId>),
+    /// Remove any partition.
+    Heal,
+}
+
+/// A time-ordered fault script.
+///
+/// ```
+/// use wsg_net::faults::FaultSchedule;
+/// use wsg_net::{NodeId, SimTime};
+///
+/// let schedule = FaultSchedule::new()
+///     .at(SimTime::from_secs(1), wsg_net::faults::FaultEvent::Crash(NodeId(3)))
+///     .at(SimTime::from_secs(2), wsg_net::faults::FaultEvent::Recover(NodeId(3)));
+/// assert_eq!(schedule.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    // kept sorted by time
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an event at `time` (builder style; order of calls is free).
+    pub fn at(mut self, time: SimTime, event: FaultEvent) -> Self {
+        let position = self.events.partition_point(|(t, _)| *t <= time);
+        self.events.insert(position, (time, event));
+        self
+    }
+
+    /// Generate continuous churn: every `period`, one uniformly chosen
+    /// node from `pool` crashes and recovers `downtime` later, from
+    /// `start` until `end`.
+    pub fn churn(
+        mut self,
+        pool: &[NodeId],
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+        downtime: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(!pool.is_empty(), "churn needs a victim pool");
+        let mut rng = Pcg32::new(seed, 0xC4);
+        let mut t = start;
+        while t < end {
+            use rand::seq::IndexedRandom;
+            let victim = *pool.choose(&mut rng).expect("non-empty");
+            self = self
+                .at(t, FaultEvent::Crash(victim))
+                .at(t + downtime, FaultEvent::Recover(victim));
+            t += period;
+        }
+        self
+    }
+
+    /// All nodes that appear in a `Crash` event (the churn victim set).
+    pub fn victims(&self) -> std::collections::HashSet<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                FaultEvent::Crash(node) => Some(*node),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Run `net` until `horizon`, applying events at their times.
+    /// Events scheduled after `horizon` are skipped.
+    pub fn run<P: Protocol>(&self, net: &mut SimNet<P>, horizon: SimTime) {
+        for (time, event) in &self.events {
+            if *time > horizon {
+                break;
+            }
+            net.run_until(*time);
+            match event {
+                FaultEvent::Crash(node) => net.crash(*node),
+                FaultEvent::Recover(node) => net.recover(*node),
+                FaultEvent::Isolate(nodes) => net.isolate(nodes),
+                FaultEvent::Heal => net.heal(),
+            }
+        }
+        net.run_until(horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Context;
+    use crate::sim::SimConfig;
+
+    struct Flood {
+        seen: bool,
+    }
+
+    impl Protocol for Flood {
+        type Message = u32;
+        fn on_message(&mut self, _from: NodeId, msg: u32, ctx: &mut dyn Context<u32>) {
+            if self.seen {
+                return;
+            }
+            self.seen = true;
+            for i in 0..ctx.node_count() {
+                if i != ctx.self_id().index() {
+                    ctx.send(NodeId(i), msg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_apply_in_time_order_regardless_of_insertion() {
+        let schedule = FaultSchedule::new()
+            .at(SimTime::from_secs(2), FaultEvent::Recover(NodeId(0)))
+            .at(SimTime::from_secs(1), FaultEvent::Crash(NodeId(0)));
+        assert_eq!(schedule.events[0].0, SimTime::from_secs(1));
+        assert_eq!(schedule.events[1].0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn scripted_crash_blocks_then_recovery_allows() {
+        let mut net = SimNet::new(SimConfig::default().seed(1));
+        net.add_nodes(4, |_| Flood { seen: false });
+        // Crash node 3 immediately; recover it at t=1s.
+        let schedule = FaultSchedule::new()
+            .at(SimTime::from_micros(1), FaultEvent::Crash(NodeId(3)))
+            .at(SimTime::from_secs(1), FaultEvent::Recover(NodeId(3)));
+        // First flood at t~0 (before recovery), second after.
+        net.send_external(NodeId(0), NodeId(0), 1);
+        schedule.run(&mut net, SimTime::from_millis(500));
+        assert!(!net.node(NodeId(3)).seen, "crashed through the flood");
+        schedule.run(&mut net, SimTime::from_secs(2)); // applies recovery
+        net.node_mut(NodeId(0)).seen = false;
+        net.node_mut(NodeId(1)).seen = false;
+        net.node_mut(NodeId(2)).seen = false;
+        net.send_external(NodeId(0), NodeId(0), 2);
+        net.run_to_quiescence();
+        assert!(net.node(NodeId(3)).seen, "recovered node rejoins floods");
+    }
+
+    #[test]
+    fn churn_generates_balanced_crash_recover_pairs() {
+        let pool: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let schedule = FaultSchedule::new().churn(
+            &pool,
+            SimTime::from_secs(1),
+            SimTime::from_secs(5),
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(200),
+            7,
+        );
+        let crashes = schedule
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::Crash(_)))
+            .count();
+        let recoveries = schedule
+            .events
+            .iter()
+            .filter(|(_, e)| matches!(e, FaultEvent::Recover(_)))
+            .count();
+        assert_eq!(crashes, recoveries);
+        assert_eq!(crashes, 8, "4s / 500ms = 8 churn events");
+    }
+
+    #[test]
+    fn horizon_cuts_off_later_events() {
+        let mut net = SimNet::new(SimConfig::default().seed(2));
+        net.add_nodes(2, |_| Flood { seen: false });
+        let schedule = FaultSchedule::new()
+            .at(SimTime::from_secs(10), FaultEvent::Crash(NodeId(1)));
+        schedule.run(&mut net, SimTime::from_secs(1));
+        assert!(!net.is_crashed(NodeId(1)), "event beyond horizon not applied");
+        assert_eq!(net.now(), SimTime::from_secs(1));
+    }
+}

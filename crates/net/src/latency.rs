@@ -1,0 +1,184 @@
+//! Link latency models.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::time::SimDuration;
+
+/// How long a message spends on the wire.
+///
+/// All models return strictly positive durations so event causality is
+/// never violated (a message can never arrive at or before its send time).
+///
+/// ```
+/// use wsg_net::{LatencyModel, Pcg32};
+///
+/// let model = LatencyModel::uniform_millis(1, 10);
+/// let mut rng = Pcg32::new(3, 0);
+/// let sample = model.sample(&mut rng);
+/// assert!(sample.as_millis() >= 1 && sample.as_millis() <= 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniform between `min` and `max` (inclusive of `min`).
+    Uniform {
+        /// Lower bound.
+        min: SimDuration,
+        /// Upper bound.
+        max: SimDuration,
+    },
+    /// Exponentially distributed around `mean`, shifted by `floor` so the
+    /// minimum physical propagation delay is respected — a common model for
+    /// LAN/WAN message delay tails.
+    Exponential {
+        /// Minimum (propagation) delay added to every sample.
+        floor: SimDuration,
+        /// Mean of the exponential component.
+        mean: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Constant latency of `ms` milliseconds.
+    pub fn constant_millis(ms: u64) -> Self {
+        LatencyModel::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// Uniform latency between `min_ms` and `max_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_ms > max_ms`.
+    pub fn uniform_millis(min_ms: u64, max_ms: u64) -> Self {
+        assert!(min_ms <= max_ms, "uniform latency requires min <= max");
+        LatencyModel::Uniform {
+            min: SimDuration::from_millis(min_ms),
+            max: SimDuration::from_millis(max_ms),
+        }
+    }
+
+    /// Exponential latency: `floor_ms` + Exp(mean = `mean_ms`).
+    pub fn exponential_millis(floor_ms: u64, mean_ms: u64) -> Self {
+        LatencyModel::Exponential {
+            floor: SimDuration::from_millis(floor_ms),
+            mean: SimDuration::from_millis(mean_ms),
+        }
+    }
+
+    /// Draw one latency sample.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let raw = match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros();
+                if lo >= hi {
+                    *min
+                } else {
+                    SimDuration::from_micros(rng.random_range(lo..=hi))
+                }
+            }
+            LatencyModel::Exponential { floor, mean } => {
+                // Inverse-CDF sampling; clamp u away from 0 to avoid inf.
+                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let exp = -(u.ln()) * mean.as_secs_f64();
+                *floor + SimDuration::from_secs_f64(exp)
+            }
+        };
+        // Enforce causality: at least one microsecond on the wire.
+        if raw.as_micros() == 0 {
+            SimDuration::from_micros(1)
+        } else {
+            raw
+        }
+    }
+
+    /// The mean of the distribution (used for analytic expectations in the
+    /// benchmark harness).
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                SimDuration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::Exponential { floor, mean } => *floor + *mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// A LAN-ish default: 1–5 ms uniform.
+    fn default() -> Self {
+        LatencyModel::uniform_millis(1, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    #[test]
+    fn constant_is_constant() {
+        let model = LatencyModel::constant_millis(7);
+        let mut rng = Pcg32::new(1, 0);
+        for _ in 0..10 {
+            assert_eq!(model.sample(&mut rng), SimDuration::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let model = LatencyModel::uniform_millis(2, 9);
+        let mut rng = Pcg32::new(1, 0);
+        for _ in 0..1000 {
+            let s = model.sample(&mut rng).as_millis();
+            assert!((2..=9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exponential_respects_floor() {
+        let model = LatencyModel::exponential_millis(3, 10);
+        let mut rng = Pcg32::new(1, 0);
+        for _ in 0..1000 {
+            assert!(model.sample(&mut rng) >= SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let model = LatencyModel::exponential_millis(0, 10);
+        let mut rng = Pcg32::new(42, 0);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| model.sample(&mut rng).as_secs_f64()).sum();
+        let mean_ms = total / n as f64 * 1000.0;
+        assert!((8.5..11.5).contains(&mean_ms), "observed mean {mean_ms} ms");
+    }
+
+    #[test]
+    fn zero_latency_clamped_to_one_microsecond() {
+        let model = LatencyModel::Constant(SimDuration::ZERO);
+        let mut rng = Pcg32::new(1, 0);
+        assert_eq!(model.sample(&mut rng), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(LatencyModel::constant_millis(4).mean(), SimDuration::from_millis(4));
+        assert_eq!(LatencyModel::uniform_millis(2, 4).mean(), SimDuration::from_millis(3));
+        assert_eq!(
+            LatencyModel::exponential_millis(1, 2).mean(),
+            SimDuration::from_millis(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = LatencyModel::uniform_millis(5, 2);
+    }
+}

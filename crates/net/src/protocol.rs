@@ -1,0 +1,86 @@
+//! The protocol abstraction shared by the simulator and the thread runtime.
+
+use rand::RngCore;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identity of a node within a network run.
+///
+/// Dense indices (0..n) so protocol state can use plain vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies which timer fired; protocols choose their own tag values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerTag(pub u64);
+
+/// The runtime services available to a protocol while it handles an event.
+///
+/// Both [`crate::sim::SimNet`] and [`crate::threads::ThreadNet`] provide
+/// this, so a protocol written against `dyn Context<M>` runs deterministic
+/// simulations and live threaded deployments unchanged.
+pub trait Context<M> {
+    /// Current (virtual or wall-clock) time.
+    fn now(&self) -> SimTime;
+
+    /// This node's identity.
+    fn self_id(&self) -> NodeId;
+
+    /// Number of nodes in the network (a static deployment-time fact; for
+    /// dynamic membership, protocols layer their own view on top).
+    fn node_count(&self) -> usize;
+
+    /// Send `msg` to `to`. Delivery is asynchronous and may fail (loss,
+    /// crash, partition) depending on the runtime's fault configuration.
+    fn send(&mut self, to: NodeId, msg: M);
+
+    /// Arrange for [`Protocol::on_timer`] to be invoked `delay` from now.
+    fn set_timer(&mut self, delay: SimDuration, tag: TimerTag);
+
+    /// This node's deterministic random stream.
+    fn rng(&mut self) -> &mut dyn RngCore;
+}
+
+/// A deterministic, event-driven protocol state machine.
+///
+/// All interaction with the world goes through the [`Context`]; protocols
+/// never block, never read clocks directly, and never use ambient
+/// randomness — this is what makes simulation runs reproducible.
+pub trait Protocol {
+    /// The message type exchanged between nodes.
+    type Message: Clone;
+
+    /// Called once when the network starts, before any message flows.
+    fn on_start(&mut self, _ctx: &mut dyn Context<Self::Message>) {}
+
+    /// Called when a message from `from` is delivered to this node.
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut dyn Context<Self::Message>,
+    );
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _tag: TimerTag, _ctx: &mut dyn Context<Self::Message>) {}
+
+    /// Called when the node recovers from a crash (fail-recover model).
+    /// Timers armed before the crash were lost, so the default behaviour
+    /// restarts the protocol's periodic machinery via [`Protocol::on_start`].
+    fn on_recover(&mut self, ctx: &mut dyn Context<Self::Message>) {
+        self.on_start(ctx);
+    }
+}

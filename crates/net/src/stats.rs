@@ -1,0 +1,91 @@
+//! Aggregate counters collected by a network run.
+
+use crate::protocol::NodeId;
+
+/// Counters for one run; read with [`crate::sim::SimNet::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages handed to the network by protocols.
+    pub sent: u64,
+    /// Messages delivered to destination protocols.
+    pub delivered: u64,
+    /// Messages dropped by the random-loss model.
+    pub dropped_loss: u64,
+    /// Messages discarded because the destination was crashed.
+    pub dropped_crashed: u64,
+    /// Messages discarded by a network partition.
+    pub dropped_partitioned: u64,
+    /// Extra copies injected by the duplication model.
+    pub duplicated: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Total bytes handed to the network (only counted when a size
+    /// function is installed).
+    pub bytes_sent: u64,
+    /// Per-node count of messages received.
+    pub received_per_node: Vec<u64>,
+    /// Per-node count of messages sent.
+    pub sent_per_node: Vec<u64>,
+}
+
+impl SimStats {
+    pub(crate) fn ensure_node(&mut self, id: NodeId) {
+        let need = id.index() + 1;
+        if self.received_per_node.len() < need {
+            self.received_per_node.resize(need, 0);
+            self.sent_per_node.resize(need, 0);
+        }
+    }
+
+    /// Total messages that failed to be delivered, for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_loss + self.dropped_crashed + self.dropped_partitioned
+    }
+
+    /// The maximum number of messages any single node received — the "hot
+    /// spot" metric used to compare broker vs gossip load (experiment E6).
+    pub fn max_received(&self) -> u64 {
+        self.received_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The maximum number of messages any single node sent.
+    pub fn max_sent(&self) -> u64 {
+        self.sent_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean messages received per node.
+    pub fn mean_received(&self) -> f64 {
+        if self.received_per_node.is_empty() {
+            0.0
+        } else {
+            self.received_per_node.iter().sum::<u64>() as f64
+                / self.received_per_node.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_maxima() {
+        let mut s = SimStats::default();
+        s.ensure_node(NodeId(2));
+        s.received_per_node = vec![1, 5, 2];
+        s.sent_per_node = vec![3, 0, 0];
+        s.dropped_loss = 2;
+        s.dropped_crashed = 1;
+        assert_eq!(s.dropped_total(), 3);
+        assert_eq!(s.max_received(), 5);
+        assert_eq!(s.max_sent(), 3);
+        assert!((s.mean_received() - 8.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.max_received(), 0);
+        assert_eq!(s.mean_received(), 0.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! A thread-per-node runtime running the same [`Protocol`]s live.
+//!
+//! The simulator answers the paper's quantitative questions; this runtime
+//! demonstrates that the protocol implementations are real programs, not
+//! simulation artifacts: each node runs on its own OS thread, messages
+//! travel over channels, and timers use wall-clock time. Loss/partition
+//! injection is deliberately absent — that is the simulator's job.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::RngCore;
+
+use crate::protocol::{Context, NodeId, Protocol, TimerTag};
+use crate::rng::{Pcg32, SplitMix64};
+use crate::time::{SimDuration, SimTime};
+
+enum Inbox<M> {
+    Message { from: NodeId, msg: M },
+    Stop,
+}
+
+struct ThreadCtx<'a, M> {
+    start: Instant,
+    id: NodeId,
+    node_count: usize,
+    rng: &'a mut Pcg32,
+    outbox: Vec<(NodeId, M)>,
+    timer_requests: Vec<(SimDuration, TimerTag)>,
+}
+
+impl<M> Context<M> for ThreadCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+    fn self_id(&self) -> NodeId {
+        self.id
+    }
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
+        self.timer_requests.push((delay, tag));
+    }
+    fn rng(&mut self) -> &mut dyn RngCore {
+        self.rng
+    }
+}
+
+/// A live network of protocol nodes, one OS thread each.
+///
+/// ```
+/// use wsg_net::threads::ThreadNet;
+/// use wsg_net::{Protocol, Context, NodeId};
+/// use std::time::Duration;
+///
+/// struct Echo { got: bool }
+/// impl Protocol for Echo {
+///     type Message = String;
+///     fn on_message(&mut self, _f: NodeId, _m: String, _c: &mut dyn Context<String>) {
+///         self.got = true;
+///     }
+/// }
+///
+/// let mut net = ThreadNet::spawn(vec![Echo { got: false }, Echo { got: false }], 42);
+/// net.send_external(NodeId(0), NodeId(1), "hi".to_string());
+/// let nodes = net.shutdown_after(Duration::from_millis(100));
+/// assert!(nodes[1].got);
+/// ```
+pub struct ThreadNet<P: Protocol> {
+    senders: Vec<Sender<Inbox<P::Message>>>,
+    handles: Vec<thread::JoinHandle<P>>,
+}
+
+impl<P> ThreadNet<P>
+where
+    P: Protocol + Send + 'static,
+    P::Message: Send + 'static,
+{
+    /// Spawn one thread per protocol instance. `seed` feeds each node's
+    /// deterministic random stream (scheduling is still OS-dependent).
+    pub fn spawn(protocols: Vec<P>, seed: u64) -> Self {
+        let node_count = protocols.len();
+        let start = Instant::now();
+        let mut seeder = SplitMix64::new(seed);
+        #[allow(clippy::type_complexity)]
+        let channels: Vec<(Sender<Inbox<P::Message>>, Receiver<Inbox<P::Message>>)> =
+            (0..node_count).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<Inbox<P::Message>>> =
+            channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let mut handles = Vec::with_capacity(node_count);
+        for (index, (protocol, (_, rx))) in
+            protocols.into_iter().zip(channels).enumerate()
+        {
+            let id = NodeId(index);
+            let all_senders = senders.clone();
+            let mut rng = Pcg32::new(seeder.next(), index as u64);
+            handles.push(thread::spawn(move || {
+                run_node(protocol, id, node_count, rx, all_senders, &mut rng, start)
+            }));
+        }
+        ThreadNet { senders, handles }
+    }
+
+    /// Inject a message as if sent by `from`.
+    pub fn send_external(&self, from: NodeId, to: NodeId, msg: P::Message) {
+        let _ = self.senders[to.0].send(Inbox::Message { from, msg });
+    }
+
+    /// Let the network run for `duration` of wall-clock time, then stop all
+    /// nodes and return their final protocol states in id order.
+    pub fn shutdown_after(self, duration: Duration) -> Vec<P> {
+        thread::sleep(duration);
+        self.shutdown()
+    }
+
+    /// Stop all nodes immediately and return their final states.
+    pub fn shutdown(self) -> Vec<P> {
+        for sender in &self.senders {
+            let _ = sender.send(Inbox::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect()
+    }
+}
+
+fn run_node<P>(
+    mut protocol: P,
+    id: NodeId,
+    node_count: usize,
+    rx: Receiver<Inbox<P::Message>>,
+    senders: Vec<Sender<Inbox<P::Message>>>,
+    rng: &mut Pcg32,
+    start: Instant,
+) -> P
+where
+    P: Protocol,
+{
+    // Pending timers as (fire-at, tag), earliest first.
+    let mut timers: Vec<(Instant, TimerTag)> = Vec::new();
+
+    let dispatch = |protocol: &mut P,
+                        timers: &mut Vec<(Instant, TimerTag)>,
+                        rng: &mut Pcg32,
+                        event: Option<(NodeId, P::Message)>,
+                        fired: Option<TimerTag>| {
+        let mut ctx = ThreadCtx {
+            start,
+            id,
+            node_count,
+            rng,
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+        };
+        match (event, fired) {
+            (Some((from, msg)), _) => protocol.on_message(from, msg, &mut ctx),
+            (None, Some(tag)) => protocol.on_timer(tag, &mut ctx),
+            (None, None) => protocol.on_start(&mut ctx),
+        }
+        let ThreadCtx { outbox, timer_requests, .. } = ctx;
+        for (to, msg) in outbox {
+            if let Some(sender) = senders.get(to.0) {
+                let _ = sender.send(Inbox::Message { from: id, msg });
+            }
+        }
+        for (delay, tag) in timer_requests {
+            let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
+            timers.push((fire_at, tag));
+            timers.sort_by_key(|(at, _)| *at);
+        }
+    };
+
+    dispatch(&mut protocol, &mut timers, rng, None, None); // on_start
+
+    loop {
+        // Fire due timers.
+        let now = Instant::now();
+        while let Some(&(fire_at, tag)) = timers.first() {
+            if fire_at > now {
+                break;
+            }
+            timers.remove(0);
+            dispatch(&mut protocol, &mut timers, rng, None, Some(tag));
+        }
+        let timeout = timers
+            .first()
+            .map(|(at, _)| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Inbox::Message { from, msg }) => {
+                dispatch(&mut protocol, &mut timers, rng, Some((from, msg)), None);
+            }
+            Ok(Inbox::Stop) | Err(RecvTimeoutError::Disconnected) => return protocol,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pinger {
+        pings: u32,
+        pongs: u32,
+    }
+
+    impl Protocol for Pinger {
+        type Message = &'static str;
+        fn on_message(&mut self, from: NodeId, msg: &'static str, ctx: &mut dyn Context<&'static str>) {
+            match msg {
+                "ping" => {
+                    self.pings += 1;
+                    ctx.send(from, "pong");
+                }
+                "pong" => self.pongs += 1,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn message_exchange_over_threads() {
+        let net = ThreadNet::spawn(
+            vec![Pinger { pings: 0, pongs: 0 }, Pinger { pings: 0, pongs: 0 }],
+            1,
+        );
+        net.send_external(NodeId(0), NodeId(1), "ping");
+        let nodes = net.shutdown_after(Duration::from_millis(200));
+        assert_eq!(nodes[1].pings, 1);
+        assert_eq!(nodes[0].pongs, 1);
+    }
+
+    struct OneShotTimer {
+        fired: bool,
+    }
+
+    impl Protocol for OneShotTimer {
+        type Message = ();
+        fn on_start(&mut self, ctx: &mut dyn Context<()>) {
+            ctx.set_timer(SimDuration::from_millis(20), TimerTag(7));
+        }
+        fn on_message(&mut self, _: NodeId, _: (), _: &mut dyn Context<()>) {}
+        fn on_timer(&mut self, tag: TimerTag, _: &mut dyn Context<()>) {
+            assert_eq!(tag, TimerTag(7));
+            self.fired = true;
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_wall_clock() {
+        let net = ThreadNet::spawn(vec![OneShotTimer { fired: false }], 2);
+        let nodes = net.shutdown_after(Duration::from_millis(200));
+        assert!(nodes[0].fired);
+    }
+
+    #[test]
+    fn shutdown_without_traffic_is_clean() {
+        let net = ThreadNet::spawn(vec![Pinger { pings: 0, pongs: 0 }], 3);
+        let nodes = net.shutdown();
+        assert_eq!(nodes.len(), 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! WS-Addressing 1.0 message addressing properties.
+
+use wsg_xml::{Element, QName};
+
+use crate::error::SoapError;
+use crate::{WSA_ANONYMOUS, WSA_NS};
+
+/// A WS-Addressing endpoint reference: the address plus opaque reference
+/// parameters that are echoed back in messages sent to the endpoint.
+///
+/// ```
+/// use wsg_soap::EndpointReference;
+///
+/// let epr = EndpointReference::new("http://node7/gossip");
+/// assert_eq!(epr.address(), "http://node7/gossip");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointReference {
+    address: String,
+    reference_parameters: Vec<Element>,
+}
+
+impl EndpointReference {
+    /// An endpoint with the given address URI.
+    pub fn new(address: impl Into<String>) -> Self {
+        EndpointReference { address: address.into(), reference_parameters: Vec::new() }
+    }
+
+    /// The WS-Addressing anonymous endpoint.
+    pub fn anonymous() -> Self {
+        EndpointReference::new(WSA_ANONYMOUS)
+    }
+
+    /// Attach a reference parameter (builder style).
+    pub fn with_parameter(mut self, parameter: Element) -> Self {
+        self.reference_parameters.push(parameter);
+        self
+    }
+
+    /// The address URI.
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Reference parameters, in order.
+    pub fn reference_parameters(&self) -> &[Element] {
+        &self.reference_parameters
+    }
+
+    /// Serialise as the content of an EPR-typed element named `name`.
+    pub fn to_element(&self, local: &str) -> Element {
+        let mut epr = Element::in_ns("wsa", WSA_NS, local);
+        epr.push_child(
+            Element::in_ns("wsa", WSA_NS, "Address").with_text(self.address.clone()),
+        );
+        if !self.reference_parameters.is_empty() {
+            let mut params = Element::in_ns("wsa", WSA_NS, "ReferenceParameters");
+            for p in &self.reference_parameters {
+                params.push_child(p.clone());
+            }
+            epr.push_child(params);
+        }
+        epr
+    }
+
+    /// Parse an EPR from its element form.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the mandatory `Address` child is missing.
+    pub fn from_element(element: &Element) -> Result<Self, SoapError> {
+        let address = element
+            .child_ns(WSA_NS, "Address")
+            .map(|a| a.text())
+            .ok_or_else(|| SoapError::Addressing("EndpointReference without Address".into()))?;
+        let mut epr = EndpointReference::new(address);
+        if let Some(params) = element.child_ns(WSA_NS, "ReferenceParameters") {
+            for child in params.children() {
+                epr.reference_parameters.push(child.clone());
+            }
+        }
+        Ok(epr)
+    }
+}
+
+impl From<&str> for EndpointReference {
+    fn from(address: &str) -> Self {
+        EndpointReference::new(address)
+    }
+}
+
+/// The WS-Addressing properties of one message: `To`, `Action`,
+/// `MessageID`, `RelatesTo`, `From`, `ReplyTo`, `FaultTo`.
+///
+/// `To` and `Action` are the two properties SOAP intermediaries route on;
+/// the gossip handler rewrites `To` when re-routing a message to peers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageHeaders {
+    to: Option<String>,
+    action: Option<String>,
+    message_id: Option<String>,
+    relates_to: Option<String>,
+    from: Option<EndpointReference>,
+    reply_to: Option<EndpointReference>,
+    fault_to: Option<EndpointReference>,
+}
+
+impl MessageHeaders {
+    /// Empty set of addressing properties.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The usual request shape: a destination and an action URI.
+    pub fn request(to: impl Into<String>, action: impl Into<String>) -> Self {
+        MessageHeaders {
+            to: Some(to.into()),
+            action: Some(action.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: set `MessageID`.
+    pub fn with_message_id(mut self, id: impl Into<String>) -> Self {
+        self.message_id = Some(id.into());
+        self
+    }
+
+    /// Builder: set `RelatesTo` (correlates replies to requests).
+    pub fn with_relates_to(mut self, id: impl Into<String>) -> Self {
+        self.relates_to = Some(id.into());
+        self
+    }
+
+    /// Builder: set the `From` endpoint.
+    pub fn with_from(mut self, from: EndpointReference) -> Self {
+        self.from = Some(from);
+        self
+    }
+
+    /// Builder: set the `ReplyTo` endpoint.
+    pub fn with_reply_to(mut self, reply_to: EndpointReference) -> Self {
+        self.reply_to = Some(reply_to);
+        self
+    }
+
+    /// Builder: set the `FaultTo` endpoint.
+    pub fn with_fault_to(mut self, fault_to: EndpointReference) -> Self {
+        self.fault_to = Some(fault_to);
+        self
+    }
+
+    /// Destination URI.
+    pub fn to(&self) -> Option<&str> {
+        self.to.as_deref()
+    }
+
+    /// Action URI identifying the operation.
+    pub fn action(&self) -> Option<&str> {
+        self.action.as_deref()
+    }
+
+    /// Unique message identifier.
+    pub fn message_id(&self) -> Option<&str> {
+        self.message_id.as_deref()
+    }
+
+    /// Identifier of the message this one relates to.
+    pub fn relates_to(&self) -> Option<&str> {
+        self.relates_to.as_deref()
+    }
+
+    /// Source endpoint.
+    pub fn from(&self) -> Option<&EndpointReference> {
+        self.from.as_ref()
+    }
+
+    /// Reply endpoint.
+    pub fn reply_to(&self) -> Option<&EndpointReference> {
+        self.reply_to.as_ref()
+    }
+
+    /// Fault endpoint.
+    pub fn fault_to(&self) -> Option<&EndpointReference> {
+        self.fault_to.as_ref()
+    }
+
+    /// Rewrite the destination — used by the gossip layer when re-routing
+    /// an intercepted message to a selected peer.
+    pub fn set_to(&mut self, to: impl Into<String>) {
+        self.to = Some(to.into());
+    }
+
+    /// Rewrite the source endpoint.
+    pub fn set_from(&mut self, from: EndpointReference) {
+        self.from = Some(from);
+    }
+
+    /// Set the message identifier.
+    pub fn set_message_id(&mut self, id: impl Into<String>) {
+        self.message_id = Some(id.into());
+    }
+
+    /// Serialise the present properties as SOAP header blocks.
+    pub fn to_header_blocks(&self) -> Vec<Element> {
+        let mut blocks = Vec::new();
+        if let Some(to) = &self.to {
+            blocks.push(Element::in_ns("wsa", WSA_NS, "To").with_text(to.clone()));
+        }
+        if let Some(action) = &self.action {
+            blocks.push(Element::in_ns("wsa", WSA_NS, "Action").with_text(action.clone()));
+        }
+        if let Some(id) = &self.message_id {
+            blocks.push(Element::in_ns("wsa", WSA_NS, "MessageID").with_text(id.clone()));
+        }
+        if let Some(rel) = &self.relates_to {
+            blocks.push(Element::in_ns("wsa", WSA_NS, "RelatesTo").with_text(rel.clone()));
+        }
+        if let Some(from) = &self.from {
+            blocks.push(from.to_element("From"));
+        }
+        if let Some(reply_to) = &self.reply_to {
+            blocks.push(reply_to.to_element("ReplyTo"));
+        }
+        if let Some(fault_to) = &self.fault_to {
+            blocks.push(fault_to.to_element("FaultTo"));
+        }
+        blocks
+    }
+
+    /// Extract addressing properties from a set of SOAP header blocks,
+    /// ignoring non-addressing headers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an EPR-typed header is structurally invalid.
+    pub fn from_header_blocks(blocks: &[Element]) -> Result<Self, SoapError> {
+        let mut headers = MessageHeaders::new();
+        for block in blocks {
+            if block.name().namespace() != Some(WSA_NS) {
+                continue;
+            }
+            match block.local_name() {
+                "To" => headers.to = Some(block.text()),
+                "Action" => headers.action = Some(block.text()),
+                "MessageID" => headers.message_id = Some(block.text()),
+                "RelatesTo" => headers.relates_to = Some(block.text()),
+                "From" => headers.from = Some(EndpointReference::from_element(block)?),
+                "ReplyTo" => headers.reply_to = Some(EndpointReference::from_element(block)?),
+                "FaultTo" => headers.fault_to = Some(EndpointReference::from_element(block)?),
+                _ => {}
+            }
+        }
+        Ok(headers)
+    }
+}
+
+/// The qualified name of a WS-Addressing header block.
+pub fn wsa_name(local: &str) -> QName {
+    QName::with_ns(WSA_NS, local).with_prefix("wsa")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_sets_to_and_action() {
+        let h = MessageHeaders::request("http://dest", "urn:op");
+        assert_eq!(h.to(), Some("http://dest"));
+        assert_eq!(h.action(), Some("urn:op"));
+        assert_eq!(h.message_id(), None);
+    }
+
+    #[test]
+    fn header_blocks_roundtrip() {
+        let h = MessageHeaders::request("http://dest", "urn:op")
+            .with_message_id("urn:uuid:1")
+            .with_relates_to("urn:uuid:0")
+            .with_from(EndpointReference::new("http://src"))
+            .with_reply_to(EndpointReference::anonymous())
+            .with_fault_to(EndpointReference::new("http://faults"));
+        let blocks = h.to_header_blocks();
+        let parsed = MessageHeaders::from_header_blocks(&blocks).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn non_wsa_headers_ignored() {
+        let foreign = Element::in_ns("x", "urn:other", "To").with_text("nope");
+        let parsed = MessageHeaders::from_header_blocks(&[foreign]).unwrap();
+        assert_eq!(parsed.to(), None);
+    }
+
+    #[test]
+    fn epr_with_reference_parameters_roundtrips() {
+        let epr = EndpointReference::new("http://node")
+            .with_parameter(Element::text_node("shard", "3"));
+        let el = epr.to_element("ReplyTo");
+        let parsed = EndpointReference::from_element(&el).unwrap();
+        assert_eq!(parsed, epr);
+    }
+
+    #[test]
+    fn epr_without_address_rejected() {
+        let el = Element::in_ns("wsa", WSA_NS, "ReplyTo");
+        assert!(EndpointReference::from_element(&el).is_err());
+    }
+
+    #[test]
+    fn set_to_rewrites_destination() {
+        let mut h = MessageHeaders::request("http://a", "urn:op");
+        h.set_to("http://b");
+        assert_eq!(h.to(), Some("http://b"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The SOAP 1.2 envelope.
+
+use wsg_xml::Element;
+
+use crate::addressing::MessageHeaders;
+use crate::error::SoapError;
+use crate::fault::Fault;
+use crate::SOAP_ENV_NS;
+
+/// A SOAP 1.2 message: WS-Addressing properties, additional header blocks
+/// and a body.
+///
+/// The body is either one application payload element or a [`Fault`].
+///
+/// ```
+/// use wsg_soap::{Envelope, MessageHeaders};
+/// use wsg_xml::Element;
+///
+/// # fn main() -> Result<(), wsg_soap::SoapError> {
+/// let env = Envelope::request(
+///     MessageHeaders::request("http://quotes", "urn:stock:Notify"),
+///     Element::text_node("tick", "ACME"),
+/// );
+/// let parsed = Envelope::parse(&env.to_xml())?;
+/// assert_eq!(parsed.body().unwrap().local_name(), "tick");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    addressing: MessageHeaders,
+    extra_headers: Vec<Element>,
+    body: Body,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Body {
+    Payload(Element),
+    Fault(Fault),
+    Empty,
+}
+
+impl Envelope {
+    /// A request/notification message with the given addressing and payload.
+    pub fn request(addressing: MessageHeaders, payload: Element) -> Self {
+        Envelope { addressing, extra_headers: Vec::new(), body: Body::Payload(payload) }
+    }
+
+    /// A fault message.
+    pub fn fault(addressing: MessageHeaders, fault: Fault) -> Self {
+        Envelope { addressing, extra_headers: Vec::new(), body: Body::Fault(fault) }
+    }
+
+    /// A message with an empty body (e.g. an acknowledgement).
+    pub fn empty(addressing: MessageHeaders) -> Self {
+        Envelope { addressing, extra_headers: Vec::new(), body: Body::Empty }
+    }
+
+    /// Builder: attach a non-addressing header block (e.g. a
+    /// `CoordinationContext`).
+    pub fn with_header(mut self, header: Element) -> Self {
+        self.extra_headers.push(header);
+        self
+    }
+
+    /// WS-Addressing properties.
+    pub fn addressing(&self) -> &MessageHeaders {
+        &self.addressing
+    }
+
+    /// Mutable WS-Addressing properties (the gossip layer rewrites `To`
+    /// when re-routing).
+    pub fn addressing_mut(&mut self) -> &mut MessageHeaders {
+        &mut self.addressing
+    }
+
+    /// Non-addressing header blocks.
+    pub fn headers(&self) -> &[Element] {
+        &self.extra_headers
+    }
+
+    /// First header block matching namespace + local name.
+    pub fn header(&self, ns: &str, local: &str) -> Option<&Element> {
+        self.extra_headers
+            .iter()
+            .find(|h| h.name().matches(Some(ns), local))
+    }
+
+    /// Add a header block.
+    pub fn push_header(&mut self, header: Element) {
+        self.extra_headers.push(header);
+    }
+
+    /// Remove and return the first header matching namespace + local name.
+    pub fn take_header(&mut self, ns: &str, local: &str) -> Option<Element> {
+        let idx = self
+            .extra_headers
+            .iter()
+            .position(|h| h.name().matches(Some(ns), local))?;
+        Some(self.extra_headers.remove(idx))
+    }
+
+    /// The payload element, unless this is a fault or an empty message.
+    pub fn body(&self) -> Option<&Element> {
+        match &self.body {
+            Body::Payload(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The fault, if this is a fault message.
+    pub fn as_fault(&self) -> Option<&Fault> {
+        match &self.body {
+            Body::Fault(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Whether the message is a fault.
+    pub fn is_fault(&self) -> bool {
+        matches!(self.body, Body::Fault(_))
+    }
+
+    /// Serialise to the element tree form.
+    pub fn to_element(&self) -> Element {
+        let mut envelope = Element::in_ns("env", SOAP_ENV_NS, "Envelope")
+            .with_namespace("env", SOAP_ENV_NS)
+            .with_namespace("wsa", crate::WSA_NS);
+        let addressing_blocks = self.addressing.to_header_blocks();
+        if !addressing_blocks.is_empty() || !self.extra_headers.is_empty() {
+            let mut header = Element::in_ns("env", SOAP_ENV_NS, "Header");
+            for block in addressing_blocks {
+                header.push_child(block);
+            }
+            for block in &self.extra_headers {
+                header.push_child(block.clone());
+            }
+            envelope.push_child(header);
+        }
+        let mut body = Element::in_ns("env", SOAP_ENV_NS, "Body");
+        match &self.body {
+            Body::Payload(e) => body.push_child(e.clone()),
+            Body::Fault(f) => body.push_child(f.to_element()),
+            Body::Empty => {}
+        }
+        envelope.push_child(body);
+        envelope
+    }
+
+    /// Serialise to the wire (compact XML with declaration).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        out.push_str(&self.to_element().to_xml_string());
+        out
+    }
+
+    /// Wire size in bytes — used by the simulator's bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().len()
+    }
+
+    /// Parse an envelope from its XML form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SoapError::Xml`] for malformed XML, and
+    /// [`SoapError::NotAnEnvelope`]/[`SoapError::MissingPart`] for documents
+    /// that are not SOAP 1.2 messages.
+    pub fn parse(xml: &str) -> Result<Self, SoapError> {
+        let root = Element::parse(xml)?;
+        Self::from_element(&root)
+    }
+
+    /// Parse an envelope from an already-built element tree.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Envelope::parse`].
+    pub fn from_element(root: &Element) -> Result<Self, SoapError> {
+        if !root.name().matches(Some(SOAP_ENV_NS), "Envelope") {
+            return Err(SoapError::NotAnEnvelope(format!(
+                "root element is {}",
+                root.name()
+            )));
+        }
+        let mut extra_headers = Vec::new();
+        let mut addressing = MessageHeaders::new();
+        if let Some(header) = root.child_ns(SOAP_ENV_NS, "Header") {
+            let blocks: Vec<Element> = header.children().into_iter().cloned().collect();
+            addressing = MessageHeaders::from_header_blocks(&blocks)?;
+            for block in blocks {
+                if block.name().namespace() != Some(crate::WSA_NS) {
+                    extra_headers.push(block);
+                }
+            }
+        }
+        let body_el = root
+            .child_ns(SOAP_ENV_NS, "Body")
+            .ok_or(SoapError::MissingPart("Body"))?;
+        let children = body_el.children();
+        let body = match children.first() {
+            None => Body::Empty,
+            Some(first) if first.name().matches(Some(SOAP_ENV_NS), "Fault") => {
+                Body::Fault(Fault::from_element(first)?)
+            }
+            Some(first) => Body::Payload((*first).clone()),
+        };
+        Ok(Envelope { addressing, extra_headers, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressing::EndpointReference;
+    use crate::fault::FaultCode;
+
+    fn sample() -> Envelope {
+        Envelope::request(
+            MessageHeaders::request("http://dest/svc", "urn:app:Op")
+                .with_message_id("urn:uuid:42")
+                .with_reply_to(EndpointReference::new("http://src/svc")),
+            Element::new("op")
+                .with_attr("seq", "1")
+                .with_child(Element::text_node("value", "hello & goodbye")),
+        )
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let env = sample();
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        assert_eq!(parsed, env);
+    }
+
+    #[test]
+    fn roundtrip_with_extra_header() {
+        let ctx = Element::in_ns("wscoor", "urn:wscoor", "CoordinationContext")
+            .with_child(Element::text_node("Identifier", "ctx-1"));
+        let env = sample().with_header(ctx.clone());
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        assert_eq!(parsed.header("urn:wscoor", "CoordinationContext").unwrap().child("Identifier").unwrap().text(), "ctx-1");
+        assert_eq!(parsed.addressing().message_id(), Some("urn:uuid:42"));
+    }
+
+    #[test]
+    fn roundtrip_fault() {
+        let env = Envelope::fault(
+            MessageHeaders::new(),
+            Fault::new(FaultCode::MustUnderstand, "gossip header not understood"),
+        );
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        assert!(parsed.is_fault());
+        assert_eq!(parsed.as_fault().unwrap().code(), FaultCode::MustUnderstand);
+        assert!(parsed.body().is_none());
+    }
+
+    #[test]
+    fn roundtrip_empty_body() {
+        let env = Envelope::empty(MessageHeaders::new().with_relates_to("urn:uuid:9"));
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        assert!(parsed.body().is_none());
+        assert!(!parsed.is_fault());
+        assert_eq!(parsed.addressing().relates_to(), Some("urn:uuid:9"));
+    }
+
+    #[test]
+    fn non_envelope_rejected() {
+        assert!(matches!(
+            Envelope::parse("<a/>"),
+            Err(SoapError::NotAnEnvelope(_))
+        ));
+    }
+
+    #[test]
+    fn missing_body_rejected() {
+        let xml = "<env:Envelope xmlns:env=\"http://www.w3.org/2003/05/soap-envelope\"/>";
+        assert!(matches!(Envelope::parse(xml), Err(SoapError::MissingPart("Body"))));
+    }
+
+    #[test]
+    fn take_header_removes() {
+        let mut env = sample().with_header(Element::in_ns("g", "urn:g", "Gossip"));
+        assert!(env.take_header("urn:g", "Gossip").is_some());
+        assert!(env.header("urn:g", "Gossip").is_none());
+    }
+
+    #[test]
+    fn rewrite_to_for_rerouting() {
+        let mut env = sample();
+        env.addressing_mut().set_to("http://peer3/svc");
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        assert_eq!(parsed.addressing().to(), Some("http://peer3/svc"));
+    }
+
+    #[test]
+    fn wire_size_reflects_payload() {
+        let small = Envelope::request(MessageHeaders::new(), Element::new("a"));
+        let big = Envelope::request(
+            MessageHeaders::new(),
+            Element::new("a").with_text("x".repeat(1000)),
+        );
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+use wsg_xml::XmlError;
+
+/// Error raised while building or parsing SOAP messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SoapError {
+    /// The underlying XML was malformed.
+    Xml(XmlError),
+    /// The document is XML but not a SOAP 1.2 envelope.
+    NotAnEnvelope(String),
+    /// The envelope is missing a required part.
+    MissingPart(&'static str),
+    /// A header carried `mustUnderstand="true"` but no handler understood it.
+    NotUnderstood(String),
+    /// A WS-Addressing property was missing or malformed.
+    Addressing(String),
+}
+
+impl fmt::Display for SoapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoapError::Xml(e) => write!(f, "invalid xml: {e}"),
+            SoapError::NotAnEnvelope(w) => write!(f, "not a soap 1.2 envelope: {w}"),
+            SoapError::MissingPart(p) => write!(f, "envelope missing {p}"),
+            SoapError::NotUnderstood(h) => {
+                write!(f, "mustUnderstand header '{h}' was not understood")
+            }
+            SoapError::Addressing(w) => write!(f, "ws-addressing violation: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoapError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XmlError> for SoapError {
+    fn from(e: XmlError) -> Self {
+        SoapError::Xml(e)
+    }
+}

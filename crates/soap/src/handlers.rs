@@ -1,0 +1,236 @@
+//! Stock middleware handlers: logging, counting, filtering.
+//!
+//! Small, composable [`Handler`]s for instrumenting a stack without
+//! touching application code — the same extension mechanism the gossip
+//! layer uses, demonstrated on cross-cutting concerns.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::fault::{Fault, FaultCode};
+use crate::handler::{Handler, HandlerOutcome, MessageContext};
+
+/// Counts messages flowing through the stack, by direction.
+///
+/// The counter handle is shared: keep a clone outside the chain to read.
+///
+/// ```
+/// use wsg_soap::handlers::CountingHandler;
+/// use wsg_soap::{HandlerChain, Envelope, MessageHeaders};
+/// use wsg_soap::handler::Direction;
+/// use wsg_xml::Element;
+///
+/// let (handler, counters) = CountingHandler::new();
+/// let mut chain = HandlerChain::new();
+/// chain.push(Box::new(handler));
+/// let env = Envelope::request(MessageHeaders::new(), Element::new("op"));
+/// chain.process(Direction::Inbound, env, "http://me");
+/// assert_eq!(counters.inbound(), 1);
+/// assert_eq!(counters.outbound(), 0);
+/// ```
+#[derive(Debug)]
+pub struct CountingHandler {
+    counters: Arc<Counters>,
+}
+
+/// Shared counters of a [`CountingHandler`].
+#[derive(Debug, Default)]
+pub struct Counters {
+    inbound: AtomicU64,
+    outbound: AtomicU64,
+}
+
+impl Counters {
+    /// Messages seen travelling inbound.
+    pub fn inbound(&self) -> u64 {
+        self.inbound.load(Ordering::Relaxed)
+    }
+
+    /// Messages seen travelling outbound.
+    pub fn outbound(&self) -> u64 {
+        self.outbound.load(Ordering::Relaxed)
+    }
+}
+
+impl CountingHandler {
+    /// Build the handler and its shared counter handle.
+    pub fn new() -> (Self, Arc<Counters>) {
+        let counters = Arc::new(Counters::default());
+        (CountingHandler { counters: counters.clone() }, counters)
+    }
+}
+
+impl Handler for CountingHandler {
+    fn name(&self) -> &str {
+        "counting"
+    }
+
+    fn process(&mut self, ctx: &mut MessageContext) -> HandlerOutcome {
+        use crate::handler::Direction;
+        match ctx.direction {
+            Direction::Inbound => self.counters.inbound.fetch_add(1, Ordering::Relaxed),
+            Direction::Outbound => self.counters.outbound.fetch_add(1, Ordering::Relaxed),
+        };
+        HandlerOutcome::Continue
+    }
+}
+
+/// Records one log line per message into a shared buffer.
+#[derive(Debug)]
+pub struct LoggingHandler {
+    log: Arc<parking_lot_free::Log>,
+}
+
+// Tiny internal mutex-free-ish log shim: std Mutex is fine here but keep
+// the dependency surface of wsg-soap minimal.
+mod parking_lot_free {
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    pub struct Log {
+        lines: Mutex<Vec<String>>,
+    }
+
+    impl Log {
+        pub fn push(&self, line: String) {
+            self.lines.lock().expect("log lock").push(line);
+        }
+
+        pub fn snapshot(&self) -> Vec<String> {
+            self.lines.lock().expect("log lock").clone()
+        }
+    }
+}
+
+/// Shared buffer of a [`LoggingHandler`].
+pub type LogBuffer = Arc<parking_lot_free::Log>;
+
+impl LoggingHandler {
+    /// Build the handler and its shared log handle.
+    pub fn new() -> (Self, LogBuffer) {
+        let log: LogBuffer = Arc::default();
+        (LoggingHandler { log: log.clone() }, log)
+    }
+}
+
+impl Handler for LoggingHandler {
+    fn name(&self) -> &str {
+        "logging"
+    }
+
+    fn process(&mut self, ctx: &mut MessageContext) -> HandlerOutcome {
+        self.log.push(format!(
+            "{:?} {} -> {}",
+            ctx.direction,
+            ctx.envelope.addressing().action().unwrap_or("?"),
+            ctx.envelope.addressing().to().unwrap_or("?"),
+        ));
+        HandlerOutcome::Continue
+    }
+}
+
+/// Rejects inbound messages whose Action is not on the allow-list — a
+/// minimal service firewall.
+#[derive(Debug)]
+pub struct ActionFilterHandler {
+    allowed: Vec<String>,
+}
+
+impl ActionFilterHandler {
+    /// Allow only the given action URIs.
+    pub fn allowing(allowed: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        ActionFilterHandler { allowed: allowed.into_iter().map(Into::into).collect() }
+    }
+}
+
+impl Handler for ActionFilterHandler {
+    fn name(&self) -> &str {
+        "action-filter"
+    }
+
+    fn process(&mut self, ctx: &mut MessageContext) -> HandlerOutcome {
+        use crate::handler::Direction;
+        if ctx.direction == Direction::Outbound {
+            return HandlerOutcome::Continue;
+        }
+        let action = ctx.envelope.addressing().action().unwrap_or("");
+        if self.allowed.iter().any(|a| a == action) {
+            HandlerOutcome::Continue
+        } else {
+            HandlerOutcome::Abort(Fault::new(
+                FaultCode::Sender,
+                format!("action '{action}' not permitted"),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressing::MessageHeaders;
+    use crate::envelope::Envelope;
+    use crate::handler::{Direction, Disposition, HandlerChain};
+    use wsg_xml::Element;
+
+    fn msg(action: &str) -> Envelope {
+        Envelope::request(
+            MessageHeaders::request("http://svc", action),
+            Element::new("op"),
+        )
+    }
+
+    #[test]
+    fn counting_tracks_both_directions() {
+        let (handler, counters) = CountingHandler::new();
+        let mut chain = HandlerChain::new();
+        chain.push(Box::new(handler));
+        chain.process(Direction::Inbound, msg("urn:a"), "http://me");
+        chain.process(Direction::Inbound, msg("urn:b"), "http://me");
+        chain.process(Direction::Outbound, msg("urn:c"), "http://me");
+        assert_eq!(counters.inbound(), 2);
+        assert_eq!(counters.outbound(), 1);
+    }
+
+    #[test]
+    fn logging_captures_actions() {
+        let (handler, log) = LoggingHandler::new();
+        let mut chain = HandlerChain::new();
+        chain.push(Box::new(handler));
+        chain.process(Direction::Outbound, msg("urn:notify"), "http://me");
+        let lines = log.snapshot();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("urn:notify"));
+        assert!(lines[0].contains("http://svc"));
+    }
+
+    #[test]
+    fn filter_faults_unknown_actions_inbound_only() {
+        let mut chain = HandlerChain::new();
+        chain.push(Box::new(ActionFilterHandler::allowing(["urn:ok"])));
+        let allowed = chain.process(Direction::Inbound, msg("urn:ok"), "http://me");
+        assert!(matches!(allowed.disposition, Disposition::Deliver(_)));
+        let denied = chain.process(Direction::Inbound, msg("urn:evil"), "http://me");
+        match denied.disposition {
+            Disposition::Faulted(f) => assert_eq!(f.code(), FaultCode::Sender),
+            other => panic!("expected fault, got {other:?}"),
+        }
+        let outbound = chain.process(Direction::Outbound, msg("urn:evil"), "http://me");
+        assert!(matches!(outbound.disposition, Disposition::Deliver(_)));
+    }
+
+    #[test]
+    fn handlers_compose() {
+        let (counting, counters) = CountingHandler::new();
+        let (logging, log) = LoggingHandler::new();
+        let mut chain = HandlerChain::new();
+        chain.push(Box::new(ActionFilterHandler::allowing(["urn:ok"])));
+        chain.push(Box::new(counting));
+        chain.push(Box::new(logging));
+        chain.process(Direction::Inbound, msg("urn:evil"), "http://me");
+        chain.process(Direction::Inbound, msg("urn:ok"), "http://me");
+        // The filter rejected the first message before the counter saw it.
+        assert_eq!(counters.inbound(), 1);
+        assert_eq!(log.snapshot().len(), 1);
+    }
+}

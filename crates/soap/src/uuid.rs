@@ -1,0 +1,135 @@
+//! Minimal RFC 4122 v4 UUIDs for WS-Addressing message identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+
+/// A 128-bit version-4 UUID.
+///
+/// ```
+/// use wsg_soap::Uuid;
+///
+/// let id = Uuid::from_u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+/// let text = id.to_string();
+/// assert_eq!(text.parse::<Uuid>().unwrap(), id);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Uuid(u128);
+
+impl Uuid {
+    /// Build from raw bits, forcing the RFC 4122 version (4) and variant
+    /// bits so the result is always a well-formed v4 UUID.
+    pub fn from_u128(bits: u128) -> Self {
+        let versioned = (bits & !(0xF << 76)) | (0x4 << 76);
+        let varianted = (versioned & !(0x3 << 62)) | (0x2 << 62);
+        Uuid(varianted)
+    }
+
+    /// Generate a random UUID from the given RNG (deterministic runs use a
+    /// seeded RNG — important for the reproducible simulator).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Uuid::from_u128(rng.random())
+    }
+
+    /// The raw 128 bits.
+    pub fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// Render as a `urn:uuid:...` URI, the form WS-Addressing uses for
+    /// `MessageID`.
+    pub fn to_urn(&self) -> String {
+        format!("urn:uuid:{self}")
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (b >> 96) as u32,
+            (b >> 80) as u16,
+            (b >> 64) as u16,
+            (b >> 48) as u16,
+            b & 0xFFFF_FFFF_FFFF
+        )
+    }
+}
+
+/// Error returned when parsing a malformed UUID string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUuidError;
+
+impl fmt::Display for ParseUuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid uuid syntax")
+    }
+}
+
+impl std::error::Error for ParseUuidError {}
+
+impl FromStr for Uuid {
+    type Err = ParseUuidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix("urn:uuid:").unwrap_or(s);
+        let parts: Vec<&str> = s.split('-').collect();
+        if parts.len() != 5
+            || parts[0].len() != 8
+            || parts[1].len() != 4
+            || parts[2].len() != 4
+            || parts[3].len() != 4
+            || parts[4].len() != 12
+        {
+            return Err(ParseUuidError);
+        }
+        let mut bits: u128 = 0;
+        for part in parts {
+            let v = u64::from_str_radix(part, 16).map_err(|_| ParseUuidError)?;
+            bits = (bits << (part.len() * 4)) | v as u128;
+        }
+        Ok(Uuid(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn version_and_variant_bits_forced() {
+        let id = Uuid::from_u128(0);
+        let text = id.to_string();
+        // xxxxxxxx-xxxx-4xxx-{8,9,a,b}xxx-xxxxxxxxxxxx
+        assert_eq!(&text[14..15], "4");
+        assert!(matches!(&text[19..20], "8" | "9" | "a" | "b"));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let id = Uuid::random(&mut rng);
+            assert_eq!(id.to_string().parse::<Uuid>().unwrap(), id);
+            assert_eq!(id.to_urn().parse::<Uuid>().unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Uuid::random(&mut StdRng::seed_from_u64(42));
+        let b = Uuid::random(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("not-a-uuid".parse::<Uuid>().is_err());
+        assert!("00000000-0000-0000-0000".parse::<Uuid>().is_err());
+        assert!("g0000000-0000-4000-8000-000000000000".parse::<Uuid>().is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests: arbitrary SOAP envelopes round-trip through wire XML.
+
+use proptest::prelude::*;
+
+use wsg_soap::{EndpointReference, Envelope, Fault, FaultCode, MessageHeaders};
+use wsg_xml::Element;
+
+fn uri() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}(/[a-z0-9]{1,6}){0,3}".prop_map(|path| format!("http://{path}"))
+}
+
+fn text() -> impl Strategy<Value = String> {
+    // XML-legal printable text including characters that need escaping.
+    "[ -~]{0,60}"
+}
+
+fn arb_headers() -> impl Strategy<Value = MessageHeaders> {
+    (
+        proptest::option::of(uri()),
+        proptest::option::of(uri()),
+        proptest::option::of("[a-f0-9]{8}"),
+        proptest::option::of(uri()),
+    )
+        .prop_map(|(to, action, msg_id, reply_to)| {
+            let mut headers = MessageHeaders::new();
+            if let (Some(to), Some(action)) = (&to, &action) {
+                headers = MessageHeaders::request(to.clone(), action.clone());
+            }
+            if let Some(id) = msg_id {
+                headers = headers.with_message_id(format!("urn:uuid:{id}"));
+            }
+            if let Some(rt) = reply_to {
+                headers = headers.with_reply_to(EndpointReference::new(rt));
+            }
+            headers
+        })
+}
+
+fn arb_payload() -> impl Strategy<Value = Element> {
+    (
+        "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
+        text(),
+        proptest::collection::vec(("[a-zA-Z_][a-zA-Z0-9]{0,8}", text()), 0..4),
+    )
+        .prop_map(|(name, body, attrs)| {
+            let mut el = Element::new(name);
+            for (k, v) in attrs {
+                el.set_attr(k, v);
+            }
+            if !body.is_empty() {
+                el.set_text(body);
+            }
+            el
+        })
+}
+
+proptest! {
+    #[test]
+    fn request_envelopes_roundtrip(headers in arb_headers(), payload in arb_payload()) {
+        let envelope = Envelope::request(headers, payload);
+        let parsed = Envelope::parse(&envelope.to_xml()).expect("own output parses");
+        prop_assert_eq!(parsed, envelope);
+    }
+
+    #[test]
+    fn envelopes_with_extra_headers_roundtrip(
+        headers in arb_headers(),
+        payload in arb_payload(),
+        extra in arb_payload(),
+    ) {
+        let block = Element::in_ns("x", "urn:extension", "Block").with_child(extra);
+        let envelope = Envelope::request(headers, payload).with_header(block);
+        let parsed = Envelope::parse(&envelope.to_xml()).expect("parses");
+        prop_assert_eq!(parsed.headers().len(), 1);
+        prop_assert_eq!(parsed, envelope);
+    }
+
+    #[test]
+    fn fault_envelopes_roundtrip(reason in text(), detail in arb_payload()) {
+        let fault = Fault::new(FaultCode::Receiver, reason).with_detail(detail);
+        let envelope = Envelope::fault(MessageHeaders::new(), fault);
+        let parsed = Envelope::parse(&envelope.to_xml()).expect("parses");
+        prop_assert!(parsed.is_fault());
+        prop_assert_eq!(parsed, envelope);
+    }
+
+    #[test]
+    fn wire_size_matches_serialisation(headers in arb_headers(), payload in arb_payload()) {
+        let envelope = Envelope::request(headers, payload);
+        prop_assert_eq!(envelope.wire_size(), envelope.to_xml().len());
+    }
+
+    #[test]
+    fn parser_survives_arbitrary_bytes(junk in "\\PC{0,300}") {
+        let _ = Envelope::parse(&junk); // error is fine, panic is not
+    }
+}

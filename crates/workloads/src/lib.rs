@@ -1,0 +1,21 @@
+//! # wsg-workloads — synthetic workload generation
+//!
+//! The paper motivates WS-Gossip with "a stock market scenario, where
+//! information flows among several nodes of the system" (§1). The authors'
+//! market feeds are not available, so this crate generates the synthetic
+//! equivalent used by the examples and the benchmark harness:
+//!
+//! * [`ticker::StockTicker`] — a random-walk multi-symbol market-data
+//!   generator producing SOAP-encodable ticks;
+//! * [`arrivals`] — Poisson, constant-rate and bursty arrival processes
+//!   for scheduling publications in virtual time;
+//! * [`zipf::Zipf`] — Zipf-distributed symbol popularity (a handful of
+//!   symbols dominate the feed, as in real markets).
+
+pub mod arrivals;
+pub mod ticker;
+pub mod zipf;
+
+pub use arrivals::{ArrivalProcess, Arrivals};
+pub use ticker::{StockTicker, Tick};
+pub use zipf::Zipf;

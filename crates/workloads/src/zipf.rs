@@ -1,0 +1,139 @@
+//! Zipf-distributed sampling.
+
+use rand::{Rng, RngCore};
+
+/// A Zipf(s) sampler over ranks `0..n`: rank `k` has probability
+/// proportional to `1 / (k+1)^s`. Used for symbol popularity — a few hot
+/// symbols dominate the feed.
+///
+/// ```
+/// use wsg_workloads::Zipf;
+/// use wsg_net::Pcg32;
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = Pcg32::new(5, 0);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    // Cumulative distribution over ranks.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0");
+        let weights: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is trivial (it never is; `len >= 1`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a rank.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability of rank `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_net::Pcg32;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let zipf = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|k| zipf.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let zipf = Zipf::new(10, 1.0);
+        for k in 1..10 {
+            assert!(zipf.probability(0) > zipf.probability(k));
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let zipf = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((zipf.probability(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let zipf = Zipf::new(5, 1.0);
+        let mut rng = Pcg32::new(6, 0);
+        let mut counts = [0u32; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for (k, count) in counts.iter().enumerate() {
+            let observed = *count as f64 / n as f64;
+            let expected = zipf.probability(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let zipf = Zipf::new(3, 2.0);
+        let mut rng = Pcg32::new(7, 0);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

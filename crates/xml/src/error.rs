@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error raised while parsing or writing XML.
+///
+/// Carries the byte offset into the input at which the problem was detected
+/// (0 for writer-side errors, which have no input position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    kind: XmlErrorKind,
+    position: usize,
+}
+
+/// The specific class of XML failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XmlErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof,
+    /// A syntactic construct was malformed.
+    Malformed(String),
+    /// Close tag did not match the open tag.
+    MismatchedTag { expected: String, found: String },
+    /// A namespace prefix was used without being declared.
+    UndeclaredPrefix(String),
+    /// An entity reference was not one of the five predefined ones
+    /// and not a character reference.
+    UnknownEntity(String),
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute(String),
+    /// A name contained characters not allowed in XML names.
+    InvalidName(String),
+    /// Writer misuse: e.g. closing an element that was never opened.
+    WriterState(String),
+    /// A feature of XML 1.0 this crate deliberately rejects (DTD, external
+    /// entities) was encountered.
+    Unsupported(String),
+}
+
+impl XmlError {
+    pub(crate) fn new(kind: XmlErrorKind, position: usize) -> Self {
+        XmlError { kind, position }
+    }
+
+    /// The class of failure.
+    pub fn kind(&self) -> &XmlErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            XmlErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlErrorKind::Malformed(what) => write!(f, "malformed xml: {what}"),
+            XmlErrorKind::MismatchedTag { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            XmlErrorKind::UndeclaredPrefix(p) => write!(f, "undeclared namespace prefix '{p}'"),
+            XmlErrorKind::UnknownEntity(e) => write!(f, "unknown entity reference '&{e};'"),
+            XmlErrorKind::DuplicateAttribute(a) => write!(f, "duplicate attribute '{a}'"),
+            XmlErrorKind::InvalidName(n) => write!(f, "invalid xml name '{n}'"),
+            XmlErrorKind::WriterState(w) => write!(f, "writer misuse: {w}"),
+            XmlErrorKind::Unsupported(w) => write!(f, "unsupported xml feature: {w}"),
+        }?;
+        if self.position != 0 {
+            write!(f, " at byte {}", self.position)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for XmlError {}

@@ -1,0 +1,235 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+use std::borrow::Cow;
+
+use crate::error::{XmlError, XmlErrorKind};
+
+/// Escape character data for use as element text.
+///
+/// Replaces `&`, `<` and `>` (`>` only strictly needs escaping in the
+/// `]]>` sequence, but escaping it unconditionally is valid and simpler).
+///
+/// Returns a borrowed string when no escaping was necessary.
+///
+/// ```
+/// assert_eq!(wsg_xml::escape::escape_text("a < b & c"), "a &lt; b &amp; c");
+/// ```
+pub fn escape_text(input: &str) -> Cow<'_, str> {
+    escape_with(input, false)
+}
+
+/// Escape a string for use inside a double-quoted attribute value.
+///
+/// In addition to the text escapes, `"` becomes `&quot;` and tabs/newlines
+/// become character references so they survive attribute-value
+/// normalisation on re-parse.
+pub fn escape_attr(input: &str) -> Cow<'_, str> {
+    escape_with(input, true)
+}
+
+fn needs_escape(c: char, attr: bool) -> bool {
+    match c {
+        '&' | '<' | '>' => true,
+        '"' | '\t' | '\n' | '\r' => attr,
+        _ => false,
+    }
+}
+
+fn escape_with(input: &str, attr: bool) -> Cow<'_, str> {
+    let first = match input.char_indices().find(|&(_, c)| needs_escape(c, attr)) {
+        Some((i, _)) => i,
+        None => return Cow::Borrowed(input),
+    };
+    let mut out = String::with_capacity(input.len() + 16);
+    out.push_str(&input[..first]);
+    for c in input[first..].chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\t' if attr => out.push_str("&#9;"),
+            '\n' if attr => out.push_str("&#10;"),
+            '\r' if attr => out.push_str("&#13;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve the five predefined entities and numeric character references in
+/// `input`, returning the unescaped text.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] with kind `UnknownEntity` for undefined entity
+/// references and `Malformed` for unterminated or out-of-range character
+/// references. `position` in the error is relative to `base_offset`.
+pub fn unescape(input: &str, base_offset: usize) -> Result<Cow<'_, str>, XmlError> {
+    let first = match input.find('&') {
+        Some(i) => i,
+        None => return Ok(Cow::Borrowed(input)),
+    };
+    let mut out = String::with_capacity(input.len());
+    out.push_str(&input[..first]);
+    let mut rest = &input[first..];
+    let mut offset = base_offset + first;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::Malformed("unterminated entity reference".into()),
+                offset + amp,
+            )
+        })?;
+        let name = &after[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with('#') => {
+                out.push(parse_char_ref(name, offset + amp)?);
+            }
+            _ => {
+                return Err(XmlError::new(
+                    XmlErrorKind::UnknownEntity(name.to_string()),
+                    offset + amp,
+                ))
+            }
+        }
+        offset += amp + 1 + semi + 1;
+        rest = &after[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
+}
+
+fn parse_char_ref(name: &str, position: usize) -> Result<char, XmlError> {
+    let digits = &name[1..];
+    let value = if let Some(hex) = digits.strip_prefix('x').or_else(|| digits.strip_prefix('X')) {
+        u32::from_str_radix(hex, 16)
+    } else {
+        digits.parse::<u32>()
+    }
+    .map_err(|_| {
+        XmlError::new(
+            XmlErrorKind::Malformed(format!("invalid character reference '&{name};'")),
+            position,
+        )
+    })?;
+    char::from_u32(value).filter(|c| is_xml_char(*c)).ok_or_else(|| {
+        XmlError::new(
+            XmlErrorKind::Malformed(format!("character reference out of range '&{name};'")),
+            position,
+        )
+    })
+}
+
+/// Whether `c` is a character permitted by the XML 1.0 `Char` production.
+pub fn is_xml_char(c: char) -> bool {
+    matches!(c,
+        '\u{9}' | '\u{A}' | '\u{D}'
+        | '\u{20}'..='\u{D7FF}'
+        | '\u{E000}'..='\u{FFFD}'
+        | '\u{10000}'..='\u{10FFFF}')
+}
+
+/// Whether `c` may start an XML name (`NameStartChar`, minus the rarely
+/// used supplementary ranges kept for simplicity).
+pub fn is_name_start(c: char) -> bool {
+    c == ':' || c == '_' || c.is_ascii_alphabetic() || matches!(c,
+        '\u{C0}'..='\u{D6}' | '\u{D8}'..='\u{F6}' | '\u{F8}'..='\u{2FF}'
+        | '\u{370}'..='\u{37D}' | '\u{37F}'..='\u{1FFF}' | '\u{200C}'..='\u{200D}'
+        | '\u{2070}'..='\u{218F}' | '\u{2C00}'..='\u{2FEF}' | '\u{3001}'..='\u{D7FF}'
+        | '\u{F900}'..='\u{FDCF}' | '\u{FDF0}'..='\u{FFFD}' | '\u{10000}'..='\u{EFFFF}')
+}
+
+/// Whether `c` may continue an XML name (`NameChar`).
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c)
+        || c == '-'
+        || c == '.'
+        || c.is_ascii_digit()
+        || matches!(c, '\u{B7}' | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
+}
+
+/// Validate that `name` is a legal XML name.
+pub fn validate_name(name: &str) -> Result<(), XmlError> {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if is_name_start(c) => {}
+        _ => {
+            return Err(XmlError::new(XmlErrorKind::InvalidName(name.to_string()), 0));
+        }
+    }
+    if chars.all(is_name_char) {
+        Ok(())
+    } else {
+        Err(XmlError::new(XmlErrorKind::InvalidName(name.to_string()), 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping_borrows_when_clean() {
+        assert!(matches!(escape_text("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn text_escaping_replaces_specials() {
+        assert_eq!(escape_text("<a&b>"), "&lt;a&amp;b&gt;");
+    }
+
+    #[test]
+    fn attr_escaping_handles_quotes_and_whitespace() {
+        assert_eq!(escape_attr("a\"b\nc"), "a&quot;b&#10;c");
+    }
+
+    #[test]
+    fn unescape_predefined_entities() {
+        assert_eq!(unescape("&lt;&gt;&amp;&quot;&apos;", 0).unwrap(), "<>&\"'");
+    }
+
+    #[test]
+    fn unescape_char_refs_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;", 0).unwrap(), "AB");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        let err = unescape("&nbsp;", 0).unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UnknownEntity(e) if e == "nbsp"));
+    }
+
+    #[test]
+    fn unescape_rejects_unterminated() {
+        assert!(unescape("&amp", 0).is_err());
+    }
+
+    #[test]
+    fn unescape_rejects_surrogate_char_ref() {
+        assert!(unescape("&#xD800;", 0).is_err());
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let original = "price < 100 && symbol == \"ACME\"";
+        let escaped = escape_text(original);
+        assert_eq!(unescape(&escaped, 0).unwrap(), original);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("env:Envelope").is_ok());
+        assert!(validate_name("_x").is_ok());
+        assert!(validate_name("9abc").is_err());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a b").is_err());
+    }
+}

@@ -1,0 +1,646 @@
+//! A namespace-aware pull parser.
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::{is_name_char, is_name_start, unescape};
+use crate::event::{Attribute, XmlEvent};
+use crate::name::{NamespaceScope, QName};
+
+/// Maximum element nesting depth accepted by the reader.
+pub const MAX_DEPTH: usize = 512;
+
+/// A pull parser over an in-memory document.
+///
+/// Produces a stream of [`XmlEvent`]s with namespaces resolved. Rejects
+/// DTDs and external entities by construction, and enforces a maximum
+/// element depth of [`MAX_DEPTH`] (the secure defaults for middleware that
+/// parses messages off the wire — unbounded depth lets a hostile document
+/// overflow the stack of tree-building consumers).
+///
+/// ```
+/// use wsg_xml::{XmlReader, XmlEvent};
+///
+/// # fn main() -> Result<(), wsg_xml::XmlError> {
+/// let mut reader = XmlReader::new("<a xmlns='urn:x'><b>hi</b></a>");
+/// let first = reader.next_event()?;
+/// assert!(first.is_start_of(Some("urn:x"), "a"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct XmlReader<'a> {
+    input: &'a str,
+    pos: usize,
+    scope: NamespaceScope,
+    // Stack of open element lexical names (for close-tag matching) plus the
+    // resolved QName to emit on EndElement.
+    open: Vec<(String, QName)>,
+    // A pending synthetic EndElement for a self-closing tag.
+    pending_end: Option<QName>,
+    seen_root: bool,
+    finished: bool,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Create a reader over `input`.
+    pub fn new(input: &'a str) -> Self {
+        XmlReader {
+            input,
+            pos: 0,
+            scope: NamespaceScope::new(),
+            open: Vec::new(),
+            pending_end: None,
+            seen_root: false,
+            finished: false,
+        }
+    }
+
+    /// Byte offset of the parse cursor.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Depth of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Pull the next event.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`XmlError`] on malformed input; the reader should not be
+    /// used further after an error.
+    pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some(name) = self.pending_end.take() {
+            self.open.pop();
+            self.scope.pop_scope();
+            return Ok(XmlEvent::EndElement { name });
+        }
+        if self.finished {
+            return Ok(XmlEvent::Eof);
+        }
+        if self.pos >= self.input.len() {
+            return self.at_eof();
+        }
+
+        let rest = &self.input[self.pos..];
+        if rest.starts_with('<') {
+            self.parse_markup()
+        } else {
+            self.parse_text()
+        }
+    }
+
+    /// Iterate events until the matching end of the element that was just
+    /// started, collecting the concatenated text content and discarding
+    /// markup. Useful for simple leaf elements.
+    pub fn read_text_content(&mut self) -> Result<String, XmlError> {
+        let target_depth = self.open.len();
+        let mut out = String::new();
+        loop {
+            match self.next_event()? {
+                XmlEvent::Text(t) => out.push_str(&t),
+                XmlEvent::CData(t) => out.push_str(&t),
+                XmlEvent::EndElement { .. } if self.open.len() < target_depth => return Ok(out),
+                XmlEvent::Eof => {
+                    return Err(self.err(XmlErrorKind::UnexpectedEof));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn at_eof(&mut self) -> Result<XmlEvent, XmlError> {
+        if let Some((lexical, _)) = self.open.last() {
+            return Err(XmlError::new(
+                XmlErrorKind::Malformed(format!("unclosed element <{lexical}>")),
+                self.pos,
+            ));
+        }
+        if !self.seen_root {
+            return Err(self.err(XmlErrorKind::UnexpectedEof));
+        }
+        self.finished = true;
+        Ok(XmlEvent::Eof)
+    }
+
+    fn err(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError::new(kind, self.pos)
+    }
+
+    fn parse_text(&mut self) -> Result<XmlEvent, XmlError> {
+        let start = self.pos;
+        let rest = &self.input[start..];
+        let end = rest.find('<').map(|i| start + i).unwrap_or(self.input.len());
+        let raw = &self.input[start..end];
+        self.pos = end;
+        if self.open.is_empty() {
+            // Only whitespace is allowed outside the root element.
+            if raw.trim().is_empty() {
+                return if self.pos >= self.input.len() {
+                    self.at_eof()
+                } else {
+                    self.next_event()
+                };
+            }
+            return Err(XmlError::new(
+                XmlErrorKind::Malformed("character data outside root element".into()),
+                start,
+            ));
+        }
+        if raw.contains("]]>") {
+            return Err(XmlError::new(
+                XmlErrorKind::Malformed("']]>' not allowed in character data".into()),
+                start,
+            ));
+        }
+        let text = unescape(raw, start)?;
+        Ok(XmlEvent::Text(text.into_owned()))
+    }
+
+    fn parse_markup(&mut self) -> Result<XmlEvent, XmlError> {
+        let rest = &self.input[self.pos..];
+        if let Some(r) = rest.strip_prefix("<?") {
+            return self.parse_pi(r);
+        }
+        if rest.starts_with("<!--") {
+            return self.parse_comment();
+        }
+        if rest.starts_with("<![CDATA[") {
+            return self.parse_cdata();
+        }
+        if rest.starts_with("<!") {
+            return Err(self.err(XmlErrorKind::Unsupported(
+                "DTD / declaration markup ('<!') is not supported".into(),
+            )));
+        }
+        if rest.starts_with("</") {
+            return self.parse_end_tag();
+        }
+        self.parse_start_tag()
+    }
+
+    fn parse_pi(&mut self, after: &str) -> Result<XmlEvent, XmlError> {
+        let close = after
+            .find("?>")
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let content = &after[..close];
+        let consumed = 2 + close + 2;
+        let (target, data) = match content.find(|c: char| c.is_whitespace()) {
+            Some(i) => (&content[..i], content[i..].trim_start()),
+            None => (content, ""),
+        };
+        let start_pos = self.pos;
+        self.pos += consumed;
+        if target.eq_ignore_ascii_case("xml") {
+            if start_pos != 0 {
+                return Err(XmlError::new(
+                    XmlErrorKind::Malformed("xml declaration not at document start".into()),
+                    start_pos,
+                ));
+            }
+            let version = pseudo_attr(data, "version").unwrap_or_else(|| "1.0".to_string());
+            let encoding = pseudo_attr(data, "encoding");
+            return Ok(XmlEvent::Declaration { version, encoding });
+        }
+        Ok(XmlEvent::ProcessingInstruction {
+            target: target.to_string(),
+            data: data.to_string(),
+        })
+    }
+
+    fn parse_comment(&mut self) -> Result<XmlEvent, XmlError> {
+        let body = &self.input[self.pos + 4..];
+        let close = body
+            .find("-->")
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let text = &body[..close];
+        if text.contains("--") {
+            return Err(self.err(XmlErrorKind::Malformed("'--' inside comment".into())));
+        }
+        self.pos += 4 + close + 3;
+        Ok(XmlEvent::Comment(text.to_string()))
+    }
+
+    fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
+        if self.open.is_empty() {
+            return Err(self.err(XmlErrorKind::Malformed(
+                "CDATA outside root element".into(),
+            )));
+        }
+        let body = &self.input[self.pos + 9..];
+        let close = body
+            .find("]]>")
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let text = body[..close].to_string();
+        self.pos += 9 + close + 3;
+        Ok(XmlEvent::CData(text))
+    }
+
+    fn parse_end_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        let tag_start = self.pos;
+        let body = &self.input[self.pos + 2..];
+        let close = body
+            .find('>')
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let lexical = body[..close].trim_end();
+        self.pos += 2 + close + 1;
+        let (open_lexical, qname) = self.open.pop().ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::Malformed(format!("close tag </{lexical}> with no open element")),
+                tag_start,
+            )
+        })?;
+        if open_lexical != lexical {
+            return Err(XmlError::new(
+                XmlErrorKind::MismatchedTag { expected: open_lexical, found: lexical.to_string() },
+                tag_start,
+            ));
+        }
+        self.scope.pop_scope();
+        Ok(XmlEvent::EndElement { name: qname })
+    }
+
+    fn parse_start_tag(&mut self) -> Result<XmlEvent, XmlError> {
+        let tag_start = self.pos;
+        self.pos += 1; // consume '<'
+        let lexical = self.read_name()?;
+        let mut raw_attrs: Vec<(String, String)> = Vec::new();
+        let empty;
+        loop {
+            self.skip_whitespace();
+            let rest = &self.input[self.pos..];
+            if rest.starts_with("/>") {
+                self.pos += 2;
+                empty = true;
+                break;
+            }
+            if rest.starts_with('>') {
+                self.pos += 1;
+                empty = false;
+                break;
+            }
+            if rest.is_empty() {
+                return Err(self.err(XmlErrorKind::UnexpectedEof));
+            }
+            let (name, value) = self.read_attribute()?;
+            if raw_attrs.iter().any(|(n, _)| *n == name) {
+                return Err(XmlError::new(XmlErrorKind::DuplicateAttribute(name), tag_start));
+            }
+            raw_attrs.push((name, value));
+        }
+
+        if self.open.is_empty() {
+            if self.seen_root {
+                return Err(XmlError::new(
+                    XmlErrorKind::Malformed("multiple root elements".into()),
+                    tag_start,
+                ));
+            }
+            self.seen_root = true;
+        }
+        if self.open.len() >= MAX_DEPTH {
+            return Err(XmlError::new(
+                XmlErrorKind::Malformed(format!("element depth exceeds {MAX_DEPTH}")),
+                tag_start,
+            ));
+        }
+
+        // Namespace processing: declarations first, then resolution.
+        self.scope.push_scope();
+        for (name, value) in &raw_attrs {
+            if name == "xmlns" {
+                self.scope.declare("", value);
+            } else if let Some(prefix) = name.strip_prefix("xmlns:") {
+                if value.is_empty() {
+                    return Err(XmlError::new(
+                        XmlErrorKind::Malformed(format!(
+                            "cannot bind prefix '{prefix}' to empty namespace"
+                        )),
+                        tag_start,
+                    ));
+                }
+                self.scope.declare(prefix, value);
+            }
+        }
+
+        let name = self.resolve_element(&lexical, tag_start)?;
+        let mut attributes = Vec::with_capacity(raw_attrs.len());
+        for (raw_name, value) in raw_attrs {
+            if raw_name == "xmlns" || raw_name.starts_with("xmlns:") {
+                continue;
+            }
+            let (prefix, local) = QName::split_lexical(&raw_name);
+            let qname = match prefix {
+                // Per the namespaces spec, unprefixed attributes are in no
+                // namespace (the default namespace does not apply).
+                None => QName::new(local),
+                Some(p) => {
+                    let uri = self.scope.resolve(p).ok_or_else(|| {
+                        XmlError::new(XmlErrorKind::UndeclaredPrefix(p.to_string()), tag_start)
+                    })?;
+                    QName::with_ns(uri, local).with_prefix(p)
+                }
+            };
+            attributes.push(Attribute { name: qname, value });
+        }
+
+        if empty {
+            self.pending_end = Some(name.clone());
+            self.open.push((lexical, name.clone()));
+        } else {
+            self.open.push((lexical, name.clone()));
+        }
+        Ok(XmlEvent::StartElement { name, attributes, empty })
+    }
+
+    fn resolve_element(&self, lexical: &str, at: usize) -> Result<QName, XmlError> {
+        let (prefix, local) = QName::split_lexical(lexical);
+        match prefix {
+            Some(p) => {
+                let uri = self
+                    .scope
+                    .resolve(p)
+                    .ok_or_else(|| XmlError::new(XmlErrorKind::UndeclaredPrefix(p.to_string()), at))?;
+                Ok(QName::with_ns(uri, local).with_prefix(p))
+            }
+            None => match self.scope.resolve("") {
+                Some(uri) if !uri.is_empty() => Ok(QName::with_ns(uri, local)),
+                _ => Ok(QName::new(local)),
+            },
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, XmlError> {
+        let rest = &self.input[self.pos..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, c)) if is_name_start(c) => {}
+            Some((_, c)) => {
+                return Err(self.err(XmlErrorKind::InvalidName(c.to_string())));
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        }
+        let end = chars
+            .find(|&(_, c)| !is_name_char(c))
+            .map(|(i, _)| i)
+            .unwrap_or(rest.len());
+        let name = &rest[..end];
+        self.pos += end;
+        Ok(name.to_string())
+    }
+
+    fn read_attribute(&mut self) -> Result<(String, String), XmlError> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        if !self.input[self.pos..].starts_with('=') {
+            return Err(self.err(XmlErrorKind::Malformed(format!(
+                "expected '=' after attribute '{name}'"
+            ))));
+        }
+        self.pos += 1;
+        self.skip_whitespace();
+        let rest = &self.input[self.pos..];
+        let quote = match rest.chars().next() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(c) => {
+                return Err(self.err(XmlErrorKind::Malformed(format!(
+                    "attribute value must be quoted, found '{c}'"
+                ))));
+            }
+            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+        };
+        let body = &rest[1..];
+        let close = body
+            .find(quote)
+            .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
+        let raw = &body[..close];
+        if raw.contains('<') {
+            return Err(self.err(XmlErrorKind::Malformed(
+                "'<' not allowed in attribute value".into(),
+            )));
+        }
+        let value_start = self.pos + 1;
+        self.pos += 1 + close + 1;
+        let value = unescape(raw, value_start)?;
+        // Attribute-value normalisation: whitespace characters become spaces.
+        let normalised: String = value
+            .chars()
+            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+            .collect();
+        Ok((name, normalised))
+    }
+
+    fn skip_whitespace(&mut self) {
+        let rest = &self.input[self.pos..];
+        let skip = rest.len() - rest.trim_start().len();
+        self.pos += skip;
+    }
+}
+
+fn pseudo_attr(data: &str, name: &str) -> Option<String> {
+    let idx = data.find(name)?;
+    let rest = data[idx + name.len()..].trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let quote = rest.chars().next()?;
+    if quote != '"' && quote != '\'' {
+        return None;
+    }
+    let body = &rest[1..];
+    let end = body.find(quote)?;
+    Some(body[..end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        let mut reader = XmlReader::new(input);
+        let mut out = Vec::new();
+        loop {
+            let ev = reader.next_event().expect("parse error");
+            let eof = ev == XmlEvent::Eof;
+            out.push(ev);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>text</b></a>");
+        assert_eq!(evs.len(), 6);
+        assert!(evs[0].is_start_of(None, "a"));
+        assert!(evs[1].is_start_of(None, "b"));
+        assert_eq!(evs[2], XmlEvent::Text("text".into()));
+        assert!(evs[3].is_end_of(None, "b"));
+        assert!(evs[4].is_end_of(None, "a"));
+    }
+
+    #[test]
+    fn self_closing_emits_end() {
+        let evs = events("<a/>");
+        assert!(matches!(&evs[0], XmlEvent::StartElement { empty: true, .. }));
+        assert!(evs[1].is_end_of(None, "a"));
+    }
+
+    #[test]
+    fn declaration_parsed() {
+        let evs = events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+        assert_eq!(
+            evs[0],
+            XmlEvent::Declaration { version: "1.0".into(), encoding: Some("UTF-8".into()) }
+        );
+    }
+
+    #[test]
+    fn default_namespace_applies_to_elements_not_attrs() {
+        let evs = events("<a xmlns=\"urn:x\" id=\"1\"><b/></a>");
+        match &evs[0] {
+            XmlEvent::StartElement { name, attributes, .. } => {
+                assert_eq!(name.namespace(), Some("urn:x"));
+                assert_eq!(attributes[0].name.namespace(), None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(evs[1].is_start_of(Some("urn:x"), "b"));
+    }
+
+    #[test]
+    fn prefixed_namespaces_resolve_and_shadow() {
+        let evs = events("<p:a xmlns:p=\"urn:one\"><p:a xmlns:p=\"urn:two\"/></p:a>");
+        assert!(evs[0].is_start_of(Some("urn:one"), "a"));
+        assert!(evs[1].is_start_of(Some("urn:two"), "a"));
+        assert!(evs[2].is_end_of(Some("urn:two"), "a"));
+        assert!(evs[3].is_end_of(Some("urn:one"), "a"));
+    }
+
+    #[test]
+    fn undeclared_prefix_rejected() {
+        let err = XmlReader::new("<p:a/>").next_event().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::UndeclaredPrefix(p) if p == "p"));
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        let mut r = XmlReader::new("<a><b></a></b>");
+        r.next_event().unwrap();
+        r.next_event().unwrap();
+        let err = r.next_event().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_rejected() {
+        let mut r = XmlReader::new("<a>");
+        r.next_event().unwrap();
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let mut r = XmlReader::new("<a/><b/>");
+        r.next_event().unwrap();
+        r.next_event().unwrap(); // synthetic end of <a/>
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let mut r = XmlReader::new("hello<a/>");
+        assert!(r.next_event().is_err());
+    }
+
+    #[test]
+    fn whitespace_outside_root_ok() {
+        let evs = events("  <a/>  ");
+        assert!(evs[0].is_start_of(None, "a"));
+        assert_eq!(evs.last(), Some(&XmlEvent::Eof));
+    }
+
+    #[test]
+    fn cdata_passes_through_verbatim() {
+        let evs = events("<a><![CDATA[<raw> & stuff]]></a>");
+        assert_eq!(evs[1], XmlEvent::CData("<raw> & stuff".into()));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let evs = events("<!-- hi --><a><?pi some data?></a>");
+        assert_eq!(evs[0], XmlEvent::Comment(" hi ".into()));
+        assert_eq!(
+            evs[2],
+            XmlEvent::ProcessingInstruction { target: "pi".into(), data: "some data".into() }
+        );
+    }
+
+    #[test]
+    fn dtd_rejected() {
+        let mut r = XmlReader::new("<!DOCTYPE a><a/>");
+        let err = r.next_event().unwrap_err();
+        assert!(matches!(err.kind(), XmlErrorKind::Unsupported(_)));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let evs = events("<a x=\"1 &lt; 2\">&amp;&#65;</a>");
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "1 < 2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evs[1], XmlEvent::Text("&A".into()));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut r = XmlReader::new("<a x=\"1\" x=\"2\"/>");
+        assert!(matches!(
+            r.next_event().unwrap_err().kind(),
+            XmlErrorKind::DuplicateAttribute(_)
+        ));
+    }
+
+    #[test]
+    fn attribute_value_newline_normalised() {
+        let evs = events("<a x=\"l1\nl2\"/>");
+        match &evs[0] {
+            XmlEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0].value, "l1 l2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_text_content_concatenates() {
+        let mut r = XmlReader::new("<a>x<b>skip</b>y<![CDATA[z]]></a>");
+        r.next_event().unwrap();
+        assert_eq!(r.read_text_content().unwrap(), "xskipyz");
+    }
+
+    #[test]
+    fn pathological_depth_rejected_not_overflowed() {
+        let deep = "<a>".repeat(100_000);
+        let mut reader = XmlReader::new(&deep);
+        let result = std::iter::from_fn(|| match reader.next_event() {
+            Ok(XmlEvent::Eof) => None,
+            Ok(ev) => Some(Ok(ev)),
+            Err(e) => Some(Err(e)),
+        })
+        .find_map(|r| r.err());
+        assert!(result.is_some(), "depth limit must trigger an error");
+        // And the tree builder must therefore be safe too.
+        assert!(crate::tree::Element::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn eof_is_idempotent() {
+        let mut r = XmlReader::new("<a/>");
+        while r.next_event().unwrap() != XmlEvent::Eof {}
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
+    }
+}

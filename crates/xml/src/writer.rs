@@ -1,0 +1,469 @@
+//! A streaming XML writer with namespace management.
+
+use std::fmt::Write as _;
+
+use crate::error::{XmlError, XmlErrorKind};
+use crate::escape::{escape_attr, escape_text, validate_name};
+use crate::name::{NamespaceScope, QName};
+
+/// Streaming writer producing a well-formed document into a `String`.
+///
+/// Namespace declarations are emitted automatically: writing an element or
+/// attribute whose [`QName`] carries a namespace that is not yet in scope
+/// declares it on that element, using the name's suggested prefix when
+/// available and a generated `ns{N}` prefix otherwise.
+///
+/// ```
+/// use wsg_xml::{XmlWriter, QName};
+///
+/// # fn main() -> Result<(), wsg_xml::XmlError> {
+/// let mut w = XmlWriter::new();
+/// w.start_element(&QName::with_ns("urn:x", "root").with_prefix("x"))?;
+/// w.text("hello")?;
+/// w.end_element()?;
+/// assert_eq!(w.finish()?, "<x:root xmlns:x=\"urn:x\">hello</x:root>");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct XmlWriter {
+    out: String,
+    scope: NamespaceScope,
+    open: Vec<String>,
+    // The current start tag is still open (attributes may be added).
+    tag_open: bool,
+    root_closed: bool,
+    generated: usize,
+    indent: Option<String>,
+    // True when the last thing written inside the current element was
+    // character data (suppresses indentation of the close tag).
+    mixed: Vec<bool>,
+}
+
+impl Default for XmlWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XmlWriter {
+    /// A writer producing compact output.
+    pub fn new() -> Self {
+        XmlWriter {
+            out: String::new(),
+            scope: NamespaceScope::new(),
+            open: Vec::new(),
+            tag_open: false,
+            root_closed: false,
+            generated: 0,
+            indent: None,
+            mixed: Vec::new(),
+        }
+    }
+
+    /// A writer that pretty-prints with the given indent unit.
+    pub fn pretty(indent: &str) -> Self {
+        let mut w = Self::new();
+        w.indent = Some(indent.to_string());
+        w
+    }
+
+    /// Emit the `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any content was already written.
+    pub fn declaration(&mut self) -> Result<(), XmlError> {
+        if !self.out.is_empty() {
+            return Err(self.misuse("declaration must be first"));
+        }
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.indent.is_some() {
+            self.out.push('\n');
+        }
+        Ok(())
+    }
+
+    /// Open an element.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid names or writing a second root element.
+    pub fn start_element(&mut self, name: &QName) -> Result<(), XmlError> {
+        self.close_pending_tag(false)?;
+        if self.open.is_empty() && self.root_closed {
+            return Err(self.misuse("document already has a root element"));
+        }
+        self.newline_indent();
+        self.scope.push_scope();
+        let (lexical, declaration) = self.qualified(name, false)?;
+        self.out.push('<');
+        self.out.push_str(&lexical);
+        if let Some(decl) = declaration {
+            self.out.push_str(&decl);
+        }
+        self.open.push(lexical);
+        self.tag_open = true;
+        self.mixed.push(false);
+        Ok(())
+    }
+
+    /// Add an attribute to the element just opened.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no start tag is open (i.e. content has already been
+    /// written), or the name is invalid.
+    pub fn attribute(&mut self, name: &QName, value: &str) -> Result<(), XmlError> {
+        if !self.tag_open {
+            return Err(self.misuse("attribute written outside a start tag"));
+        }
+        let (lexical, declaration) = self.qualified(name, true)?;
+        if let Some(decl) = declaration {
+            self.out.push_str(&decl);
+        }
+        let _ = write!(self.out, " {}=\"{}\"", lexical, escape_attr(value));
+        Ok(())
+    }
+
+    /// Explicitly declare a namespace prefix on the open element.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no start tag is open.
+    pub fn declare_namespace(&mut self, prefix: &str, uri: &str) -> Result<(), XmlError> {
+        if !self.tag_open {
+            return Err(self.misuse("namespace declaration outside a start tag"));
+        }
+        if !prefix.is_empty() {
+            validate_name(prefix)?;
+        }
+        if self.scope.resolve(prefix) == Some(uri) {
+            return Ok(()); // already in scope with the same meaning
+        }
+        self.scope.declare(prefix, uri);
+        if prefix.is_empty() {
+            let _ = write!(self.out, " xmlns=\"{}\"", escape_attr(uri));
+        } else {
+            let _ = write!(self.out, " xmlns:{}=\"{}\"", prefix, escape_attr(uri));
+        }
+        Ok(())
+    }
+
+    /// Write character data (escaped).
+    ///
+    /// # Errors
+    ///
+    /// Fails outside the root element.
+    pub fn text(&mut self, text: &str) -> Result<(), XmlError> {
+        self.close_pending_tag(false)?;
+        if self.open.is_empty() {
+            return Err(self.misuse("text outside root element"));
+        }
+        if let Some(m) = self.mixed.last_mut() {
+            *m = true;
+        }
+        self.out.push_str(&escape_text(text));
+        Ok(())
+    }
+
+    /// Write a CDATA section. The content must not contain `]]>`.
+    ///
+    /// # Errors
+    ///
+    /// Fails outside the root element or when content contains `]]>`.
+    pub fn cdata(&mut self, text: &str) -> Result<(), XmlError> {
+        self.close_pending_tag(false)?;
+        if self.open.is_empty() {
+            return Err(self.misuse("cdata outside root element"));
+        }
+        if text.contains("]]>") {
+            return Err(self.misuse("']]>' inside cdata"));
+        }
+        if let Some(m) = self.mixed.last_mut() {
+            *m = true;
+        }
+        let _ = write!(self.out, "<![CDATA[{text}]]>");
+        Ok(())
+    }
+
+    /// Write a comment. Must not contain `--`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the comment contains `--`.
+    pub fn comment(&mut self, text: &str) -> Result<(), XmlError> {
+        if text.contains("--") {
+            return Err(self.misuse("'--' inside comment"));
+        }
+        self.close_pending_tag(false)?;
+        self.newline_indent();
+        let _ = write!(self.out, "<!--{text}-->");
+        Ok(())
+    }
+
+    /// Close the innermost open element.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no element is open.
+    pub fn end_element(&mut self) -> Result<(), XmlError> {
+        if self.tag_open {
+            // <a ...  />  — self-close
+            self.out.push_str("/>");
+            self.tag_open = false;
+            self.open.pop();
+            self.mixed.pop();
+            self.scope.pop_scope();
+        } else {
+            let lexical = self
+                .open
+                .pop()
+                .ok_or_else(|| self.misuse("end_element with no open element"))?;
+            let was_mixed = self.mixed.pop().unwrap_or(false);
+            if !was_mixed {
+                self.newline_indent();
+            }
+            let _ = write!(self.out, "</{lexical}>");
+            self.scope.pop_scope();
+        }
+        if self.open.is_empty() {
+            self.root_closed = true;
+        }
+        Ok(())
+    }
+
+    /// Convenience: `start_element` + `text` + `end_element`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer errors.
+    pub fn text_element(&mut self, name: &QName, text: &str) -> Result<(), XmlError> {
+        self.start_element(name)?;
+        if !text.is_empty() {
+            self.text(text)?;
+        }
+        self.end_element()
+    }
+
+    /// Finish the document and return the XML string.
+    ///
+    /// # Errors
+    ///
+    /// Fails if elements remain open or no root was written.
+    pub fn finish(mut self) -> Result<String, XmlError> {
+        if self.tag_open || !self.open.is_empty() {
+            return Err(self.misuse("finish with unclosed elements"));
+        }
+        if !self.root_closed {
+            return Err(self.misuse("finish with no root element"));
+        }
+        if self.indent.is_some() && !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+        Ok(self.out)
+    }
+
+    /// Number of currently open elements.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn close_pending_tag(&mut self, _self_close: bool) -> Result<(), XmlError> {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+        Ok(())
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(unit) = &self.indent {
+            if !self.out.is_empty() {
+                self.out.push('\n');
+                let depth = self.open.len();
+                for _ in 0..depth {
+                    self.out.push_str(unit);
+                }
+            }
+        }
+    }
+
+    /// Produce the lexical (possibly prefixed) form for `name`, together
+    /// with the `xmlns` declaration text to splice into the open start tag
+    /// when the namespace is not yet in scope. `is_attr`: unprefixed
+    /// attributes are in no namespace, so attributes in a namespace always
+    /// need a prefix.
+    fn qualified(
+        &mut self,
+        name: &QName,
+        is_attr: bool,
+    ) -> Result<(String, Option<String>), XmlError> {
+        validate_name(name.local())?;
+        let ns = match name.namespace() {
+            Some(ns) if !ns.is_empty() => ns.to_string(),
+            _ => {
+                // No namespace. For elements, make sure no default ns is in
+                // scope that would capture this name.
+                let mut decl = None;
+                if !is_attr {
+                    if let Some(uri) = self.scope.resolve("") {
+                        if !uri.is_empty() {
+                            self.scope.declare("", "");
+                            decl = Some(" xmlns=\"\"".to_string());
+                        }
+                    }
+                }
+                return Ok((name.local().to_string(), decl));
+            }
+        };
+
+        // Already bound?
+        if let Some(p) = self.scope.prefix_for(&ns) {
+            if p.is_empty() {
+                if is_attr {
+                    // default ns does not apply to attributes; fall through
+                    // to declare a real prefix.
+                } else {
+                    return Ok((name.local().to_string(), None));
+                }
+            } else {
+                return Ok((format!("{p}:{}", name.local()), None));
+            }
+        }
+
+        // Need a declaration on this element.
+        let prefix = match name.prefix() {
+            Some(p) if !p.is_empty() && self.scope.resolve(p).is_none() => p.to_string(),
+            Some(p)
+                if !p.is_empty() && self.scope.resolve(p) == Some(ns.as_str()) =>
+            {
+                p.to_string()
+            }
+            _ => {
+                self.generated += 1;
+                format!("ns{}", self.generated)
+            }
+        };
+        let decl = if self.scope.resolve(&prefix) != Some(ns.as_str()) {
+            self.scope.declare(&prefix, &ns);
+            Some(format!(" xmlns:{}=\"{}\"", prefix, escape_attr(&ns)))
+        } else {
+            None
+        };
+        Ok((format!("{prefix}:{}", name.local()), decl))
+    }
+
+    fn misuse(&self, msg: &str) -> XmlError {
+        XmlError::new(XmlErrorKind::WriterState(msg.to_string()), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_element_with_text() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::new("a")).unwrap();
+        w.text("x < y").unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a>x &lt; y</a>");
+    }
+
+    #[test]
+    fn self_closing_when_empty() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::new("a")).unwrap();
+        w.attribute(&QName::new("id"), "1").unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a id=\"1\"/>");
+    }
+
+    #[test]
+    fn namespace_autodeclared_with_suggested_prefix() {
+        let mut w = XmlWriter::new();
+        let name = QName::with_ns("urn:x", "a").with_prefix("x");
+        w.start_element(&name).unwrap();
+        w.start_element(&QName::with_ns("urn:x", "b")).unwrap();
+        w.end_element().unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<x:a xmlns:x=\"urn:x\"><x:b/></x:a>");
+    }
+
+    #[test]
+    fn namespace_generated_prefix_when_needed() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::with_ns("urn:x", "a")).unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<ns1:a xmlns:ns1=\"urn:x\"/>");
+    }
+
+    #[test]
+    fn attribute_in_namespace_gets_prefix() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::new("a")).unwrap();
+        w.attribute(&QName::with_ns("urn:x", "id").with_prefix("x"), "7").unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a xmlns:x=\"urn:x\" x:id=\"7\"/>");
+    }
+
+    #[test]
+    fn attribute_after_content_rejected() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::new("a")).unwrap();
+        w.text("t").unwrap();
+        assert!(w.attribute(&QName::new("x"), "1").is_err());
+    }
+
+    #[test]
+    fn unbalanced_finish_rejected() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::new("a")).unwrap();
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn second_root_rejected() {
+        let mut w = XmlWriter::new();
+        w.start_element(&QName::new("a")).unwrap();
+        w.end_element().unwrap();
+        assert!(w.start_element(&QName::new("b")).is_err());
+    }
+
+    #[test]
+    fn declaration_then_root() {
+        let mut w = XmlWriter::new();
+        w.declaration().unwrap();
+        w.start_element(&QName::new("a")).unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+    }
+
+    #[test]
+    fn pretty_printing_indents_structure_not_text() {
+        let mut w = XmlWriter::pretty("  ");
+        w.start_element(&QName::new("a")).unwrap();
+        w.start_element(&QName::new("b")).unwrap();
+        w.text("t").unwrap();
+        w.end_element().unwrap();
+        w.end_element().unwrap();
+        assert_eq!(w.finish().unwrap(), "<a>\n  <b>t</b>\n</a>\n");
+    }
+
+    #[test]
+    fn writer_output_reparses() {
+        let mut w = XmlWriter::new();
+        let env = QName::with_ns("urn:env", "Envelope").with_prefix("env");
+        w.start_element(&env).unwrap();
+        w.attribute(&QName::new("version"), "1.0").unwrap();
+        w.text_element(&QName::with_ns("urn:env", "Body"), "payload & more").unwrap();
+        w.end_element().unwrap();
+        let xml = w.finish().unwrap();
+        let root = crate::tree::Element::parse(&xml).unwrap();
+        assert_eq!(root.name().namespace(), Some("urn:env"));
+        assert_eq!(root.children().len(), 1);
+        assert_eq!(root.children()[0].text(), "payload & more");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: any generated element tree serialises to XML that parses
+//! back to an equal tree, and escaping round-trips arbitrary strings.
+
+use proptest::prelude::*;
+use wsg_xml::tree::{Element, Node};
+use wsg_xml::{escape, QName};
+
+/// XML-legal text: strip the control characters XML 1.0 forbids.
+fn xml_text() -> impl Strategy<Value = String> {
+    "[ -~\u{A0}-\u{2FF}]{0,40}".prop_map(|s| {
+        s.chars().filter(|c| escape::is_xml_char(*c)).collect()
+    })
+}
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}"
+}
+
+fn ns_uri() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}".prop_map(|s| format!("urn:{s}"))
+}
+
+fn arb_qname() -> impl Strategy<Value = QName> {
+    (xml_name(), proptest::option::of(ns_uri())).prop_map(|(local, ns)| match ns {
+        Some(ns) => QName::with_ns(ns, local),
+        None => QName::new(local),
+    })
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_qname(), proptest::collection::vec((xml_name(), xml_text()), 0..4), xml_text())
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::with_name(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v);
+            }
+            if !text.is_empty() {
+                e.set_text(text);
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_qname(), proptest::collection::vec(inner, 0..4), xml_text()).prop_map(
+            |(name, children, text)| {
+                let mut e = Element::with_name(name);
+                // Interleave one text run before children, mimicking mixed
+                // content; adjacent text merging means at most one leading
+                // run survives a parse, so keep it single.
+                if !text.is_empty() {
+                    e.set_text(text);
+                }
+                for c in children {
+                    e.push_child(c);
+                }
+                e
+            },
+        )
+    })
+}
+
+/// Normalise an element the way a parse does: empty text runs can not
+/// survive serialisation.
+fn normalise(e: &Element) -> Element {
+    let mut out = Element::with_name(e.name().clone());
+    for (k, v) in e.attributes() {
+        out.set_qattr(k.clone(), v.clone());
+    }
+    for n in e.nodes() {
+        match n {
+            Node::Element(c) => out.push_child(normalise(c)),
+            Node::Text(t) if !t.is_empty() => {
+                let mut tmp = out;
+                tmp = tmp.with_text(t.clone());
+                out = tmp;
+            }
+            Node::Text(_) => {}
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn tree_roundtrips_through_serialisation(e in arb_element()) {
+        let xml = e.to_xml_string();
+        let parsed = Element::parse(&xml).expect("own output must parse");
+        prop_assert_eq!(normalise(&e), parsed);
+    }
+
+    #[test]
+    fn pretty_output_preserves_names_and_attrs(e in arb_element()) {
+        let xml = e.to_pretty_string();
+        let parsed = Element::parse(&xml).expect("pretty output must parse");
+        prop_assert_eq!(parsed.name(), e.name());
+        prop_assert_eq!(parsed.attributes().len(), e.attributes().len());
+    }
+
+    #[test]
+    fn escape_unescape_text_roundtrip(s in xml_text()) {
+        let escaped = escape::escape_text(&s);
+        prop_assert_eq!(escape::unescape(&escaped, 0).unwrap().into_owned(), s);
+    }
+
+    #[test]
+    fn escape_unescape_attr_roundtrip(s in xml_text()) {
+        let escaped = escape::escape_attr(&s);
+        prop_assert_eq!(escape::unescape(&escaped, 0).unwrap().into_owned(), s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = Element::parse(&s);
+    }
+
+    #[test]
+    fn escaped_text_contains_no_specials(s in xml_text()) {
+        let escaped = escape::escape_text(&s);
+        prop_assert!(!escaped.contains('<'));
+        // every '&' must begin an entity
+        for (i, c) in escaped.char_indices() {
+            if c == '&' {
+                prop_assert!(escaped[i..].contains(';'));
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! WS-Membership in action: failure management for a service fleet.
+//!
+//! Runs the gossip membership service over 32 nodes, crashes a few,
+//! recovers one, and prints what the surviving views believe at each
+//! stage — the "failure management in a Web-Services world" substrate the
+//! paper's distributed Coordinator relies on.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example membership_monitor
+//! ```
+
+use wsg_membership::{MembershipConfig, MembershipGossip};
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::{NodeId, SimTime};
+
+fn report(net: &SimNet<MembershipGossip>, label: &str) {
+    let n = net.len();
+    let mut complete = 0;
+    let mut alive_total = 0;
+    for id in net.node_ids() {
+        if net.is_crashed(id) {
+            continue;
+        }
+        let alive = net.node(id).view().alive_count();
+        alive_total += alive;
+        if alive == n - crashed_count(net) {
+            complete += 1;
+        }
+    }
+    let survivors = n - crashed_count(net);
+    println!(
+        "{label}: {complete}/{survivors} survivors have an exact view \
+         (mean alive-count {:.1})",
+        alive_total as f64 / survivors as f64
+    );
+}
+
+fn crashed_count(net: &SimNet<MembershipGossip>) -> usize {
+    net.node_ids().iter().filter(|id| net.is_crashed(**id)).count()
+}
+
+fn main() {
+    let n = 32;
+    let mut net = SimNet::new(SimConfig::default().seed(11));
+    net.add_nodes(n, |id| MembershipGossip::new(MembershipConfig::default(), id, n));
+    net.start();
+
+    println!("== WS-Membership failure monitor, {n} nodes ==\n");
+
+    net.run_until(SimTime::from_secs(5));
+    report(&net, "t=5s  (bootstrap)");
+
+    // Crash three nodes.
+    for id in [NodeId(3), NodeId(17), NodeId(29)] {
+        net.crash(id);
+    }
+    println!("\n!! crashed n3, n17, n29");
+    net.run_until(SimTime::from_secs(8));
+    report(&net, "t=8s  (before detection)");
+    net.run_until(SimTime::from_secs(20));
+    report(&net, "t=20s (after fail timeout)");
+
+    let believer = net.node(NodeId(0));
+    println!(
+        "n0's verdicts: n3={:?} n17={:?} n29={:?}",
+        believer.view().status(NodeId(3)),
+        believer.view().status(NodeId(17)),
+        believer.view().status(NodeId(29)),
+    );
+
+    // One node comes back.
+    net.recover(NodeId(17));
+    println!("\n!! recovered n17");
+    net.run_until(SimTime::from_secs(40));
+    let back = net
+        .node_ids()
+        .iter()
+        .filter(|id| !net.is_crashed(**id) && net.node(**id).alive_peers().contains(&NodeId(17)))
+        .count();
+    println!("t=40s: {back}/{} survivors re-admitted n17", n - 2);
+
+    assert!(back >= n - 4, "recovery must propagate");
+}

@@ -1,0 +1,94 @@
+//! The paper's motivating scenario (§1): a stock market feed disseminated
+//! to many service endpoints, with failures injected mid-stream.
+//!
+//! A Poisson stream of Zipf-popular ticks is published through WS-Gossip
+//! while a quarter of the disseminators crash halfway through the run;
+//! the example reports per-node delivery ratios, showing the epidemic
+//! routing around the failures.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example stock_ticker
+//! ```
+
+use ws_gossip::scenario::{self, Figure1Shape};
+use ws_gossip::Role;
+use wsg_net::sim::SimConfig;
+use wsg_net::{NodeId, Pcg32, SimTime};
+use wsg_workloads::{ArrivalProcess, Arrivals, StockTicker};
+
+fn main() {
+    let shape = Figure1Shape { disseminators: 24, consumers: 8 };
+    let mut net = scenario::build_figure1_network(SimConfig::default().seed(7), shape);
+
+    println!("== stock ticker over WS-Gossip ==");
+    println!("1 coordinator, 1 initiator, 24 disseminators, 8 consumers\n");
+
+    scenario::subscribe_all(&mut net, "market");
+    net.run_to_quiescence();
+    scenario::activate(&mut net, "market");
+    net.run_to_quiescence();
+
+    // Schedule a 2-second Poisson tick stream at 50 ticks/s.
+    let mut rng = Pcg32::new(99, 0);
+    let mut arrivals = Arrivals::new(ArrivalProcess::Poisson { rate_per_sec: 50.0 });
+    let mut ticker = StockTicker::new(32);
+    let schedule = arrivals.schedule_until(SimTime::from_secs(2), &mut rng);
+    let total_ticks = schedule.len();
+    println!("publishing {total_ticks} ticks over 2s of virtual time");
+
+    let mut crashed = false;
+    for at in schedule {
+        net.run_until(at);
+        // Halfway through, crash 6 of the 24 disseminators.
+        if !crashed && at > SimTime::from_secs(1) {
+            crashed = true;
+            for i in 0..6 {
+                net.crash(NodeId(2 + i * 4));
+            }
+            println!("!! crashed 6 disseminators at t={at}");
+        }
+        let tick = ticker.next_tick(&mut rng);
+        scenario::notify(&mut net, "market", tick.to_element());
+    }
+    net.run_to_quiescence();
+
+    println!("\n-- delivery report --");
+    let mut survivors = 0usize;
+    let mut delivered_total = 0usize;
+    let mut worst: (usize, String) = (usize::MAX, String::new());
+    for id in net.node_ids() {
+        let node = net.node(id);
+        if !matches!(node.role(), Role::Disseminator | Role::Consumer) {
+            continue;
+        }
+        if net.is_crashed(id) {
+            continue; // crashed nodes are expected to miss the tail
+        }
+        survivors += 1;
+        let got = node.distinct_ops().len();
+        delivered_total += got;
+        if got < worst.0 {
+            worst = (got, format!("{id} ({})", node.role()));
+        }
+    }
+    let mean_ratio = delivered_total as f64 / (survivors * total_ticks) as f64;
+    println!(
+        "{survivors} surviving subscribers; mean delivery ratio {:.2}%          (worst: {} with {}/{total_ticks})",
+        mean_ratio * 100.0,
+        worst.1,
+        worst.0
+    );
+    println!(
+        "wire traffic: {} messages, {} KiB of SOAP",
+        net.stats().sent,
+        net.stats().bytes_sent / 1024
+    );
+    // Each tick is an independent epidemic with ~95%+ per-message
+    // atomicity; the aggregate feed stays near-complete through the
+    // crash of a quarter of the disseminators.
+    assert!(
+        mean_ratio >= 0.97,
+        "mean delivery ratio {mean_ratio:.3} too low"
+    );
+}

@@ -1,0 +1,128 @@
+//! Distributed coordinator (paper §3, final paragraph): the subscriber
+//! list "maintained in a distributed fashion", with coordinator replicas
+//! converging by gossip and surviving coordinator crashes.
+
+use ws_gossip::scenario::{
+    self, build_distributed_network, distributed_initiator, DistributedShape,
+};
+use ws_gossip::Role;
+use wsg_net::sim::SimConfig;
+use wsg_net::{NodeId, SimTime};
+use wsg_xml::Element;
+
+fn shape() -> DistributedShape {
+    DistributedShape { coordinators: 3, disseminators: 6, consumers: 3 }
+}
+
+#[test]
+fn subscriptions_replicate_to_all_coordinators() {
+    let mut net = build_distributed_network(SimConfig::default().seed(1), shape());
+    scenario::subscribe_all(&mut net, "t");
+    // Let a few sync rounds pass.
+    net.run_until(SimTime::from_secs(3));
+    for c in 0..3 {
+        let known = net.node(NodeId(c)).subscribers_of("t", net.now());
+        assert_eq!(known.len(), 9, "coordinator {c} sees {} subscribers", known.len());
+    }
+}
+
+#[test]
+fn activation_at_one_coordinator_sees_everyones_subscribers() {
+    let mut net = build_distributed_network(SimConfig::default().seed(2), shape());
+    scenario::subscribe_all(&mut net, "t");
+    net.run_until(SimTime::from_secs(3));
+    // Activate at coordinator 0 (the initiator's home); its grant must
+    // cover subscribers registered at coordinators 1 and 2 too.
+    let initiator = distributed_initiator(shape());
+    net.invoke(initiator, |node, ctx| {
+        node.activate(wsg_coord::GossipProtocol::Push, "t", ctx)
+    });
+    net.run_until(SimTime::from_secs(4));
+    net.invoke(initiator, |node, ctx| {
+        node.notify("t", Element::text_node("op", "x"), ctx)
+    });
+    net.run_until(SimTime::from_secs(8));
+    assert_eq!(scenario::coverage(&net, 1), 1.0, "all subscribers reached");
+}
+
+#[test]
+fn coordinator_crash_is_survivable_after_replication() {
+    let mut net = build_distributed_network(SimConfig::default().seed(3), shape());
+    scenario::subscribe_all(&mut net, "t");
+    net.run_until(SimTime::from_secs(3));
+    // Coordinators 1 and 2 die; everything they knew lives on at 0.
+    net.crash(NodeId(1));
+    net.crash(NodeId(2));
+    let initiator = distributed_initiator(shape());
+    net.invoke(initiator, |node, ctx| {
+        node.activate(wsg_coord::GossipProtocol::Push, "t", ctx)
+    });
+    net.run_until(SimTime::from_secs(4));
+    net.invoke(initiator, |node, ctx| {
+        node.notify("t", Element::text_node("op", "x"), ctx)
+    });
+    net.run_until(SimTime::from_secs(10));
+    // Every *surviving* subscriber must still be reached, including ones
+    // whose home coordinator is dead (their subscription was replicated).
+    for id in net.node_ids() {
+        let node = net.node(id);
+        if net.is_crashed(id) || !matches!(node.role(), Role::Disseminator | Role::Consumer) {
+            continue;
+        }
+        assert!(
+            !node.distinct_ops().is_empty(),
+            "{id} ({}) missed the op after coordinator crash",
+            node.role()
+        );
+    }
+}
+
+#[test]
+fn registrations_replicate_between_coordinators() {
+    let mut net = build_distributed_network(SimConfig::default().seed(4), shape());
+    scenario::subscribe_all(&mut net, "t");
+    net.run_until(SimTime::from_secs(3));
+    let initiator = distributed_initiator(shape());
+    net.invoke(initiator, |node, ctx| {
+        node.activate(wsg_coord::GossipProtocol::Push, "t", ctx)
+    });
+    net.run_until(SimTime::from_secs(4));
+    net.invoke(initiator, |node, ctx| {
+        node.notify("t", Element::text_node("op", "x"), ctx)
+    });
+    net.run_until(SimTime::from_secs(10));
+    // The context was created at coordinator 0; after sync every replica
+    // knows its participants.
+    let ctx_id = net
+        .node(initiator)
+        .context_for("t")
+        .unwrap()
+        .identifier()
+        .to_string();
+    for c in 0..3 {
+        assert!(
+            net.node(NodeId(c)).participant_count(&ctx_id) >= 2,
+            "coordinator {c} has no replicated participants"
+        );
+    }
+}
+
+#[test]
+fn single_coordinator_mode_unchanged() {
+    // k=1 must behave exactly like the plain builder (no sync traffic).
+    let mut net = build_distributed_network(
+        SimConfig::default().seed(5),
+        DistributedShape { coordinators: 1, disseminators: 4, consumers: 2 },
+    );
+    scenario::subscribe_all(&mut net, "t");
+    net.run_to_quiescence();
+    net.invoke(NodeId(1), |node, ctx| {
+        node.activate(wsg_coord::GossipProtocol::Push, "t", ctx)
+    });
+    net.run_to_quiescence();
+    net.invoke(NodeId(1), |node, ctx| {
+        node.notify("t", Element::text_node("op", "x"), ctx)
+    });
+    net.run_to_quiescence();
+    assert_eq!(scenario::coverage(&net, 1), 1.0);
+}

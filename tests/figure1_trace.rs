@@ -1,0 +1,116 @@
+//! Reproduction of Figure 1: the exact message flow of a dissemination
+//! using the gossip service — activation, registration, subscription, the
+//! single `op` from the initiator, interception and re-routing.
+
+use ws_gossip::scenario::{self, Figure1Shape, COORDINATOR, INITIATOR};
+use ws_gossip::Role;
+use wsg_net::sim::SimConfig;
+use wsg_net::NodeId;
+use wsg_xml::Element;
+
+fn figure1() -> (wsg_net::sim::SimNet<ws_gossip::WsGossipNode>, Vec<String>) {
+    // Figure 1 shows: Coordinator, Initiator (App0b), two Disseminators
+    // (App1, App2), one Consumer (App3).
+    let mut net = scenario::build_figure1_network(
+        SimConfig::default().seed(2008),
+        Figure1Shape { disseminators: 2, consumers: 1 },
+    );
+    let trace = scenario::install_tracer(&mut net);
+    scenario::subscribe_all(&mut net, "quotes");
+    net.run_to_quiescence();
+    scenario::activate(&mut net, "quotes");
+    net.run_to_quiescence();
+    scenario::notify(&mut net, "quotes", Element::text_node("op", "payload"));
+    net.run_to_quiescence();
+    let lines = trace.lock().unwrap().clone();
+    (net, lines)
+}
+
+#[test]
+fn all_figure1_message_kinds_appear_in_order() {
+    let (_, lines) = figure1();
+    let text = lines.join("\n");
+    // The protocol phases of Figure 1, in causal order.
+    let phases = [
+        "Subscribe",
+        "CreateCoordinationContext",
+        "CreateCoordinationContextResponse",
+        "Notify[quotes seq=0",
+        "Register",
+        "RegisterResponse",
+    ];
+    let mut cursor = 0;
+    for phase in phases {
+        let found = text[cursor..].find(phase).unwrap_or_else(|| {
+            panic!("phase '{phase}' missing after byte {cursor} in trace:\n{text}")
+        });
+        cursor += found;
+    }
+}
+
+#[test]
+fn subscription_precedes_activation_effects() {
+    let (net, _) = figure1();
+    let coordinator = net.node(COORDINATOR);
+    assert_eq!(coordinator.subscriber_count("quotes", net.now()), 3);
+}
+
+#[test]
+fn every_role_behaves_as_the_paper_describes() {
+    let (net, _) = figure1();
+
+    // Initiator: changed app code — activated and issued one notification.
+    let initiator = net.node(INITIATOR);
+    assert!(initiator.context_for("quotes").is_some());
+    let init_layer = initiator.layer_stats().expect("initiator has gossip layer");
+    assert_eq!(init_layer.intercepted, 1, "one outgoing op intercepted");
+    assert!(init_layer.forwards_sent >= 1);
+
+    // Disseminators: oblivious app, gossip handler did the work.
+    for id in [NodeId(2), NodeId(3)] {
+        let node = net.node(id);
+        assert_eq!(node.role(), Role::Disseminator);
+        assert_eq!(node.distinct_ops().len(), 1, "{id} delivered the op");
+    }
+    // At least one disseminator had to register (unknown interaction).
+    let registrations: u64 = [NodeId(2), NodeId(3)]
+        .iter()
+        .map(|id| net.node(*id).layer_stats().unwrap().registers_sent)
+        .sum();
+    assert!(registrations >= 1);
+
+    // Consumer: completely unchanged, still got the op.
+    let consumer = net.node(NodeId(4));
+    assert_eq!(consumer.role(), Role::Consumer);
+    assert!(consumer.layer_stats().is_none());
+    assert_eq!(consumer.distinct_ops().len(), 1);
+}
+
+#[test]
+fn trace_shows_rounds_incrementing() {
+    let (_, lines) = figure1();
+    let rounds: Vec<u32> = lines
+        .iter()
+        .filter(|l| l.contains("Notify[quotes"))
+        .filter_map(|l| {
+            let idx = l.find("r=")?;
+            l[idx + 2..].split(']').next()?.parse().ok()
+        })
+        .collect();
+    assert!(rounds.contains(&1), "round 1 copies exist: {rounds:?}");
+    assert!(rounds.iter().all(|r| *r >= 1), "wire copies start at round 1");
+}
+
+#[test]
+fn coordinator_knows_participants_and_subscribers() {
+    let (net, _) = figure1();
+    let coordinator = net.node(COORDINATOR);
+    let context_id = net
+        .node(INITIATOR)
+        .context_for("quotes")
+        .unwrap()
+        .identifier()
+        .to_string();
+    // Initiator + any disseminators that registered.
+    assert!(coordinator.participant_count(&context_id) >= 2);
+}

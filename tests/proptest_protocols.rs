@@ -1,0 +1,302 @@
+//! Property-based tests on cross-crate protocol invariants.
+
+use proptest::prelude::*;
+
+use wsg_coord::{CoordinationContext, GossipGrant, GossipPolicy, GossipProtocol};
+use wsg_gossip::{analysis, Digest, GossipConfig, GossipEngine, GossipParams, GossipStyle, MsgId};
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::NodeId;
+use wsg_soap::{Envelope, MessageHeaders};
+use wsg_xml::Element;
+
+fn arb_params() -> impl Strategy<Value = GossipParams> {
+    (1usize..12, 1u32..12).prop_map(|(f, r)| GossipParams::new(f, r))
+}
+
+fn arb_protocol() -> impl Strategy<Value = GossipProtocol> {
+    prop_oneof![
+        Just(GossipProtocol::Push),
+        Just(GossipProtocol::LazyPush),
+        Just(GossipProtocol::Pull),
+        Just(GossipProtocol::PushPull),
+        Just(GossipProtocol::AntiEntropy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any coordination context round-trips through wire XML.
+    #[test]
+    fn context_wire_roundtrip(
+        protocol in arb_protocol(),
+        params in arb_params(),
+        ctx_num in 0u64..10_000,
+        expires in proptest::option::of(1u64..10_000_000),
+    ) {
+        let mut context = CoordinationContext::new(
+            format!("urn:ws-gossip:ctx:{ctx_num}"),
+            protocol,
+            "http://node0/registration",
+            GossipPolicy::new(params),
+        );
+        if let Some(expires) = expires {
+            context = context.with_expires(expires);
+        }
+        let xml = context.to_header().to_xml_string();
+        let parsed = CoordinationContext::from_header(&Element::parse(&xml).unwrap()).unwrap();
+        prop_assert_eq!(parsed, context);
+    }
+
+    /// Grants round-trip through wire XML with arbitrary peer lists.
+    #[test]
+    fn grant_wire_roundtrip(
+        fanout in 1usize..50,
+        rounds in 1u32..50,
+        peers in proptest::collection::vec(0usize..1000, 0..20),
+    ) {
+        let grant = GossipGrant {
+            fanout,
+            rounds,
+            peers: peers.iter().map(|p| format!("http://node{p}/gossip")).collect(),
+        };
+        let xml = grant.to_register_response().to_xml_string();
+        let parsed = GossipGrant::from_parent(&Element::parse(&xml).unwrap()).unwrap();
+        prop_assert_eq!(parsed, grant);
+    }
+
+    /// SOAP envelopes with arbitrary payload text round-trip.
+    #[test]
+    fn envelope_payload_roundtrip(text in "[ -~]{0,200}") {
+        let env = Envelope::request(
+            MessageHeaders::request("http://node1/gossip", "urn:op"),
+            Element::new("op").with_text(text.clone()),
+        );
+        let parsed = Envelope::parse(&env.to_xml()).unwrap();
+        prop_assert_eq!(parsed.body().unwrap().text(), text);
+    }
+
+    /// Digest::missing_from is a true set difference for arbitrary sets.
+    #[test]
+    fn digest_difference_exact(
+        mine in proptest::collection::hash_set((0usize..6, 0u64..30), 0..40),
+        theirs in proptest::collection::hash_set((0usize..6, 0u64..30), 0..40),
+    ) {
+        let mut a = Digest::new();
+        for &(origin, seq) in &mine {
+            a.insert(MsgId::new(NodeId(origin), seq));
+        }
+        let mut b = Digest::new();
+        for &(origin, seq) in &theirs {
+            b.insert(MsgId::new(NodeId(origin), seq));
+        }
+        let missing: std::collections::HashSet<(usize, u64)> = a
+            .missing_from(&b)
+            .into_iter()
+            .map(|id| (id.origin().index(), id.seq()))
+            .collect();
+        let expected: std::collections::HashSet<(usize, u64)> =
+            mine.difference(&theirs).copied().collect();
+        prop_assert_eq!(missing, expected);
+    }
+
+    /// The epidemic never delivers the same message twice to the app and
+    /// never exceeds the round budget, for any parameters and loss rate.
+    #[test]
+    fn engine_invariants_hold(
+        params in arb_params(),
+        n in 4usize..40,
+        loss in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let mut net = SimNet::new(SimConfig::default().seed(seed).drop_probability(loss));
+        net.add_nodes(n, |id| {
+            let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+            GossipEngine::<u32>::new(
+                GossipConfig::new(GossipStyle::EagerPush, params.clone()),
+                peers,
+            )
+        });
+        net.start();
+        net.invoke(NodeId(0), |engine, ctx| {
+            engine.publish(7, ctx);
+        });
+        net.run_to_quiescence();
+        for i in 0..n {
+            let delivered = net.node(NodeId(i)).delivered();
+            prop_assert!(delivered.len() <= 1, "double delivery at {i}");
+            for d in delivered {
+                prop_assert!(d.round <= params.rounds());
+            }
+        }
+        // The origin always has it.
+        prop_assert_eq!(net.node(NodeId(0)).delivered().len(), 1);
+    }
+
+    /// Mean-field coverage prediction brackets the simulated coverage for
+    /// loss-free eager push (within a generous tolerance band).
+    #[test]
+    fn analysis_brackets_simulation(seed in 0u64..50) {
+        let n = 128;
+        let params = GossipParams::new(3, 4);
+        let mut net = SimNet::new(SimConfig::default().seed(seed));
+        net.add_nodes(n, |id| {
+            let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+            GossipEngine::<u32>::new(
+                GossipConfig::new(GossipStyle::EagerPush, params.clone()),
+                peers,
+            )
+        });
+        net.start();
+        net.invoke(NodeId(0), |engine, ctx| {
+            engine.publish(1, ctx);
+        });
+        net.run_to_quiescence();
+        let reached = (0..n)
+            .filter(|i| !net.node(NodeId(*i)).delivered().is_empty())
+            .count() as f64 / n as f64;
+        let predicted = analysis::expected_coverage(n, 3, 4);
+        prop_assert!((reached - predicted).abs() < 0.35,
+            "simulated {reached:.2} vs predicted {predicted:.2}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Membership view merging is commutative and idempotent: any two
+    /// orders of applying two snapshots converge to the same view.
+    #[test]
+    fn membership_merge_is_commutative_and_idempotent(
+        snapshot_a in proptest::collection::vec((0usize..8, 0u64..100), 0..24),
+        snapshot_b in proptest::collection::vec((0usize..8, 0u64..100), 0..24),
+    ) {
+        use wsg_membership::MembershipView;
+        use wsg_net::SimTime;
+        let entries_a: Vec<(NodeId, u64)> =
+            snapshot_a.iter().map(|&(n, h)| (NodeId(n), h)).collect();
+        let entries_b: Vec<(NodeId, u64)> =
+            snapshot_b.iter().map(|&(n, h)| (NodeId(n), h)).collect();
+        let at = SimTime::from_millis(1);
+
+        let mut ab = MembershipView::new();
+        ab.merge(&entries_a, at);
+        ab.merge(&entries_b, at);
+
+        let mut ba = MembershipView::new();
+        ba.merge(&entries_b, at);
+        ba.merge(&entries_a, at);
+
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+
+        // Idempotence: re-applying changes nothing.
+        let before = ab.snapshot();
+        ab.merge(&entries_a, SimTime::from_millis(2));
+        ab.merge(&entries_b, SimTime::from_millis(2));
+        prop_assert_eq!(ab.snapshot(), before);
+    }
+
+    /// Simulator causality: every delivery happens strictly after its
+    /// send, times never run backwards, and crashed nodes receive nothing.
+    #[test]
+    fn simulator_respects_causality(
+        seed in 0u64..500,
+        n in 2usize..16,
+        drop in 0.0f64..0.4,
+    ) {
+        use std::sync::{Arc, Mutex};
+        use wsg_gossip::{GossipConfig, GossipStyle};
+        use wsg_net::{TraceEvent, TraceKind};
+
+        let mut net = SimNet::new(SimConfig::default().seed(seed).drop_probability(drop));
+        net.add_nodes(n, |id| {
+            let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+            GossipEngine::<u32>::new(
+                GossipConfig::new(GossipStyle::EagerPush, GossipParams::new(2, 5)),
+                peers,
+            )
+        });
+        let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::default();
+        let sink = events.clone();
+        net.set_tracer(Box::new(move |ev| sink.lock().unwrap().push(ev.clone())));
+        let crashed = NodeId(n - 1);
+        net.crash(crashed);
+        net.start();
+        net.invoke(NodeId(0), |e, ctx| {
+            e.publish(1, ctx);
+        });
+        net.run_to_quiescence();
+
+        let events = events.lock().unwrap();
+        let mut last = wsg_net::SimTime::ZERO;
+        for ev in events.iter() {
+            prop_assert!(ev.time >= last, "time ran backwards");
+            last = ev.time;
+            if ev.kind == TraceKind::Deliver {
+                prop_assert_ne!(ev.to, crashed, "delivery to a crashed node");
+            }
+        }
+        // Every deliver is strictly later than some send between the same pair.
+        for deliver in events.iter().filter(|e| e.kind == TraceKind::Deliver) {
+            let has_cause = events.iter().any(|send| {
+                send.kind == TraceKind::Send
+                    && send.from == deliver.from
+                    && send.to == deliver.to
+                    && send.time < deliver.time
+            });
+            prop_assert!(has_cause, "delivery without an earlier send");
+        }
+    }
+
+    /// Same seed, same run: the simulator is deterministic for arbitrary
+    /// parameters.
+    #[test]
+    fn simulator_is_deterministic(seed in 0u64..200, n in 2usize..20) {
+        use wsg_gossip::{GossipConfig, GossipStyle};
+        let run = || {
+            let mut net = SimNet::new(SimConfig::default().seed(seed).drop_probability(0.1));
+            net.add_nodes(n, |id| {
+                let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+                GossipEngine::<u32>::new(
+                    GossipConfig::new(GossipStyle::EagerPush, GossipParams::new(3, 6)),
+                    peers,
+                )
+            });
+            net.start();
+            net.invoke(NodeId(0), |e, ctx| {
+                e.publish(9, ctx);
+            });
+            net.run_to_quiescence();
+            (net.stats().clone(), net.now())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Push-sum conserves the value hull: estimates never leave
+    /// [min(values), max(values)] and converge towards the true mean.
+    #[test]
+    fn push_sum_estimates_stay_in_hull(
+        values in proptest::collection::vec(0.0f64..1000.0, 2..24),
+        seed in 0u64..100,
+    ) {
+        use wsg_gossip::PushSum;
+        use wsg_net::{SimDuration, SimTime};
+        let n = values.len();
+        let mut net = SimNet::new(SimConfig::default().seed(seed));
+        for (i, &v) in values.iter().enumerate() {
+            let peers = (0..n).map(NodeId).filter(|p| p.index() != i).collect();
+            net.add_node(PushSum::new(v, peers, SimDuration::from_millis(50)));
+        }
+        net.start();
+        net.run_until(SimTime::from_secs(8));
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mean = values.iter().sum::<f64>() / n as f64;
+        for id in net.node_ids() {
+            let est = net.node(id).estimate();
+            prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6, "estimate {est} outside hull");
+            prop_assert!((est - mean).abs() < (hi - lo).max(1.0) * 0.05 + 1e-6,
+                "estimate {est} far from mean {mean}");
+        }
+    }
+}
