@@ -1,42 +1,37 @@
 //! E8b — gossip engine microbenchmarks: dissemination cost per message
 //! and per run, digest operations, analytic model evaluation.
+//! Runs on the in-tree `wsg_bench::timing` harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use wsg_bench::timing::{bench, bench_with_param};
 use wsg_gossip::{analysis, Digest, GossipConfig, GossipEngine, GossipParams, GossipStyle, MsgId};
 use wsg_net::sim::{SimConfig, SimNet};
 use wsg_net::NodeId;
 
-fn bench_dissemination(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gossip_dissemination");
-    group.sample_size(20);
+fn bench_dissemination() {
     for &n in &[64usize, 256, 1024] {
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let params = GossipParams::atomic_for(n);
-            b.iter(|| {
-                let mut net = SimNet::new(SimConfig::default().seed(1));
-                net.add_nodes(n, |id| {
-                    let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
-                    GossipEngine::<u64>::new(
-                        GossipConfig::new(GossipStyle::EagerPush, params.clone()),
-                        peers,
-                    )
-                });
-                net.start();
-                net.invoke(NodeId(0), |engine, ctx| {
-                    engine.publish(1, ctx);
-                });
-                net.run_to_quiescence();
-                black_box(net.stats().delivered)
+        let params = GossipParams::atomic_for(n);
+        bench_with_param("gossip_dissemination", n, || {
+            let mut net = SimNet::new(SimConfig::default().seed(1));
+            net.add_nodes(n, |id| {
+                let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+                GossipEngine::<u64>::new(
+                    GossipConfig::new(GossipStyle::EagerPush, params.clone()),
+                    peers,
+                )
             });
+            net.start();
+            net.invoke(NodeId(0), |engine, ctx| {
+                engine.publish(1, ctx);
+            });
+            net.run_to_quiescence();
+            black_box(net.stats().delivered)
         });
     }
-    group.finish();
 }
 
-fn bench_digest(c: &mut Criterion) {
+fn bench_digest() {
     let mut full = Digest::new();
     for origin in 0..8 {
         for seq in 0..256 {
@@ -49,56 +44,47 @@ fn bench_digest(c: &mut Criterion) {
             half.insert(MsgId::new(NodeId(origin), seq));
         }
     }
-    c.bench_function("digest_insert_2048", |b| {
-        b.iter(|| {
-            let mut d = Digest::new();
-            for origin in 0..8 {
-                for seq in 0..256 {
-                    d.insert(MsgId::new(NodeId(origin), seq));
-                }
+    bench("digest_insert_2048", || {
+        let mut d = Digest::new();
+        for origin in 0..8 {
+            for seq in 0..256 {
+                d.insert(MsgId::new(NodeId(origin), seq));
             }
-            black_box(d)
-        });
+        }
+        black_box(d)
     });
-    c.bench_function("digest_missing_from_half", |b| {
-        b.iter(|| black_box(full.missing_from(black_box(&half))));
+    bench("digest_missing_from_half", || black_box(full.missing_from(black_box(&half))));
+}
+
+fn bench_analysis() {
+    bench("analysis_expected_coverage_1e6", || {
+        black_box(analysis::expected_coverage(1_000_000, 8, 30))
+    });
+    bench("analysis_fanout_for_atomicity", || {
+        black_box(analysis::fanout_for_atomicity(black_box(100_000), 0.999))
     });
 }
 
-fn bench_analysis(c: &mut Criterion) {
-    c.bench_function("analysis_expected_coverage_1e6", |b| {
-        b.iter(|| black_box(analysis::expected_coverage(1_000_000, 8, 30)));
-    });
-    c.bench_function("analysis_fanout_for_atomicity", |b| {
-        b.iter(|| black_box(analysis::fanout_for_atomicity(black_box(100_000), 0.999)));
-    });
-}
-
-fn bench_aggregation(c: &mut Criterion) {
+fn bench_aggregation() {
     use wsg_gossip::PushSum;
     use wsg_net::{SimDuration, SimTime};
-    let mut group = c.benchmark_group("push_sum_convergence");
-    group.sample_size(20);
     for &n in &[32usize, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut net = SimNet::new(SimConfig::default().seed(3));
-                for i in 0..n {
-                    let peers = (0..n).map(NodeId).filter(|p| p.index() != i).collect();
-                    net.add_node(PushSum::new(
-                        i as f64,
-                        peers,
-                        SimDuration::from_millis(50),
-                    ));
-                }
-                net.start();
-                net.run_until(SimTime::from_secs(3));
-                black_box(net.node(NodeId(0)).estimate())
-            });
+        bench_with_param("push_sum_convergence", n, || {
+            let mut net = SimNet::new(SimConfig::default().seed(3));
+            for i in 0..n {
+                let peers = (0..n).map(NodeId).filter(|p| p.index() != i).collect();
+                net.add_node(PushSum::new(i as f64, peers, SimDuration::from_millis(50)));
+            }
+            net.start();
+            net.run_until(SimTime::from_secs(3));
+            black_box(net.node(NodeId(0)).estimate())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_dissemination, bench_digest, bench_analysis, bench_aggregation);
-criterion_main!(benches);
+fn main() {
+    bench_dissemination();
+    bench_digest();
+    bench_analysis();
+    bench_aggregation();
+}

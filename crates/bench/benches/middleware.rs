@@ -1,37 +1,33 @@
 //! E8c — full-middleware benchmarks: the end-to-end Figure-1 flow and the
 //! handler-chain interception cost per message.
+//! Runs on the in-tree `wsg_bench::timing` harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use ws_gossip::layer::GossipLayerHandle;
 use ws_gossip::scenario::{self, Figure1Shape};
 use ws_gossip::GossipHeader;
+use wsg_bench::timing::bench;
 use wsg_coord::{CoordinationContext, GossipGrant, GossipPolicy, GossipProtocol};
 use wsg_net::sim::SimConfig;
 use wsg_soap::handler::Direction;
 use wsg_soap::{Envelope, HandlerChain, MessageHeaders};
 use wsg_xml::Element;
 
-fn bench_figure1_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("middleware_figure1");
-    group.sample_size(20);
-    group.bench_function("full_flow_8_nodes", |b| {
-        b.iter(|| {
-            let mut net = scenario::build_figure1_network(
-                SimConfig::default().seed(1),
-                Figure1Shape { disseminators: 4, consumers: 2 },
-            );
-            scenario::subscribe_all(&mut net, "q");
-            net.run_to_quiescence();
-            scenario::activate(&mut net, "q");
-            net.run_to_quiescence();
-            scenario::notify(&mut net, "q", Element::text_node("op", "x"));
-            net.run_to_quiescence();
-            black_box(net.stats().delivered)
-        });
+fn bench_figure1_flow() {
+    bench("middleware_figure1/full_flow_8_nodes", || {
+        let mut net = scenario::build_figure1_network(
+            SimConfig::default().seed(1),
+            Figure1Shape { disseminators: 4, consumers: 2 },
+        );
+        scenario::subscribe_all(&mut net, "q");
+        net.run_to_quiescence();
+        scenario::activate(&mut net, "q");
+        net.run_to_quiescence();
+        scenario::notify(&mut net, "q", Element::text_node("op", "x"));
+        net.run_to_quiescence();
+        black_box(net.stats().delivered)
     });
-    group.finish();
 }
 
 fn gossip_notification(seq: u64) -> Envelope {
@@ -56,10 +52,10 @@ fn gossip_notification(seq: u64) -> Envelope {
     .with_header(header.to_element())
 }
 
-fn bench_interception(c: &mut Criterion) {
+fn bench_interception() {
     // Cost of the gossip handler on an inbound message: dedup check +
     // forward-copy construction for fresh messages.
-    c.bench_function("gossip_handler_fresh_message", |b| {
+    {
         let layer = GossipLayerHandle::new("http://node2/gossip", 1);
         layer.set_grant(
             "urn:ws-gossip:ctx:0",
@@ -72,15 +68,15 @@ fn bench_interception(c: &mut Criterion) {
         let mut chain = HandlerChain::new();
         chain.push(Box::new(layer.handler()));
         let mut seq = 0u64;
-        b.iter(|| {
+        bench("gossip_handler_fresh_message", || {
             seq += 1;
             let result =
                 chain.process(Direction::Inbound, gossip_notification(seq), "http://node2/gossip");
             black_box(result.sends.len())
         });
-    });
+    }
 
-    c.bench_function("gossip_handler_duplicate", |b| {
+    {
         let layer = GossipLayerHandle::new("http://node2/gossip", 2);
         layer.set_grant(
             "urn:ws-gossip:ctx:0",
@@ -90,15 +86,15 @@ fn bench_interception(c: &mut Criterion) {
         chain.push(Box::new(layer.handler()));
         // Seed the duplicate.
         let _ = chain.process(Direction::Inbound, gossip_notification(0), "http://node2/gossip");
-        b.iter(|| {
+        bench("gossip_handler_duplicate", || {
             let result =
                 chain.process(Direction::Inbound, gossip_notification(0), "http://node2/gossip");
             black_box(result.sends.len())
         });
-    });
+    }
 }
 
-fn bench_header_codec(c: &mut Criterion) {
+fn bench_header_codec() {
     let header = GossipHeader {
         context_id: "urn:ws-gossip:ctx:0".into(),
         topic: "quotes".into(),
@@ -106,14 +102,13 @@ fn bench_header_codec(c: &mut Criterion) {
         seq: 42,
         round: 3,
     };
-    c.bench_function("gossip_header_encode", |b| {
-        b.iter(|| black_box(header.to_element()));
-    });
+    bench("gossip_header_encode", || black_box(header.to_element()));
     let element = header.to_element();
-    c.bench_function("gossip_header_decode", |b| {
-        b.iter(|| black_box(GossipHeader::from_element(black_box(&element))));
-    });
+    bench("gossip_header_decode", || black_box(GossipHeader::from_element(black_box(&element))));
 }
 
-criterion_group!(benches, bench_figure1_flow, bench_interception, bench_header_codec);
-criterion_main!(benches);
+fn main() {
+    bench_figure1_flow();
+    bench_interception();
+    bench_header_codec();
+}

@@ -1,9 +1,10 @@
 //! E8a — SOAP stack microbenchmarks: the per-message middleware cost the
 //! "compliant middleware stack" of paper §3 pays on every hop.
+//! Runs on the in-tree `wsg_bench::timing` harness (`harness = false`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use wsg_bench::timing::{bench, bench_with_param};
 use wsg_soap::{EndpointReference, Envelope, MessageHeaders};
 use wsg_xml::Element;
 
@@ -23,51 +24,40 @@ fn notification(bytes: usize) -> Envelope {
     )
 }
 
-fn bench_serialize(c: &mut Criterion) {
-    let mut group = c.benchmark_group("soap_serialize");
+fn bench_serialize() {
     for &bytes in &[64usize, 512, 4096] {
         let envelope = notification(bytes);
-        let wire = envelope.to_xml();
-        group.throughput(Throughput::Bytes(wire.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(bytes), &envelope, |b, env| {
-            b.iter(|| black_box(env.to_xml()));
-        });
+        bench_with_param("soap_serialize", bytes, || black_box(envelope.to_xml()));
     }
-    group.finish();
 }
 
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("soap_parse");
+fn bench_parse() {
     for &bytes in &[64usize, 512, 4096] {
         let wire = notification(bytes).to_xml();
-        group.throughput(Throughput::Bytes(wire.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(bytes), &wire, |b, xml| {
-            b.iter(|| Envelope::parse(black_box(xml)).expect("valid"));
+        bench_with_param("soap_parse", bytes, || {
+            Envelope::parse(black_box(&wire)).expect("valid")
         });
     }
-    group.finish();
 }
 
-fn bench_roundtrip(c: &mut Criterion) {
+fn bench_roundtrip() {
     let wire = notification(512).to_xml();
-    c.bench_function("soap_roundtrip_512B", |b| {
-        b.iter(|| {
-            let env = Envelope::parse(black_box(&wire)).expect("valid");
-            black_box(env.to_xml())
-        });
+    bench("soap_roundtrip_512B", || {
+        let env = Envelope::parse(black_box(&wire)).expect("valid");
+        black_box(env.to_xml())
     });
 }
 
-fn bench_xml_primitives(c: &mut Criterion) {
+fn bench_xml_primitives() {
     let text = "a < b && \"c\" > d — plain text with some & escapes";
-    c.bench_function("xml_escape_text", |b| {
-        b.iter(|| black_box(wsg_xml::escape::escape_text(black_box(text))));
-    });
+    bench("xml_escape_text", || black_box(wsg_xml::escape::escape_text(black_box(text))));
     let doc = notification(512).to_element().to_xml_string();
-    c.bench_function("xml_tree_parse_1k", |b| {
-        b.iter(|| Element::parse(black_box(&doc)).expect("valid"));
-    });
+    bench("xml_tree_parse_1k", || Element::parse(black_box(&doc)).expect("valid"));
 }
 
-criterion_group!(benches, bench_serialize, bench_parse, bench_roundtrip, bench_xml_primitives);
-criterion_main!(benches);
+fn main() {
+    bench_serialize();
+    bench_parse();
+    bench_roundtrip();
+    bench_xml_primitives();
+}

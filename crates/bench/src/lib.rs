@@ -8,5 +8,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use table::Table;

@@ -20,11 +20,9 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::seq::SliceRandom;
-
 use wsg_coord::{CoordinationContext, GossipGrant, RegistrationService, WSCOOR_NS, WSGOSSIP_NS};
-use wsg_net::Pcg32;
+use wsg_net::sync::Mutex;
+use wsg_net::{Pcg32, RngExt};
 use wsg_soap::{
     Envelope, EndpointReference, Handler, HandlerOutcome, MessageContext, MessageHeaders, Uuid,
 };
@@ -86,7 +84,7 @@ impl LayerState {
             .filter(|p| p.as_str() != self.me)
             .cloned()
             .collect();
-        pool.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut pool);
         pool.truncate(grant.fanout);
         pool
     }

@@ -8,7 +8,9 @@ use wsg_coord::{
     ActivationService, CoordinationContext, CoordinatorSync, GossipPolicy, GossipProtocol,
     RegistrationService, SubscriptionList, WSGOSSIP_NS,
 };
-use wsg_net::{Context, NodeId, Pcg32, Protocol, SimDuration, SimTime, SplitMix64, TimerTag};
+use wsg_net::{
+    Context, NodeId, Pcg32, Protocol, RngExt, SimDuration, SimTime, SplitMix64, TimerTag,
+};
 use wsg_soap::handler::{Direction, Disposition};
 use wsg_soap::{EndpointReference, Envelope, HandlerChain, MessageHeaders, Uuid};
 use wsg_xml::Element;
@@ -461,7 +463,6 @@ impl WsGossipNode {
     // ----- internals -----
 
     fn send_coordinator_sync(&mut self, ctx: &mut dyn Context<String>) {
-        use rand::seq::IndexedRandom;
         let Some(coord) = &self.coord else { return };
         if coord.peers.is_empty() {
             return;
@@ -483,7 +484,7 @@ impl WsGossipNode {
                 })
                 .collect(),
         };
-        let peer = *coord.peers.choose(&mut self.rng).expect("non-empty");
+        let peer = *self.rng.choose(&coord.peers).expect("non-empty");
         let headers = MessageHeaders::request(endpoint_of(peer), actions::coordinator_sync())
             .with_message_id(self.fresh_id())
             .with_from(EndpointReference::new(self.endpoint.clone()));

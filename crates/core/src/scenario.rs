@@ -32,13 +32,20 @@ pub const INITIATOR: NodeId = NodeId(1);
 /// Build the Figure 1 network: node 0 Coordinator, node 1 Initiator, then
 /// `disseminators` Disseminators, then `consumers` Consumers.
 pub fn build_figure1_network(config: SimConfig, shape: Figure1Shape) -> SimNet<WsGossipNode> {
+    // Peer sampling in the gossip layer runs on the node's own stream,
+    // not the simulator's; derive it from the master seed so the whole
+    // run remains a pure function of the configured seed.
+    let seed = config.master_seed();
     let mut net = SimNet::new(config);
     let total = 2 + shape.disseminators + shape.consumers;
-    net.add_nodes(total, |id| match id.index() {
-        0 => WsGossipNode::coordinator(id),
-        1 => WsGossipNode::initiator(id, COORDINATOR),
-        i if i < 2 + shape.disseminators => WsGossipNode::disseminator(id, COORDINATOR),
-        _ => WsGossipNode::consumer(id, COORDINATOR),
+    net.add_nodes(total, |id| {
+        let node = match id.index() {
+            0 => WsGossipNode::coordinator(id),
+            1 => WsGossipNode::initiator(id, COORDINATOR),
+            i if i < 2 + shape.disseminators => WsGossipNode::disseminator(id, COORDINATOR),
+            _ => WsGossipNode::consumer(id, COORDINATOR),
+        };
+        node.with_seed(seed)
     });
     net.set_size_fn(Box::new(|xml: &String| xml.len()));
     net.start();
@@ -129,20 +136,27 @@ pub fn build_distributed_network(
     let k = shape.coordinators;
     let coordinator_ids: Vec<NodeId> = (0..k).map(NodeId).collect();
     let total = k + 1 + shape.disseminators + shape.consumers;
+    // As in `build_figure1_network`: node-local RNG streams must derive
+    // from the master seed.
+    let seed = config.master_seed();
     let mut net = SimNet::new(config);
     net.add_nodes(total, |id| {
         let i = id.index();
         if i < k {
-            WsGossipNode::coordinator(id).with_coordinator_peers(coordinator_ids.clone())
+            // `with_seed` rebuilds the node, so it must precede other
+            // builder calls.
+            WsGossipNode::coordinator(id)
+                .with_seed(seed)
+                .with_coordinator_peers(coordinator_ids.clone())
         } else if i == k {
-            WsGossipNode::initiator(id, NodeId(0))
+            WsGossipNode::initiator(id, NodeId(0)).with_seed(seed)
         } else {
             // Home coordinator round-robin over the replicas.
             let home = NodeId((i - k - 1) % k);
             if i < k + 1 + shape.disseminators {
-                WsGossipNode::disseminator(id, home)
+                WsGossipNode::disseminator(id, home).with_seed(seed)
             } else {
-                WsGossipNode::consumer(id, home)
+                WsGossipNode::consumer(id, home).with_seed(seed)
             }
         }
     });

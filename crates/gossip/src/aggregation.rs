@@ -13,9 +13,7 @@
 //! the invariants are crisp: total sum and total weight are conserved by
 //! every exchange (mass conservation).
 
-use rand::seq::IndexedRandom;
-
-use wsg_net::{Context, NodeId, Protocol, SimDuration, TimerTag};
+use wsg_net::{Context, NodeId, Protocol, RngExt, SimDuration, TimerTag};
 
 /// Timer tag for the periodic aggregation tick.
 pub const AGGREGATE_TICK: TimerTag = TimerTag(0xA66);
@@ -96,11 +94,10 @@ impl PushSum {
     }
 
     fn arm(&self, ctx: &mut dyn Context<PushSumShare>) {
-        use rand::Rng;
         let base = self.interval.as_micros();
         let jitter = base / 4;
         let delay =
-            SimDuration::from_micros(ctx.rng().random_range(base - jitter..=base + jitter));
+            SimDuration::from_micros(ctx.rng().gen_range(base - jitter..=base + jitter));
         ctx.set_timer(delay, AGGREGATE_TICK);
     }
 }
@@ -121,7 +118,7 @@ impl Protocol for PushSum {
         if tag != AGGREGATE_TICK {
             return;
         }
-        if let Some(&peer) = self.peers.choose(ctx.rng()) {
+        if let Some(&peer) = ctx.rng().choose(&self.peers) {
             // Keep half, push half.
             self.sum /= 2.0;
             self.weight /= 2.0;

@@ -7,10 +7,7 @@
 //! which is exactly what gossip dissemination needs — this is the scalable
 //! peer source for very large WS-Gossip deployments.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-
-use wsg_net::{Context, NodeId, Protocol, SimDuration, TimerTag};
+use wsg_net::{Context, NodeId, Protocol, Rng64, RngExt, SimDuration, TimerTag};
 
 /// Timer tag for the periodic shuffle.
 pub const SHUFFLE_TICK: TimerTag = TimerTag(0x5A3F);
@@ -113,9 +110,9 @@ impl PeerSampler {
     }
 
     /// Draw up to `count` random peers from the view.
-    pub fn sample(&self, rng: &mut dyn rand::RngCore, count: usize) -> Vec<NodeId> {
+    pub fn sample(&self, rng: &mut dyn Rng64, count: usize) -> Vec<NodeId> {
         let mut peers = self.view();
-        peers.shuffle(rng);
+        rng.shuffle(&mut peers);
         peers.truncate(count);
         peers
     }
@@ -156,7 +153,7 @@ impl PeerSampler {
         let partner = self.view.remove(oldest).peer;
 
         let mut subset: Vec<NodeId> = self.view.iter().map(|entry| entry.peer).collect();
-        subset.shuffle(ctx.rng());
+        ctx.rng().shuffle(&mut subset);
         subset.truncate(self.config.shuffle_len.saturating_sub(1));
         subset.push(self.me); // always advertise ourselves
         Some((partner, subset))
@@ -165,7 +162,7 @@ impl PeerSampler {
     fn arm(&self, ctx: &mut dyn Context<SamplerMessage>) {
         let base = self.config.interval.as_micros();
         let jitter = base / 4;
-        let delay = SimDuration::from_micros(ctx.rng().random_range(base - jitter..=base + jitter));
+        let delay = SimDuration::from_micros(ctx.rng().gen_range(base - jitter..=base + jitter));
         ctx.set_timer(delay, SHUFFLE_TICK);
     }
 }
@@ -181,7 +178,7 @@ impl Protocol for PeerSampler {
         match msg {
             SamplerMessage::ShuffleRequest(theirs) => {
                 let mut mine: Vec<NodeId> = self.view.iter().map(|entry| entry.peer).collect();
-                mine.shuffle(ctx.rng());
+                ctx.rng().shuffle(&mut mine);
                 mine.truncate(self.config.shuffle_len);
                 self.insert_all(&theirs, &mine);
                 ctx.send(from, SamplerMessage::ShuffleReply(mine));

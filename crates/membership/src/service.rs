@@ -1,8 +1,6 @@
 //! The membership gossip protocol (the WS-Membership analogue).
 
-use rand::seq::SliceRandom;
-
-use wsg_net::{Context, NodeId, Protocol, SimDuration, TimerTag};
+use wsg_net::{Context, NodeId, Protocol, RngExt, SimDuration, TimerTag};
 
 use crate::detector::FailureDetectorConfig;
 use crate::view::MembershipView;
@@ -125,7 +123,7 @@ impl MembershipGossip {
         if pool.is_empty() {
             pool = self.contacts.clone();
         }
-        pool.shuffle(ctx.rng());
+        ctx.rng().shuffle(&mut pool);
         pool.truncate(self.config.fanout);
         let snapshot = self.view.snapshot();
         for peer in pool {

@@ -8,7 +8,7 @@
 //! mutation calls by hand.
 
 use crate::protocol::{NodeId, Protocol};
-use crate::rng::Pcg32;
+use crate::rng::{Pcg32, RngExt};
 use crate::sim::SimNet;
 use crate::time::{SimDuration, SimTime};
 
@@ -71,8 +71,7 @@ impl FaultSchedule {
         let mut rng = Pcg32::new(seed, 0xC4);
         let mut t = start;
         while t < end {
-            use rand::seq::IndexedRandom;
-            let victim = *pool.choose(&mut rng).expect("non-empty");
+            let victim = *rng.choose(pool).expect("non-empty");
             self = self
                 .at(t, FaultEvent::Crash(victim))
                 .at(t + downtime, FaultEvent::Recover(victim));

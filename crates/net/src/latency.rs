@@ -1,8 +1,6 @@
 //! Link latency models.
 
-use rand::Rng;
-use rand::RngCore;
-
+use crate::rng::{Rng64, RngExt};
 use crate::time::SimDuration;
 
 /// How long a message spends on the wire.
@@ -69,7 +67,7 @@ impl LatencyModel {
     }
 
     /// Draw one latency sample.
-    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> SimDuration {
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> SimDuration {
         let raw = match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform { min, max } => {
@@ -78,12 +76,12 @@ impl LatencyModel {
                 if lo >= hi {
                     *min
                 } else {
-                    SimDuration::from_micros(rng.random_range(lo..=hi))
+                    SimDuration::from_micros(rng.gen_range(lo..=hi))
                 }
             }
             LatencyModel::Exponential { floor, mean } => {
                 // Inverse-CDF sampling; clamp u away from 0 to avoid inf.
-                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 let exp = -(u.ln()) * mean.as_secs_f64();
                 *floor + SimDuration::from_secs_f64(exp)
             }

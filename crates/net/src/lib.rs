@@ -35,6 +35,7 @@
 //! assert_eq!(net.stats().delivered, 2); // ping + pong
 //! ```
 
+pub mod check;
 pub mod faults;
 pub mod histogram;
 pub mod latency;
@@ -42,6 +43,7 @@ pub mod protocol;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod sync;
 pub mod threads;
 pub mod time;
 pub mod trace;
@@ -50,7 +52,7 @@ pub use faults::{FaultEvent, FaultSchedule};
 pub use histogram::Histogram;
 pub use latency::LatencyModel;
 pub use protocol::{Context, NodeId, Protocol, TimerTag};
-pub use rng::{Pcg32, SplitMix64};
+pub use rng::{Pcg32, Rng64, RngExt, SplitMix64};
 pub use sim::{SimConfig, SimNet};
 pub use stats::SimStats;
 pub use time::{SimDuration, SimTime};

@@ -1,7 +1,6 @@
 //! The protocol abstraction shared by the simulator and the thread runtime.
 
-use rand::RngCore;
-
+use crate::rng::Rng64;
 use crate::time::{SimDuration, SimTime};
 
 /// Identity of a node within a network run.
@@ -51,7 +50,7 @@ pub trait Context<M> {
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag);
 
     /// This node's deterministic random stream.
-    fn rng(&mut self) -> &mut dyn RngCore;
+    fn rng(&mut self) -> &mut dyn Rng64;
 }
 
 /// A deterministic, event-driven protocol state machine.

@@ -1,20 +1,205 @@
-//! Deterministic random number generators.
+//! Deterministic random number generation — the project's only source of
+//! randomness.
 //!
 //! Experiments must be bit-for-bit reproducible across runs and immune to
-//! upstream algorithm changes in `rand`'s default generators, so the
-//! simulator uses its own small, well-known generators: [`SplitMix64`] for
-//! seeding/stream-splitting and [`Pcg32`] (PCG-XSH-RR 64/32) as the
-//! workhorse. Both implement [`rand::RngCore`] and therefore compose
-//! with the whole `rand` API surface.
+//! upstream algorithm changes in third-party generators, so the whole
+//! workspace uses its own small, well-known generators — [`SplitMix64`]
+//! for seeding/stream-splitting and [`Pcg32`] (PCG-XSH-RR 64/32) as the
+//! workhorse — behind the in-tree [`Rng64`] trait. No crate in this
+//! workspace links the external `rand` crate; hermetic, registry-free
+//! builds are a project invariant (see README "Zero-dependency policy").
+//!
+//! * [`Rng64`] is the dyn-compatible core: raw `u64`/`u32` output, byte
+//!   filling and unbiased bounded integers. `Context::rng()` hands
+//!   protocols a `&mut dyn Rng64`.
+//! * [`RngExt`] adds the generic conveniences — [`RngExt::gen_range`],
+//!   [`RngExt::shuffle`], [`RngExt::choose`] — and is blanket-implemented
+//!   for every `Rng64`, including `dyn Rng64`.
 
-use rand::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// The dyn-compatible random-stream interface every generator implements.
+///
+/// Only [`Rng64::next_u64`] is required; everything else derives from it
+/// deterministically, so two implementations with identical raw output
+/// produce identical derived draws.
+///
+/// ```
+/// use wsg_net::{Rng64, SplitMix64};
+///
+/// let mut a = SplitMix64::new(1);
+/// let mut b = SplitMix64::new(1);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+pub trait Rng64 {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32-bit output (upper half of the 64-bit draw by default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes (little-endian 64-bit chunks).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// An unbiased draw from `0..bound` (Lemire's widening-multiply
+    /// rejection method).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_u64_below requires a positive bound");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+impl<R: Rng64 + ?Sized> Rng64 for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn gen_u64_below(&mut self, bound: u64) -> u64 {
+        (**self).gen_u64_below(bound)
+    }
+}
+
+/// A range that [`RngExt::gen_range`] can sample uniformly.
+///
+/// Implemented for `Range` and `RangeInclusive` over the integer types the
+/// simulator uses, and for `f64` ranges (half-open `[lo, hi)` semantics).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_in<R: Rng64 + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: Rng64 + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on an empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add(rng.gen_u64_below(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: Rng64 + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on an empty range");
+                let span = (end.wrapping_sub(start) as $u as u64).wrapping_add(1);
+                if span == 0 {
+                    // The range covers the full 64-bit domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.gen_u64_below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range! {
+    u16 => u16,
+    u32 => u32,
+    u64 => u64,
+    usize => usize,
+    i32 => u32,
+    i64 => u64,
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in<R: Rng64 + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on an empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_in<R: Rng64 + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range on an empty range");
+        start + rng.gen_f64() * (end - start)
+    }
+}
+
+/// Generic conveniences over any [`Rng64`], including trait objects.
+///
+/// ```
+/// use wsg_net::{Pcg32, RngExt};
+///
+/// let mut rng = Pcg32::new(42, 0);
+/// let x: f64 = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// let roll = rng.gen_range(0..6);
+/// assert!((0..6).contains(&roll));
+/// ```
+pub trait RngExt: Rng64 {
+    /// A uniform draw from `range`.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_in(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_u64_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element of `slice`, or `None` when empty.
+    fn choose<'s, T>(&mut self, slice: &'s [T]) -> Option<&'s T> {
+        if slice.is_empty() {
+            None
+        } else {
+            slice.get(self.gen_u64_below(slice.len() as u64) as usize)
+        }
+    }
+}
+
+impl<R: Rng64 + ?Sized> RngExt for R {}
 
 /// SplitMix64 — tiny, fast, and the standard tool for expanding one u64
 /// seed into independent streams.
 ///
 /// ```
-/// use wsg_net::SplitMix64;
-/// use rand::RngCore;
+/// use wsg_net::{Rng64, SplitMix64};
 ///
 /// let mut a = SplitMix64::new(1);
 /// let mut b = SplitMix64::new(1);
@@ -47,17 +232,9 @@ impl SplitMix64 {
     }
 }
 
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
+impl Rng64 for SplitMix64 {
     fn next_u64(&mut self) -> u64 {
         self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        fill_bytes_via_u64(self, dest);
     }
 }
 
@@ -65,11 +242,10 @@ impl RngCore for SplitMix64 {
 /// stream parameter so per-node generators are independent.
 ///
 /// ```
-/// use wsg_net::Pcg32;
-/// use rand::Rng;
+/// use wsg_net::{Pcg32, RngExt};
 ///
 /// let mut rng = Pcg32::new(42, 0);
-/// let x: f64 = rng.random_range(0.0..1.0);
+/// let x: f64 = rng.gen_range(0.0..1.0);
 /// assert!((0.0..1.0).contains(&x));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,7 +284,7 @@ impl Pcg32 {
     }
 }
 
-impl RngCore for Pcg32 {
+impl Rng64 for Pcg32 {
     fn next_u32(&mut self) -> u32 {
         self.next()
     }
@@ -118,28 +294,11 @@ impl RngCore for Pcg32 {
         let lo = self.next() as u64;
         (hi << 32) | lo
     }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        fill_bytes_via_u64(self, dest);
-    }
-}
-
-fn fill_bytes_via_u64<R: RngCore>(rng: &mut R, dest: &mut [u8]) {
-    let mut chunks = dest.chunks_exact_mut(8);
-    for chunk in &mut chunks {
-        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
-    }
-    let rem = chunks.into_remainder();
-    if !rem.is_empty() {
-        let bytes = rng.next_u64().to_le_bytes();
-        rem.copy_from_slice(&bytes[..rem.len()]);
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn splitmix_reference_values() {
@@ -171,12 +330,66 @@ mod tests {
     }
 
     #[test]
-    fn works_with_rand_api() {
+    fn gen_range_covers_int_and_float() {
         let mut rng = Pcg32::new(1, 7);
-        let v: f64 = rng.random_range(0.0..1.0);
+        let v: f64 = rng.gen_range(0.0..1.0);
         assert!((0.0..1.0).contains(&v));
-        let roll = rng.random_range(0..6);
+        let roll = rng.gen_range(0..6);
         assert!((0..6).contains(&roll));
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..=20);
+            assert!((10..=20).contains(&x));
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_works_through_dyn_rng64() {
+        let mut concrete = Pcg32::new(3, 3);
+        let rng: &mut dyn Rng64 = &mut concrete;
+        let x = rng.gen_range(0u64..=9);
+        assert!(x <= 9);
+        let f: f64 = rng.gen_range(0.0..2.0);
+        assert!((0.0..2.0).contains(&f));
+    }
+
+    #[test]
+    fn gen_u64_below_is_unbiased_enough() {
+        // Modulo bias would over-represent small values for bounds near
+        // 2^63; Lemire rejection keeps buckets level.
+        let mut rng = Pcg32::new(11, 0);
+        let bound = 3u64;
+        let mut buckets = [0u32; 3];
+        for _ in 0..30_000 {
+            buckets[rng.gen_u64_below(bound) as usize] += 1;
+        }
+        for &count in &buckets {
+            assert!((9_000..11_000).contains(&count), "bucket {count} out of range");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::new(4, 0);
+        let mut values: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        // With 50 elements an identity shuffle is astronomically unlikely.
+        assert_ne!(values, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_returns_member_or_none() {
+        let mut rng = Pcg32::new(5, 0);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let pool = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(pool.contains(rng.choose(&pool).unwrap()));
+        }
     }
 
     #[test]
@@ -185,6 +398,13 @@ mod tests {
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Pcg32::new(8, 0);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "observed {hits}/10000");
     }
 
     #[test]

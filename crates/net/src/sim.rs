@@ -3,11 +3,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::{Rng, RngCore};
-
 use crate::latency::LatencyModel;
 use crate::protocol::{Context, NodeId, Protocol, TimerTag};
-use crate::rng::{Pcg32, SplitMix64};
+use crate::rng::{Pcg32, Rng64, RngExt, SplitMix64};
 use crate::stats::SimStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEvent, TraceKind, Tracer};
@@ -95,6 +93,14 @@ impl SimConfig {
     pub fn drop_prob(&self) -> f64 {
         self.drop_probability
     }
+
+    /// The configured master seed. Node builders that keep their own
+    /// deterministic RNG streams (outside the simulator's per-node RNGs)
+    /// should derive them from this, so a run stays a pure function of
+    /// the seed.
+    pub fn master_seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 enum EventKind<M> {
@@ -155,7 +161,7 @@ impl<M> Context<M> for NodeCtx<'_, M> {
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
         self.timer_requests.push((delay, tag));
     }
-    fn rng(&mut self) -> &mut dyn RngCore {
+    fn rng(&mut self) -> &mut dyn Rng64 {
         self.rng
     }
 }
@@ -477,7 +483,7 @@ impl<P: Protocol> SimNet<P> {
         }
         // Random loss.
         if self.config.drop_probability > 0.0
-            && self.net_rng.random_range(0.0..1.0) < self.config.drop_probability
+            && self.net_rng.gen_range(0.0..1.0) < self.config.drop_probability
         {
             self.stats.dropped_loss += 1;
             self.trace(TraceKind::DropLoss, from, to, label);
@@ -487,7 +493,7 @@ impl<P: Protocol> SimNet<P> {
         let deliver_at = self.now + latency;
         // Duplication.
         let duplicate = self.config.duplicate_probability > 0.0
-            && self.net_rng.random_range(0.0..1.0) < self.config.duplicate_probability;
+            && self.net_rng.gen_range(0.0..1.0) < self.config.duplicate_probability;
         if duplicate {
             let extra_latency =
                 self.config.latency.sample(&mut self.net_rng) + self.perturbation[to.0];

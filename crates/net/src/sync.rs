@@ -1,0 +1,92 @@
+//! Minimal std-based synchronisation primitives shared across the
+//! workspace.
+//!
+//! The workspace builds with zero registry dependencies, so instead of
+//! `parking_lot` this module wraps [`std::sync::Mutex`] with the same
+//! ergonomic surface: `lock()` returns the guard directly. Lock poisoning
+//! is deliberately not propagated — a panic while holding one of these
+//! locks already aborts the affected test or simulation, and every
+//! guarded structure here (delivery logs, layer state) stays consistent
+//! between mutations.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+///
+/// ```
+/// use wsg_net::sync::Mutex;
+///
+/// let counter = Mutex::new(0u32);
+/// *counter.lock() += 1;
+/// assert_eq!(*counter.lock(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new lock guarding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquire the lock, blocking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("wsg_net::sync::Mutex poisoned")
+    }
+
+    /// Consume the lock and return the guarded value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("wsg_net::sync::Mutex poisoned")
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().expect("wsg_net::sync::Mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn get_mut_bypasses_locking() {
+        let mut m = Mutex::new(5);
+        *m.get_mut() = 7;
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -6,14 +6,12 @@
 //! travel over channels, and timers use wall-clock time. Loss/partition
 //! injection is deliberately absent — that is the simulator's job.
 
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use rand::RngCore;
-
 use crate::protocol::{Context, NodeId, Protocol, TimerTag};
-use crate::rng::{Pcg32, SplitMix64};
+use crate::rng::{Pcg32, Rng64, SplitMix64};
 use crate::time::{SimDuration, SimTime};
 
 enum Inbox<M> {
@@ -46,7 +44,7 @@ impl<M> Context<M> for ThreadCtx<'_, M> {
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
         self.timer_requests.push((delay, tag));
     }
-    fn rng(&mut self) -> &mut dyn RngCore {
+    fn rng(&mut self) -> &mut dyn Rng64 {
         self.rng
     }
 }
@@ -89,7 +87,7 @@ where
         let mut seeder = SplitMix64::new(seed);
         #[allow(clippy::type_complexity)]
         let channels: Vec<(Sender<Inbox<P::Message>>, Receiver<Inbox<P::Message>>)> =
-            (0..node_count).map(|_| unbounded()).collect();
+            (0..node_count).map(|_| channel()).collect();
         let senders: Vec<Sender<Inbox<P::Message>>> =
             channels.iter().map(|(s, _)| s.clone()).collect();
 

@@ -78,32 +78,30 @@ impl Handler for CountingHandler {
 /// Records one log line per message into a shared buffer.
 #[derive(Debug)]
 pub struct LoggingHandler {
-    log: Arc<parking_lot_free::Log>,
+    log: Arc<Log>,
 }
 
-// Tiny internal mutex-free-ish log shim: std Mutex is fine here but keep
-// the dependency surface of wsg-soap minimal.
-mod parking_lot_free {
-    use std::sync::Mutex;
+/// An append-only log of handler observations, safe to share across
+/// threads.
+#[derive(Debug, Default)]
+pub struct Log {
+    lines: wsg_net::sync::Mutex<Vec<String>>,
+}
 
-    #[derive(Debug, Default)]
-    pub struct Log {
-        lines: Mutex<Vec<String>>,
+impl Log {
+    /// Append one line.
+    pub fn push(&self, line: String) {
+        self.lines.lock().push(line);
     }
 
-    impl Log {
-        pub fn push(&self, line: String) {
-            self.lines.lock().expect("log lock").push(line);
-        }
-
-        pub fn snapshot(&self) -> Vec<String> {
-            self.lines.lock().expect("log lock").clone()
-        }
+    /// A copy of all lines logged so far.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.lines.lock().clone()
     }
 }
 
 /// Shared buffer of a [`LoggingHandler`].
-pub type LogBuffer = Arc<parking_lot_free::Log>;
+pub type LogBuffer = Arc<Log>;
 
 impl LoggingHandler {
     /// Build the handler and its shared log handle.

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use rand::Rng;
+use wsg_net::Rng64;
 
 /// A 128-bit version-4 UUID.
 ///
@@ -28,8 +28,10 @@ impl Uuid {
 
     /// Generate a random UUID from the given RNG (deterministic runs use a
     /// seeded RNG — important for the reproducible simulator).
-    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Uuid::from_u128(rng.random())
+    pub fn random<R: Rng64 + ?Sized>(rng: &mut R) -> Self {
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        Uuid::from_u128((hi << 64) | lo)
     }
 
     /// The raw 128 bits.
@@ -98,7 +100,7 @@ impl FromStr for Uuid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use wsg_net::SplitMix64;
 
     #[test]
     fn version_and_variant_bits_forced() {
@@ -111,7 +113,7 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         for _ in 0..100 {
             let id = Uuid::random(&mut rng);
             assert_eq!(id.to_string().parse::<Uuid>().unwrap(), id);
@@ -121,8 +123,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = Uuid::random(&mut StdRng::seed_from_u64(42));
-        let b = Uuid::random(&mut StdRng::seed_from_u64(42));
+        let a = Uuid::random(&mut SplitMix64::new(42));
+        let b = Uuid::random(&mut SplitMix64::new(42));
         assert_eq!(a, b);
     }
 

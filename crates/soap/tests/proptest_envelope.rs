@@ -1,97 +1,121 @@
 //! Property tests: arbitrary SOAP envelopes round-trip through wire XML.
+//! Runs on the in-tree `wsg_net::check` harness.
 
-use proptest::prelude::*;
+use wsg_net::check::{run, Gen};
+use wsg_net::{prop_assert, prop_assert_eq};
 
 use wsg_soap::{EndpointReference, Envelope, Fault, FaultCode, MessageHeaders};
 use wsg_xml::Element;
 
-fn uri() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}(/[a-z0-9]{1,6}){0,3}".prop_map(|path| format!("http://{path}"))
+fn uri(g: &mut Gen) -> String {
+    const ALPHA: &[char] = &['a', 'c', 'g', 'n', 'p', 's', 'w', 'z'];
+    const ALNUM: &[char] = &['a', 'e', 'k', 'v', 'x', '0', '3', '7'];
+    let host: String = (0..g.usize(1..=8)).map(|_| *g.pick(ALPHA)).collect();
+    let mut out = format!("http://{host}");
+    for _ in 0..g.usize(0..=3) {
+        let seg: String = (0..g.usize(1..=6)).map(|_| *g.pick(ALNUM)).collect();
+        out.push('/');
+        out.push_str(&seg);
+    }
+    out
 }
 
-fn text() -> impl Strategy<Value = String> {
+fn text(g: &mut Gen) -> String {
     // XML-legal printable text including characters that need escaping.
-    "[ -~]{0,60}"
+    g.ascii_string(60)
 }
 
-fn arb_headers() -> impl Strategy<Value = MessageHeaders> {
-    (
-        proptest::option::of(uri()),
-        proptest::option::of(uri()),
-        proptest::option::of("[a-f0-9]{8}"),
-        proptest::option::of(uri()),
-    )
-        .prop_map(|(to, action, msg_id, reply_to)| {
-            let mut headers = MessageHeaders::new();
-            if let (Some(to), Some(action)) = (&to, &action) {
-                headers = MessageHeaders::request(to.clone(), action.clone());
-            }
-            if let Some(id) = msg_id {
-                headers = headers.with_message_id(format!("urn:uuid:{id}"));
-            }
-            if let Some(rt) = reply_to {
-                headers = headers.with_reply_to(EndpointReference::new(rt));
-            }
-            headers
-        })
+fn name(g: &mut Gen) -> String {
+    const FIRST: &[char] = &['a', 'f', 'm', 't', 'B', 'R', '_'];
+    const REST: &[char] = &['a', 'd', 'i', 'o', 'u', 'N', '2', '8', '_'];
+    let mut s = g.pick(FIRST).to_string();
+    s.extend((0..g.len_in(10)).map(|_| *g.pick(REST)));
+    s
 }
 
-fn arb_payload() -> impl Strategy<Value = Element> {
-    (
-        "[a-zA-Z_][a-zA-Z0-9_]{0,10}",
-        text(),
-        proptest::collection::vec(("[a-zA-Z_][a-zA-Z0-9]{0,8}", text()), 0..4),
-    )
-        .prop_map(|(name, body, attrs)| {
-            let mut el = Element::new(name);
-            for (k, v) in attrs {
-                el.set_attr(k, v);
-            }
-            if !body.is_empty() {
-                el.set_text(body);
-            }
-            el
-        })
+fn arb_headers(g: &mut Gen) -> MessageHeaders {
+    let mut headers = MessageHeaders::new();
+    if g.bool(0.5) {
+        let (to, action) = (uri(g), uri(g));
+        headers = MessageHeaders::request(to, action);
+    }
+    if g.bool(0.5) {
+        const HEX: &[char] = &['0', '1', '5', '9', 'a', 'c', 'e', 'f'];
+        let id: String = (0..8).map(|_| *g.pick(HEX)).collect();
+        headers = headers.with_message_id(format!("urn:uuid:{id}"));
+    }
+    if g.bool(0.5) {
+        headers = headers.with_reply_to(EndpointReference::new(uri(g)));
+    }
+    headers
 }
 
-proptest! {
-    #[test]
-    fn request_envelopes_roundtrip(headers in arb_headers(), payload in arb_payload()) {
-        let envelope = Envelope::request(headers, payload);
+fn arb_payload(g: &mut Gen) -> Element {
+    let mut el = Element::new(name(g));
+    for _ in 0..g.len_in(3) {
+        el.set_attr(name(g), text(g));
+    }
+    let body = text(g);
+    if !body.is_empty() {
+        el.set_text(body);
+    }
+    el
+}
+
+#[test]
+fn request_envelopes_roundtrip() {
+    run("request_envelopes_roundtrip", 64, |g| {
+        let envelope = Envelope::request(arb_headers(g), arb_payload(g));
         let parsed = Envelope::parse(&envelope.to_xml()).expect("own output parses");
         prop_assert_eq!(parsed, envelope);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn envelopes_with_extra_headers_roundtrip(
-        headers in arb_headers(),
-        payload in arb_payload(),
-        extra in arb_payload(),
-    ) {
+#[test]
+fn envelopes_with_extra_headers_roundtrip() {
+    run("envelopes_with_extra_headers_roundtrip", 64, |g| {
+        let headers = arb_headers(g);
+        let payload = arb_payload(g);
+        let extra = arb_payload(g);
         let block = Element::in_ns("x", "urn:extension", "Block").with_child(extra);
         let envelope = Envelope::request(headers, payload).with_header(block);
         let parsed = Envelope::parse(&envelope.to_xml()).expect("parses");
         prop_assert_eq!(parsed.headers().len(), 1);
         prop_assert_eq!(parsed, envelope);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fault_envelopes_roundtrip(reason in text(), detail in arb_payload()) {
-        let fault = Fault::new(FaultCode::Receiver, reason).with_detail(detail);
+#[test]
+fn fault_envelopes_roundtrip() {
+    run("fault_envelopes_roundtrip", 64, |g| {
+        let fault = Fault::new(FaultCode::Receiver, text(g)).with_detail(arb_payload(g));
         let envelope = Envelope::fault(MessageHeaders::new(), fault);
         let parsed = Envelope::parse(&envelope.to_xml()).expect("parses");
         prop_assert!(parsed.is_fault());
         prop_assert_eq!(parsed, envelope);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn wire_size_matches_serialisation(headers in arb_headers(), payload in arb_payload()) {
-        let envelope = Envelope::request(headers, payload);
+#[test]
+fn wire_size_matches_serialisation() {
+    run("wire_size_matches_serialisation", 64, |g| {
+        let envelope = Envelope::request(arb_headers(g), arb_payload(g));
         prop_assert_eq!(envelope.wire_size(), envelope.to_xml().len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_survives_arbitrary_bytes(junk in "\\PC{0,300}") {
+#[test]
+fn parser_survives_arbitrary_bytes() {
+    run("parser_survives_arbitrary_bytes", 64, |g| {
+        let len = g.len_in(300);
+        let junk: String = (0..len)
+            .map(|_| char::from_u32(g.u32(0x01..=0xFFFF)).unwrap_or('\u{FFFD}'))
+            .collect();
         let _ = Envelope::parse(&junk); // error is fine, panic is not
-    }
+        Ok(())
+    });
 }

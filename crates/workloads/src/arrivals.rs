@@ -1,6 +1,6 @@
 //! Arrival processes in virtual time.
 
-use rand::{Rng, RngCore};
+use wsg_net::{Rng64, RngExt};
 
 use wsg_net::{SimDuration, SimTime};
 
@@ -58,11 +58,11 @@ impl Arrivals {
     }
 
     /// The time of the next event (strictly increasing).
-    pub fn next_arrival<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> SimTime {
+    pub fn next_arrival<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> SimTime {
         let gap = match &self.process {
             ArrivalProcess::Constant { period } => *period,
             ArrivalProcess::Poisson { rate_per_sec } => {
-                let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
                 SimDuration::from_secs_f64(-u.ln() / rate_per_sec.max(1e-9))
             }
             ArrivalProcess::Bursty { burst_size, in_burst, between_bursts } => {
@@ -83,7 +83,7 @@ impl Arrivals {
     }
 
     /// All event times up to `horizon` (inclusive).
-    pub fn schedule_until<R: RngCore + ?Sized>(
+    pub fn schedule_until<R: Rng64 + ?Sized>(
         &mut self,
         horizon: SimTime,
         rng: &mut R,

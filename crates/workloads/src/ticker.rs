@@ -1,6 +1,6 @@
 //! The stock-market data generator (the paper's motivating scenario).
 
-use rand::{Rng, RngCore};
+use wsg_net::{Rng64, RngExt};
 
 use wsg_xml::Element;
 
@@ -85,13 +85,13 @@ impl StockTicker {
     }
 
     /// Generate the next tick.
-    pub fn next_tick<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> Tick {
+    pub fn next_tick<R: Rng64 + ?Sized>(&mut self, rng: &mut R) -> Tick {
         let rank = self.popularity.sample(rng);
         // Geometric random walk, ±0.5% per tick, floored at a penny.
-        let step: f64 = rng.random_range(-0.005..0.005);
+        let step: f64 = rng.gen_range(-0.005..0.005);
         self.prices[rank] = (self.prices[rank] * (1.0 + step)).max(0.01);
         // Heavy-tailed volume: 10^(0..3) scale.
-        let magnitude: f64 = rng.random_range(0.0..3.0);
+        let magnitude: f64 = rng.gen_range(0.0..3.0);
         let volume = (10f64.powf(magnitude)).round() as u32 * 100;
         let tick = Tick {
             seq: self.next_seq,

@@ -1,6 +1,6 @@
 //! Zipf-distributed sampling.
 
-use rand::{Rng, RngCore};
+use wsg_net::{Rng64, RngExt};
 
 /// A Zipf(s) sampler over ranks `0..n`: rank `k` has probability
 /// proportional to `1 / (k+1)^s`. Used for symbol popularity — a few hot
@@ -54,8 +54,8 @@ impl Zipf {
     }
 
     /// Draw a rank.
-    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.random_range(0.0..1.0);
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

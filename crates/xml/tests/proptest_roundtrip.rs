@@ -1,61 +1,73 @@
 //! Property tests: any generated element tree serialises to XML that parses
 //! back to an equal tree, and escaping round-trips arbitrary strings.
+//! Runs on the in-tree `wsg_net::check` harness.
 
-use proptest::prelude::*;
+use wsg_net::check::{run, Gen};
+use wsg_net::{prop_assert, prop_assert_eq};
 use wsg_xml::tree::{Element, Node};
 use wsg_xml::{escape, QName};
 
-/// XML-legal text: strip the control characters XML 1.0 forbids.
-fn xml_text() -> impl Strategy<Value = String> {
-    "[ -~\u{A0}-\u{2FF}]{0,40}".prop_map(|s| {
-        s.chars().filter(|c| escape::is_xml_char(*c)).collect()
-    })
-}
-
-fn xml_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z_][a-zA-Z0-9_.-]{0,12}"
-}
-
-fn ns_uri() -> impl Strategy<Value = String> {
-    "[a-z]{1,8}".prop_map(|s| format!("urn:{s}"))
-}
-
-fn arb_qname() -> impl Strategy<Value = QName> {
-    (xml_name(), proptest::option::of(ns_uri())).prop_map(|(local, ns)| match ns {
-        Some(ns) => QName::with_ns(ns, local),
-        None => QName::new(local),
-    })
-}
-
-fn arb_element() -> impl Strategy<Value = Element> {
-    let leaf = (arb_qname(), proptest::collection::vec((xml_name(), xml_text()), 0..4), xml_text())
-        .prop_map(|(name, attrs, text)| {
-            let mut e = Element::with_name(name);
-            for (k, v) in attrs {
-                e.set_attr(k, v);
+/// XML-legal text: printable ASCII plus a slice of Latin/Greek, filtered
+/// through the XML 1.0 character rule.
+fn xml_text(g: &mut Gen) -> String {
+    let len = g.len_in(40);
+    (0..len)
+        .map(|_| {
+            if g.bool(0.8) {
+                char::from(g.u32(0x20..=0x7E) as u8)
+            } else {
+                char::from_u32(g.u32(0xA0..=0x2FF)).unwrap_or(' ')
             }
-            if !text.is_empty() {
-                e.set_text(text);
-            }
-            e
-        });
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        (arb_qname(), proptest::collection::vec(inner, 0..4), xml_text()).prop_map(
-            |(name, children, text)| {
-                let mut e = Element::with_name(name);
-                // Interleave one text run before children, mimicking mixed
-                // content; adjacent text merging means at most one leading
-                // run survives a parse, so keep it single.
-                if !text.is_empty() {
-                    e.set_text(text);
-                }
-                for c in children {
-                    e.push_child(c);
-                }
-                e
-            },
-        )
-    })
+        })
+        .filter(|c| escape::is_xml_char(*c))
+        .collect()
+}
+
+fn xml_name(g: &mut Gen) -> String {
+    const FIRST: &[char] = &[
+        'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Q', 'Z', '_',
+    ];
+    const REST: &[char] = &[
+        'a', 'e', 'k', 'n', 'p', 'v', 'Z', '0', '7', '9', '_', '.', '-',
+    ];
+    let mut name = g.pick(FIRST).to_string();
+    let extra = g.len_in(12);
+    name.extend((0..extra).map(|_| *g.pick(REST)));
+    name
+}
+
+fn ns_uri(g: &mut Gen) -> String {
+    const ALPHA: &[char] = &['a', 'b', 'g', 'm', 's', 'w', 'x', 'z'];
+    let len = g.usize(1..=8);
+    let tail: String = (0..len).map(|_| *g.pick(ALPHA)).collect();
+    format!("urn:{tail}")
+}
+
+fn arb_qname(g: &mut Gen) -> QName {
+    if g.bool(0.5) {
+        QName::with_ns(ns_uri(g), xml_name(g))
+    } else {
+        QName::new(xml_name(g))
+    }
+}
+
+fn arb_element(g: &mut Gen, depth: u32) -> Element {
+    let mut e = Element::with_name(arb_qname(g));
+    for _ in 0..g.len_in(3) {
+        e.set_attr(xml_name(g), xml_text(g));
+    }
+    // One leading text run, mimicking mixed content; adjacent text merging
+    // means at most one leading run survives a parse, so keep it single.
+    let text = xml_text(g);
+    if !text.is_empty() {
+        e.set_text(text);
+    }
+    if depth > 0 {
+        for _ in 0..g.len_in(3) {
+            e.push_child(arb_element(g, depth - 1));
+        }
+    }
+    e
 }
 
 /// Normalise an element the way a parse does: empty text runs can not
@@ -79,42 +91,66 @@ fn normalise(e: &Element) -> Element {
     out
 }
 
-proptest! {
-    #[test]
-    fn tree_roundtrips_through_serialisation(e in arb_element()) {
+#[test]
+fn tree_roundtrips_through_serialisation() {
+    run("tree_roundtrips_through_serialisation", 64, |g| {
+        let e = arb_element(g, 3);
         let xml = e.to_xml_string();
         let parsed = Element::parse(&xml).expect("own output must parse");
         prop_assert_eq!(normalise(&e), parsed);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pretty_output_preserves_names_and_attrs(e in arb_element()) {
+#[test]
+fn pretty_output_preserves_names_and_attrs() {
+    run("pretty_output_preserves_names_and_attrs", 64, |g| {
+        let e = arb_element(g, 3);
         let xml = e.to_pretty_string();
         let parsed = Element::parse(&xml).expect("pretty output must parse");
         prop_assert_eq!(parsed.name(), e.name());
         prop_assert_eq!(parsed.attributes().len(), e.attributes().len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn escape_unescape_text_roundtrip(s in xml_text()) {
+#[test]
+fn escape_unescape_text_roundtrip() {
+    run("escape_unescape_text_roundtrip", 64, |g| {
+        let s = xml_text(g);
         let escaped = escape::escape_text(&s);
         prop_assert_eq!(escape::unescape(&escaped, 0).unwrap().into_owned(), s);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn escape_unescape_attr_roundtrip(s in xml_text()) {
+#[test]
+fn escape_unescape_attr_roundtrip() {
+    run("escape_unescape_attr_roundtrip", 64, |g| {
+        let s = xml_text(g);
         let escaped = escape::escape_attr(&s);
         prop_assert_eq!(escape::unescape(&escaped, 0).unwrap().into_owned(), s);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,200}") {
-        // Errors are fine; panics are not.
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    run("parser_never_panics_on_arbitrary_input", 64, |g| {
+        // Arbitrary unicode-ish soup. Errors are fine; panics are not.
+        let len = g.len_in(200);
+        let s: String = (0..len)
+            .map(|_| char::from_u32(g.u32(0x01..=0xFFFF)).unwrap_or('\u{FFFD}'))
+            .collect();
         let _ = Element::parse(&s);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn escaped_text_contains_no_specials(s in xml_text()) {
+#[test]
+fn escaped_text_contains_no_specials() {
+    run("escaped_text_contains_no_specials", 64, |g| {
+        let s = xml_text(g);
         let escaped = escape::escape_text(&s);
         prop_assert!(!escaped.contains('<'));
         // every '&' must begin an entity
@@ -123,5 +159,6 @@ proptest! {
                 prop_assert!(escaped[i..].contains(';'));
             }
         }
-    }
+        Ok(())
+    });
 }

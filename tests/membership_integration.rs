@@ -43,7 +43,7 @@ impl Context<MembershipMessage> for MembershipCtx<'_, '_> {
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
         self.inner.set_timer(delay, tag);
     }
-    fn rng(&mut self) -> &mut dyn rand::RngCore {
+    fn rng(&mut self) -> &mut dyn wsg_net::Rng64 {
         self.inner.rng()
     }
 }
@@ -68,7 +68,7 @@ impl Context<wsg_gossip::GossipMessage<u32>> for GossipCtx<'_> {
     fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
         self.inner.set_timer(delay, tag);
     }
-    fn rng(&mut self) -> &mut dyn rand::RngCore {
+    fn rng(&mut self) -> &mut dyn wsg_net::Rng64 {
         self.inner.rng()
     }
 }
@@ -230,7 +230,7 @@ mod partial_views {
         fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
             self.inner.set_timer(delay, tag);
         }
-        fn rng(&mut self) -> &mut dyn rand::RngCore {
+        fn rng(&mut self) -> &mut dyn wsg_net::Rng64 {
             self.inner.rng()
         }
     }
@@ -255,7 +255,7 @@ mod partial_views {
         fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
             self.inner.set_timer(delay, tag);
         }
-        fn rng(&mut self) -> &mut dyn rand::RngCore {
+        fn rng(&mut self) -> &mut dyn wsg_net::Rng64 {
             self.inner.rng()
         }
     }

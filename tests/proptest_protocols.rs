@@ -1,6 +1,9 @@
-//! Property-based tests on cross-crate protocol invariants.
+//! Property-based tests on cross-crate protocol invariants, running on
+//! the in-tree `wsg_net::check` harness (randomised cases, shrink by
+//! halving, failing-seed replay via `WSG_PROP_SEED`).
 
-use proptest::prelude::*;
+use wsg_net::check::{run, Gen};
+use wsg_net::{prop_assert, prop_assert_eq};
 
 use wsg_coord::{CoordinationContext, GossipGrant, GossipPolicy, GossipProtocol};
 use wsg_gossip::{analysis, Digest, GossipConfig, GossipEngine, GossipParams, GossipStyle, MsgId};
@@ -9,79 +12,83 @@ use wsg_net::NodeId;
 use wsg_soap::{Envelope, MessageHeaders};
 use wsg_xml::Element;
 
-fn arb_params() -> impl Strategy<Value = GossipParams> {
-    (1usize..12, 1u32..12).prop_map(|(f, r)| GossipParams::new(f, r))
+fn gen_params(g: &mut Gen) -> GossipParams {
+    GossipParams::new(g.usize(1..=11), g.u32(1..=11))
 }
 
-fn arb_protocol() -> impl Strategy<Value = GossipProtocol> {
-    prop_oneof![
-        Just(GossipProtocol::Push),
-        Just(GossipProtocol::LazyPush),
-        Just(GossipProtocol::Pull),
-        Just(GossipProtocol::PushPull),
-        Just(GossipProtocol::AntiEntropy),
-    ]
+fn gen_protocol(g: &mut Gen) -> GossipProtocol {
+    *g.pick(&[
+        GossipProtocol::Push,
+        GossipProtocol::LazyPush,
+        GossipProtocol::Pull,
+        GossipProtocol::PushPull,
+        GossipProtocol::AntiEntropy,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any coordination context round-trips through wire XML.
-    #[test]
-    fn context_wire_roundtrip(
-        protocol in arb_protocol(),
-        params in arb_params(),
-        ctx_num in 0u64..10_000,
-        expires in proptest::option::of(1u64..10_000_000),
-    ) {
+/// Any coordination context round-trips through wire XML.
+#[test]
+fn context_wire_roundtrip() {
+    run("context_wire_roundtrip", 64, |g| {
+        let protocol = gen_protocol(g);
+        let params = gen_params(g);
+        let ctx_num = g.u64(0..=9_999);
         let mut context = CoordinationContext::new(
             format!("urn:ws-gossip:ctx:{ctx_num}"),
             protocol,
             "http://node0/registration",
             GossipPolicy::new(params),
         );
-        if let Some(expires) = expires {
-            context = context.with_expires(expires);
+        if g.bool(0.5) {
+            context = context.with_expires(g.u64(1..=9_999_999));
         }
         let xml = context.to_header().to_xml_string();
         let parsed = CoordinationContext::from_header(&Element::parse(&xml).unwrap()).unwrap();
         prop_assert_eq!(parsed, context);
-    }
+        Ok(())
+    });
+}
 
-    /// Grants round-trip through wire XML with arbitrary peer lists.
-    #[test]
-    fn grant_wire_roundtrip(
-        fanout in 1usize..50,
-        rounds in 1u32..50,
-        peers in proptest::collection::vec(0usize..1000, 0..20),
-    ) {
+/// Grants round-trip through wire XML with arbitrary peer lists.
+#[test]
+fn grant_wire_roundtrip() {
+    run("grant_wire_roundtrip", 64, |g| {
         let grant = GossipGrant {
-            fanout,
-            rounds,
-            peers: peers.iter().map(|p| format!("http://node{p}/gossip")).collect(),
+            fanout: g.usize(1..=49),
+            rounds: g.u32(1..=49),
+            peers: g.vec_of(20, |g| format!("http://node{}/gossip", g.usize(0..=999))),
         };
         let xml = grant.to_register_response().to_xml_string();
         let parsed = GossipGrant::from_parent(&Element::parse(&xml).unwrap()).unwrap();
         prop_assert_eq!(parsed, grant);
-    }
+        Ok(())
+    });
+}
 
-    /// SOAP envelopes with arbitrary payload text round-trip.
-    #[test]
-    fn envelope_payload_roundtrip(text in "[ -~]{0,200}") {
+/// SOAP envelopes with arbitrary payload text round-trip.
+#[test]
+fn envelope_payload_roundtrip() {
+    run("envelope_payload_roundtrip", 64, |g| {
+        let text = g.ascii_string(200);
         let env = Envelope::request(
             MessageHeaders::request("http://node1/gossip", "urn:op"),
             Element::new("op").with_text(text.clone()),
         );
         let parsed = Envelope::parse(&env.to_xml()).unwrap();
         prop_assert_eq!(parsed.body().unwrap().text(), text);
-    }
+        Ok(())
+    });
+}
 
-    /// Digest::missing_from is a true set difference for arbitrary sets.
-    #[test]
-    fn digest_difference_exact(
-        mine in proptest::collection::hash_set((0usize..6, 0u64..30), 0..40),
-        theirs in proptest::collection::hash_set((0usize..6, 0u64..30), 0..40),
-    ) {
+/// Digest::missing_from is a true set difference for arbitrary sets.
+#[test]
+fn digest_difference_exact() {
+    run("digest_difference_exact", 64, |g| {
+        let gen_set = |g: &mut Gen| -> std::collections::HashSet<(usize, u64)> {
+            g.vec_of(40, |g| (g.usize(0..=5), g.u64(0..=29))).into_iter().collect()
+        };
+        let mine = gen_set(g);
+        let theirs = gen_set(g);
         let mut a = Digest::new();
         for &(origin, seq) in &mine {
             a.insert(MsgId::new(NodeId(origin), seq));
@@ -98,17 +105,19 @@ proptest! {
         let expected: std::collections::HashSet<(usize, u64)> =
             mine.difference(&theirs).copied().collect();
         prop_assert_eq!(missing, expected);
-    }
+        Ok(())
+    });
+}
 
-    /// The epidemic never delivers the same message twice to the app and
-    /// never exceeds the round budget, for any parameters and loss rate.
-    #[test]
-    fn engine_invariants_hold(
-        params in arb_params(),
-        n in 4usize..40,
-        loss in 0.0f64..0.5,
-        seed in 0u64..1000,
-    ) {
+/// The epidemic never delivers the same message twice to the app and
+/// never exceeds the round budget, for any parameters and loss rate.
+#[test]
+fn engine_invariants_hold() {
+    run("engine_invariants_hold", 64, |g| {
+        let params = gen_params(g);
+        let n = g.usize(4..=39);
+        let loss = g.f64(0.0..0.5);
+        let seed = g.u64(0..=999);
         let mut net = SimNet::new(SimConfig::default().seed(seed).drop_probability(loss));
         net.add_nodes(n, |id| {
             let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
@@ -131,12 +140,16 @@ proptest! {
         }
         // The origin always has it.
         prop_assert_eq!(net.node(NodeId(0)).delivered().len(), 1);
-    }
+        Ok(())
+    });
+}
 
-    /// Mean-field coverage prediction brackets the simulated coverage for
-    /// loss-free eager push (within a generous tolerance band).
-    #[test]
-    fn analysis_brackets_simulation(seed in 0u64..50) {
+/// Mean-field coverage prediction brackets the simulated coverage for
+/// loss-free eager push (within a generous tolerance band).
+#[test]
+fn analysis_brackets_simulation() {
+    run("analysis_brackets_simulation", 64, |g| {
+        let seed = g.u64(0..=49);
         let n = 128;
         let params = GossipParams::new(3, 4);
         let mut net = SimNet::new(SimConfig::default().seed(seed));
@@ -154,29 +167,29 @@ proptest! {
         net.run_to_quiescence();
         let reached = (0..n)
             .filter(|i| !net.node(NodeId(*i)).delivered().is_empty())
-            .count() as f64 / n as f64;
+            .count() as f64
+            / n as f64;
         let predicted = analysis::expected_coverage(n, 3, 4);
-        prop_assert!((reached - predicted).abs() < 0.35,
-            "simulated {reached:.2} vs predicted {predicted:.2}");
-    }
+        prop_assert!(
+            (reached - predicted).abs() < 0.35,
+            "simulated {reached:.2} vs predicted {predicted:.2}"
+        );
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Membership view merging is commutative and idempotent: any two
-    /// orders of applying two snapshots converge to the same view.
-    #[test]
-    fn membership_merge_is_commutative_and_idempotent(
-        snapshot_a in proptest::collection::vec((0usize..8, 0u64..100), 0..24),
-        snapshot_b in proptest::collection::vec((0usize..8, 0u64..100), 0..24),
-    ) {
+/// Membership view merging is commutative and idempotent: any two
+/// orders of applying two snapshots converge to the same view.
+#[test]
+fn membership_merge_is_commutative_and_idempotent() {
+    run("membership_merge_commutative_idempotent", 48, |g| {
         use wsg_membership::MembershipView;
         use wsg_net::SimTime;
-        let entries_a: Vec<(NodeId, u64)> =
-            snapshot_a.iter().map(|&(n, h)| (NodeId(n), h)).collect();
-        let entries_b: Vec<(NodeId, u64)> =
-            snapshot_b.iter().map(|&(n, h)| (NodeId(n), h)).collect();
+        let gen_entries = |g: &mut Gen| -> Vec<(NodeId, u64)> {
+            g.vec_of(24, |g| (NodeId(g.usize(0..=7)), g.u64(0..=99)))
+        };
+        let entries_a = gen_entries(g);
+        let entries_b = gen_entries(g);
         let at = SimTime::from_millis(1);
 
         let mut ab = MembershipView::new();
@@ -194,20 +207,21 @@ proptest! {
         ab.merge(&entries_a, SimTime::from_millis(2));
         ab.merge(&entries_b, SimTime::from_millis(2));
         prop_assert_eq!(ab.snapshot(), before);
-    }
+        Ok(())
+    });
+}
 
-    /// Simulator causality: every delivery happens strictly after its
-    /// send, times never run backwards, and crashed nodes receive nothing.
-    #[test]
-    fn simulator_respects_causality(
-        seed in 0u64..500,
-        n in 2usize..16,
-        drop in 0.0f64..0.4,
-    ) {
+/// Simulator causality: every delivery happens strictly after its
+/// send, times never run backwards, and crashed nodes receive nothing.
+#[test]
+fn simulator_respects_causality() {
+    run("simulator_respects_causality", 48, |g| {
         use std::sync::{Arc, Mutex};
-        use wsg_gossip::{GossipConfig, GossipStyle};
         use wsg_net::{TraceEvent, TraceKind};
 
+        let seed = g.u64(0..=499);
+        let n = g.usize(2..=15);
+        let drop = g.f64(0.0..0.4);
         let mut net = SimNet::new(SimConfig::default().seed(seed).drop_probability(drop));
         net.add_nodes(n, |id| {
             let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
@@ -233,7 +247,7 @@ proptest! {
             prop_assert!(ev.time >= last, "time ran backwards");
             last = ev.time;
             if ev.kind == TraceKind::Deliver {
-                prop_assert_ne!(ev.to, crashed, "delivery to a crashed node");
+                prop_assert!(ev.to != crashed, "delivery to a crashed node");
             }
         }
         // Every deliver is strictly later than some send between the same pair.
@@ -246,14 +260,18 @@ proptest! {
             });
             prop_assert!(has_cause, "delivery without an earlier send");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Same seed, same run: the simulator is deterministic for arbitrary
-    /// parameters.
-    #[test]
-    fn simulator_is_deterministic(seed in 0u64..200, n in 2usize..20) {
-        use wsg_gossip::{GossipConfig, GossipStyle};
-        let run = || {
+/// Same seed, same run: the simulator is deterministic for arbitrary
+/// parameters.
+#[test]
+fn simulator_is_deterministic() {
+    run("simulator_is_deterministic", 48, |g| {
+        let seed = g.u64(0..=199);
+        let n = g.usize(2..=19);
+        let run_once = || {
             let mut net = SimNet::new(SimConfig::default().seed(seed).drop_probability(0.1));
             net.add_nodes(n, |id| {
                 let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
@@ -269,19 +287,21 @@ proptest! {
             net.run_to_quiescence();
             (net.stats().clone(), net.now())
         };
-        prop_assert_eq!(run(), run());
-    }
+        prop_assert_eq!(run_once(), run_once());
+        Ok(())
+    });
+}
 
-    /// Push-sum conserves the value hull: estimates never leave
-    /// [min(values), max(values)] and converge towards the true mean.
-    #[test]
-    fn push_sum_estimates_stay_in_hull(
-        values in proptest::collection::vec(0.0f64..1000.0, 2..24),
-        seed in 0u64..100,
-    ) {
+/// Push-sum conserves the value hull: estimates never leave
+/// [min(values), max(values)] and converge towards the true mean.
+#[test]
+fn push_sum_estimates_stay_in_hull() {
+    run("push_sum_estimates_stay_in_hull", 48, |g| {
         use wsg_gossip::PushSum;
         use wsg_net::{SimDuration, SimTime};
-        let n = values.len();
+        let n = g.usize(2..=23);
+        let values: Vec<f64> = (0..n).map(|_| g.f64(0.0..1000.0)).collect();
+        let seed = g.u64(0..=99);
         let mut net = SimNet::new(SimConfig::default().seed(seed));
         for (i, &v) in values.iter().enumerate() {
             let peers = (0..n).map(NodeId).filter(|p| p.index() != i).collect();
@@ -295,8 +315,11 @@ proptest! {
         for id in net.node_ids() {
             let est = net.node(id).estimate();
             prop_assert!(est >= lo - 1e-6 && est <= hi + 1e-6, "estimate {est} outside hull");
-            prop_assert!((est - mean).abs() < (hi - lo).max(1.0) * 0.05 + 1e-6,
-                "estimate {est} far from mean {mean}");
+            prop_assert!(
+                (est - mean).abs() < (hi - lo).max(1.0) * 0.05 + 1e-6,
+                "estimate {est} far from mean {mean}"
+            );
         }
-    }
+        Ok(())
+    });
 }
