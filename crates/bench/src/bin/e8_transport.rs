@@ -1,0 +1,45 @@
+//! E8 — SOAP-over-HTTP transport cost: loopback round-trip latency by
+//! payload size, then a full gossip dissemination over real sockets.
+
+use wsg_bench::experiments::e8_transport;
+use wsg_bench::Table;
+
+fn fast_mode() -> bool {
+    std::env::var("WSG_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
+}
+
+fn main() {
+    println!("E8 — transport cost on real loopback sockets");
+    println!("claim: the middleware's gossip rounds survive contact with an actual TCP stack\n");
+
+    let sizes: &[usize] =
+        if fast_mode() { &[64, 4096] } else { &[64, 1024, 16 * 1024, 256 * 1024] };
+    let rows = e8_transport::roundtrips(sizes);
+    let mut table = Table::new(&["payload B", "wire B", "min", "median", "mean"]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.payload_bytes.to_string(),
+            r.wire_bytes.to_string(),
+            format!("{:.1} µs", r.measurement.min_ns / 1e3),
+            format!("{:.1} µs", r.measurement.median_ns / 1e3),
+            format!("{:.1} µs", r.measurement.mean_ns / 1e3),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let (subscribers, ticks, run_ms) = if fast_mode() { (4, 2, 1800) } else { (8, 5, 3500) };
+    println!("\nlive dissemination over sockets ({subscribers} subscribers, {ticks} ticks):");
+    let outcome = e8_transport::dissemination(subscribers, ticks, 17, run_ms);
+    println!(
+        "  {}/{} subscribers complete | {} envelopes delivered, {} failed | {} ms wall",
+        outcome.complete_subscribers,
+        outcome.subscribers,
+        outcome.posts_ok,
+        outcome.posts_failed,
+        outcome.elapsed_ms,
+    );
+    assert_eq!(
+        outcome.complete_subscribers, outcome.subscribers,
+        "dissemination must complete over the socket transport"
+    );
+}

@@ -1,0 +1,172 @@
+//! E8 — the price of real sockets: SOAP-over-HTTP round-trip latency by
+//! payload size, and a live dissemination run over `wsg_http::NetRuntime`
+//! compared against what the channel-backed thread runtime gets for free.
+//!
+//! This is the transport companion to E5 (throughput in virtual time):
+//! instead of simulated costs, every number here is wall-clock time spent
+//! moving serialized envelopes through the loopback TCP stack.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ws_gossip::{Role, WsGossipNode};
+use wsg_coord::GossipPolicy;
+use wsg_gossip::GossipParams;
+use wsg_http::client::{HttpClientConfig, SoapHttpClient};
+use wsg_http::runtime::{NetRuntime, NetRuntimeConfig};
+use wsg_http::server::{HttpServerConfig, SoapHttpServer, SoapReply};
+use wsg_net::{NodeId, SimDuration};
+use wsg_soap::{Envelope, MessageHeaders};
+use wsg_xml::Element;
+
+use crate::timing::{bench_with_param, Measurement};
+
+/// One payload-size row of the round-trip table.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundtripRow {
+    /// Payload bytes inside the envelope body.
+    pub payload_bytes: usize,
+    /// Bytes of the serialized envelope actually POSTed.
+    pub wire_bytes: usize,
+    /// Timing statistics for one POST + 202 round trip.
+    pub measurement: Measurement,
+}
+
+/// Measure POST round trips against a local accept-only endpoint for each
+/// payload size, over a kept-alive pooled connection.
+#[allow(clippy::result_large_err)] // the accept-only Service returns Fault by value
+pub fn roundtrips(payload_sizes: &[usize]) -> Vec<RoundtripRow> {
+    let mut server = SoapHttpServer::bind(
+        "127.0.0.1:0",
+        Arc::new(|_req| Ok(SoapReply::Accepted)),
+        HttpServerConfig::default(),
+    )
+    .expect("bind bench server");
+    let client = SoapHttpClient::new(8, HttpClientConfig::default());
+    let addr = server.local_addr();
+
+    let rows = payload_sizes
+        .iter()
+        .map(|&size| {
+            let payload = "x".repeat(size);
+            let xml = Envelope::request(
+                MessageHeaders::request("http://bench/gossip", "urn:bench:Notify"),
+                Element::text_node("blob", payload),
+            )
+            .to_xml();
+            let measurement = bench_with_param("http_roundtrip_bytes", size, || {
+                client
+                    .post(addr, "/gossip", Some("urn:bench:Notify"), &[], xml.as_bytes())
+                    .expect("bench post")
+                    .response
+                    .status
+            });
+            RoundtripRow { payload_bytes: size, wire_bytes: xml.len(), measurement }
+        })
+        .collect();
+    server.shutdown();
+    rows
+}
+
+/// Outcome of one live dissemination over loopback sockets.
+#[derive(Debug, Clone, Copy)]
+pub struct DisseminationOutcome {
+    /// Total nodes deployed (coordinator + initiator + subscribers).
+    pub nodes: usize,
+    /// Subscribers that received the complete feed.
+    pub complete_subscribers: usize,
+    /// Subscribers deployed.
+    pub subscribers: usize,
+    /// Envelopes delivered at the transport level.
+    pub posts_ok: u64,
+    /// Envelopes abandoned after retries.
+    pub posts_failed: u64,
+    /// Wall-clock milliseconds the network ran.
+    pub elapsed_ms: u64,
+}
+
+/// Run a full WS-Gossip deployment (`subscribers` + coordinator +
+/// initiator) over real sockets: the initiator publishes `ticks` payloads
+/// and the network runs for `run_ms` of wall time.
+pub fn dissemination(subscribers: usize, ticks: usize, seed: u64, run_ms: u64) -> DisseminationOutcome {
+    let coordinator = NodeId(0);
+    let payloads: Vec<Element> = (0..ticks)
+        .map(|i| Element::text_node("tick", format!("ACME {}", 100 + i)))
+        .collect();
+
+    let mut nodes = vec![
+        WsGossipNode::coordinator(coordinator)
+            .with_policy(GossipPolicy::new(GossipParams::new(subscribers + 2, 6))),
+        WsGossipNode::initiator(NodeId(1), coordinator).with_publish_schedule(
+            "quotes",
+            payloads,
+            SimDuration::from_millis(120),
+        ),
+    ];
+    for i in 0..subscribers {
+        nodes.push(
+            WsGossipNode::disseminator(NodeId(2 + i), coordinator).with_auto_subscribe("quotes"),
+        );
+    }
+    let total_nodes = nodes.len();
+
+    let config = NetRuntimeConfig {
+        client: HttpClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            retries: 1,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            ..HttpClientConfig::default()
+        },
+        ..NetRuntimeConfig::default()
+    };
+
+    let started = Instant::now();
+    let net = NetRuntime::spawn(nodes, seed, config);
+    let finished = net.shutdown_after(Duration::from_millis(run_ms));
+    let elapsed_ms = started.elapsed().as_millis() as u64;
+
+    let complete_subscribers = finished
+        .iter()
+        .filter(|n| {
+            matches!(n.protocol.role(), Role::Disseminator | Role::Consumer)
+                && n.protocol.distinct_ops().len() == ticks
+        })
+        .count();
+    DisseminationOutcome {
+        nodes: total_nodes,
+        complete_subscribers,
+        subscribers,
+        posts_ok: finished.iter().map(|n| n.transport.posts_ok).sum(),
+        posts_failed: finished.iter().map(|n| n.transport.posts_failed).sum(),
+        elapsed_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_measure_and_scale_with_payload() {
+        std::env::set_var("WSG_BENCH_FAST", "1");
+        let rows = roundtrips(&[16, 1024]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.measurement.min_ns > 0.0);
+            assert!(row.wire_bytes > row.payload_bytes, "envelope adds framing");
+        }
+    }
+
+    #[test]
+    fn dissemination_completes_on_a_small_deployment() {
+        let outcome = dissemination(4, 2, 9, 1800);
+        assert_eq!(outcome.nodes, 6);
+        assert_eq!(
+            outcome.complete_subscribers, outcome.subscribers,
+            "all subscribers should finish: {outcome:?}"
+        );
+        assert!(outcome.posts_ok > 0);
+        assert_eq!(outcome.posts_failed, 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The SOAP-over-HTTP client: pooled keep-alive connections, timeouts,
+//! and bounded retry with seeded jittered exponential backoff.
+//!
+//! [`SoapHttpClient`] keeps one small pool of idle `TcpStream`s per peer
+//! address. A [`SoapHttpClient::post`] first drains the pool — a pooled
+//! connection that turns out dead (the server idled it out) is discarded
+//! *without* consuming a retry attempt, since no fresh connect was tried
+//! yet — then falls back to a fresh `connect_timeout`.
+//!
+//! Transport failures (refused/reset/timeout) are retried up to
+//! `retries` times with exponential backoff jittered into `[0.5, 1.0]` of
+//! the nominal delay. The jitter comes from a seeded `wsg_net::rng::Pcg32`,
+//! so a failing test replays with identical sleep schedules. An HTTP-level
+//! error (a 4xx/5xx response) is **not** retried: the bytes made it across,
+//! which is all the transport promises.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use wsg_net::rng::{Pcg32, RngExt};
+use wsg_net::sync::Mutex;
+
+use crate::message::{Request, Response};
+use crate::parser::{Parsed, ResponseParser};
+use crate::server::SOAP_CONTENT_TYPE;
+
+/// Tuning knobs for [`SoapHttpClient`].
+#[derive(Debug, Clone)]
+pub struct HttpClientConfig {
+    /// Timeout for establishing a fresh connection.
+    pub connect_timeout: Duration,
+    /// Timeout for reading a response.
+    pub read_timeout: Duration,
+    /// Timeout for writing a request.
+    pub write_timeout: Duration,
+    /// Transport-level retries after the first attempt.
+    pub retries: u32,
+    /// Nominal backoff before retry `n` is `backoff_base * 2^(n-1)`...
+    pub backoff_base: Duration,
+    /// ...capped at this much, then jittered into `[0.5, 1.0]` of nominal.
+    pub backoff_cap: Duration,
+    /// Idle connections kept per peer address.
+    pub pool_per_host: usize,
+}
+
+impl Default for HttpClientConfig {
+    fn default() -> Self {
+        HttpClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            retries: 2,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(200),
+            pool_per_host: 2,
+        }
+    }
+}
+
+/// A delivered exchange: the response plus how hard it was to get.
+#[derive(Debug, Clone)]
+pub struct PostOutcome {
+    /// The parsed HTTP response (any status — 500 is still an outcome).
+    pub response: Response,
+    /// Connect attempts made, counting the successful one.
+    pub attempts: u32,
+}
+
+/// All attempts failed at the transport level.
+#[derive(Debug)]
+pub struct PostError {
+    /// Connect attempts made.
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub last: std::io::Error,
+}
+
+impl std::fmt::Display for PostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "post failed after {} attempts: {}", self.attempts, self.last)
+    }
+}
+
+impl std::error::Error for PostError {}
+
+#[derive(Debug, Default)]
+struct ClientCounters {
+    posts: AtomicU64,
+    retries: AtomicU64,
+    pool_hits: AtomicU64,
+}
+
+/// A pooled, retrying SOAP-over-HTTP client.
+pub struct SoapHttpClient {
+    config: HttpClientConfig,
+    pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
+    rng: Mutex<Pcg32>,
+    counters: ClientCounters,
+}
+
+impl SoapHttpClient {
+    /// A client whose backoff jitter is derived from `seed`.
+    pub fn new(seed: u64, config: HttpClientConfig) -> Self {
+        SoapHttpClient {
+            config,
+            pool: Mutex::new(HashMap::new()),
+            rng: Mutex::new(Pcg32::new(seed, 0x5350_4f54)),
+            counters: ClientCounters::default(),
+        }
+    }
+
+    /// POST a SOAP envelope (as raw XML bytes) to `addr`.
+    ///
+    /// `action` becomes the quoted `SOAPAction` header; `extra_headers`
+    /// are appended verbatim (the runtime uses this for the node-id
+    /// header). Returns the response for **any** HTTP status; [`Err`] means
+    /// the bytes never made it across despite `1 + retries` attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`PostError`] carries the final attempt's I/O error.
+    pub fn post(
+        &self,
+        addr: SocketAddr,
+        target: &str,
+        action: Option<&str>,
+        extra_headers: &[(String, String)],
+        body: &[u8],
+    ) -> Result<PostOutcome, PostError> {
+        self.counters.posts.fetch_add(1, Ordering::Relaxed);
+        let mut request = Request::post(target, body.to_vec())
+            .with_header("Host", addr.to_string())
+            .with_header("Content-Type", SOAP_CONTENT_TYPE);
+        if let Some(action) = action {
+            request = request.with_header("SOAPAction", format!("\"{action}\""));
+        }
+        for (name, value) in extra_headers {
+            request = request.with_header(name.clone(), value.clone());
+        }
+        let wire = request.to_bytes();
+
+        let mut attempts = 0u32;
+        loop {
+            // Pooled connections first. A dead one costs nothing: the
+            // server may have idled it out, which says nothing about
+            // whether the peer is reachable now.
+            while let Some(stream) = self.take_pooled(addr) {
+                if let Ok(outcome) = self.exchange(&stream, &wire) {
+                    self.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
+                    self.maybe_pool(addr, stream, &outcome);
+                    return Ok(PostOutcome { response: outcome, attempts: attempts.max(1) });
+                }
+            }
+            attempts += 1;
+            match self.connect_and_exchange(addr, &wire) {
+                Ok((stream, response)) => {
+                    self.maybe_pool(addr, stream, &response);
+                    return Ok(PostOutcome { response, attempts });
+                }
+                Err(err) => {
+                    if attempts > self.config.retries {
+                        return Err(PostError { attempts, last: err });
+                    }
+                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.backoff(attempts));
+                }
+            }
+        }
+    }
+
+    /// Nominal exponential backoff before retry `n` (1-based), jittered
+    /// into `[0.5, 1.0]` of nominal so synchronized peers desynchronize.
+    fn backoff(&self, n: u32) -> Duration {
+        let nominal = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (n - 1).min(16))
+            .min(self.config.backoff_cap);
+        let jitter = self.rng.lock().gen_range(0.5..1.0);
+        nominal.mul_f64(jitter)
+    }
+
+    fn take_pooled(&self, addr: SocketAddr) -> Option<TcpStream> {
+        self.pool.lock().get_mut(&addr)?.pop()
+    }
+
+    fn maybe_pool(&self, addr: SocketAddr, stream: TcpStream, response: &Response) {
+        if !response.keep_alive() {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        let idle = pool.entry(addr).or_default();
+        if idle.len() < self.config.pool_per_host {
+            idle.push(stream);
+        }
+    }
+
+    fn connect_and_exchange(
+        &self,
+        addr: SocketAddr,
+        wire: &[u8],
+    ) -> std::io::Result<(TcpStream, Response)> {
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        let _ = stream.set_nodelay(true);
+        let response = self.exchange(&stream, wire)?;
+        Ok((stream, response))
+    }
+
+    fn exchange(&self, mut stream: &TcpStream, wire: &[u8]) -> std::io::Result<Response> {
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.write_all(wire)?;
+        let mut parser = ResponseParser::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full response",
+                ));
+            }
+            parser.feed(&chunk[..n]);
+            match parser.parse() {
+                Ok(Parsed::Complete(response)) => return Ok(response),
+                Ok(Parsed::Partial) => continue,
+                Err(err) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unparseable response: {err}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Total posts started.
+    pub fn posts(&self) -> u64 {
+        self.counters.posts.load(Ordering::Relaxed)
+    }
+
+    /// Transport-level retries performed (sleeps taken).
+    pub fn retries_performed(&self) -> u64 {
+        self.counters.retries.load(Ordering::Relaxed)
+    }
+
+    /// Posts answered over a pooled (kept-alive) connection.
+    pub fn pool_hits(&self) -> u64 {
+        self.counters.pool_hits.load(Ordering::Relaxed)
+    }
+
+    /// Idle pooled connections for `addr` right now (test visibility).
+    pub fn pooled(&self, addr: SocketAddr) -> usize {
+        self.pool.lock().get(&addr).map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{HttpServerConfig, SoapHttpServer, SoapReply, SoapRequest, Service};
+    use std::sync::Arc;
+    use wsg_soap::{Envelope, MessageHeaders};
+    use wsg_xml::Element;
+
+    fn accept_service() -> Service {
+        Arc::new(|_req: SoapRequest| Ok(SoapReply::Accepted))
+    }
+
+    fn sample_xml() -> String {
+        Envelope::request(
+            MessageHeaders::request("http://node1/gossip", "urn:svc:Notify"),
+            Element::text_node("tick", "ACME 101.25"),
+        )
+        .to_xml()
+    }
+
+    #[test]
+    fn post_roundtrip_and_pooling() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", accept_service(), HttpServerConfig::default())
+                .unwrap();
+        let client = SoapHttpClient::new(7, HttpClientConfig::default());
+        let xml = sample_xml();
+        let first = client
+            .post(server.local_addr(), "/gossip", Some("urn:svc:Notify"), &[], xml.as_bytes())
+            .unwrap();
+        assert_eq!(first.response.status, 202);
+        assert_eq!(first.attempts, 1);
+        assert_eq!(client.pooled(server.local_addr()), 1);
+        let second = client
+            .post(server.local_addr(), "/gossip", Some("urn:svc:Notify"), &[], xml.as_bytes())
+            .unwrap();
+        assert_eq!(second.response.status, 202);
+        assert_eq!(client.pool_hits(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn refused_connection_exhausts_retries() {
+        // Bind then drop: the port is (almost certainly) refused.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let config = HttpClientConfig {
+            retries: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+            connect_timeout: Duration::from_millis(200),
+            ..HttpClientConfig::default()
+        };
+        let client = SoapHttpClient::new(11, config);
+        let err = client.post(addr, "/gossip", None, &[], b"<x/>").unwrap_err();
+        assert_eq!(err.attempts, 4, "1 initial + 3 retries");
+        assert_eq!(client.retries_performed(), 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let config = HttpClientConfig::default();
+        let a = SoapHttpClient::new(99, config.clone());
+        let b = SoapHttpClient::new(99, config);
+        let delays_a: Vec<Duration> = (1..=4).map(|n| a.backoff(n)).collect();
+        let delays_b: Vec<Duration> = (1..=4).map(|n| b.backoff(n)).collect();
+        assert_eq!(delays_a, delays_b);
+        // Nominal doubling with cap: each delay sits in [0.5, 1.0]×nominal.
+        let base = Duration::from_millis(20);
+        for (i, d) in delays_a.iter().enumerate() {
+            let nominal = base.saturating_mul(1 << i).min(Duration::from_millis(200));
+            assert!(*d >= nominal.mul_f64(0.5) && *d <= nominal, "delay {i}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn dead_pooled_connection_does_not_burn_an_attempt() {
+        let config = HttpServerConfig {
+            keep_alive: Duration::from_millis(80),
+            ..HttpServerConfig::default()
+        };
+        let mut server = SoapHttpServer::bind("127.0.0.1:0", accept_service(), config).unwrap();
+        let client = SoapHttpClient::new(3, HttpClientConfig::default());
+        let xml = sample_xml();
+        let addr = server.local_addr();
+        client.post(addr, "/gossip", None, &[], xml.as_bytes()).unwrap();
+        assert_eq!(client.pooled(addr), 1);
+        // Wait for the server to idle the pooled connection out.
+        std::thread::sleep(Duration::from_millis(300));
+        let outcome = client.post(addr, "/gossip", None, &[], xml.as_bytes()).unwrap();
+        assert_eq!(outcome.response.status, 202);
+        assert_eq!(outcome.attempts, 1, "stale pool entry must not count as an attempt");
+        assert_eq!(client.retries_performed(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_error_status_is_not_retried() {
+        let service: Service = Arc::new(|_req| {
+            Err(wsg_soap::Fault::new(wsg_soap::FaultCode::Receiver, "always fails"))
+        });
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", service, HttpServerConfig::default()).unwrap();
+        let client = SoapHttpClient::new(5, HttpClientConfig::default());
+        let outcome = client
+            .post(server.local_addr(), "/gossip", None, &[], sample_xml().as_bytes())
+            .unwrap();
+        assert_eq!(outcome.response.status, 500);
+        assert_eq!(client.retries_performed(), 0);
+        server.shutdown();
+    }
+}

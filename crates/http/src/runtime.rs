@@ -1,0 +1,520 @@
+//! The networked node runtime: `wsg_net::threads::ThreadNet`'s twin with
+//! loopback sockets instead of channels.
+//!
+//! [`NetRuntime::spawn`] gives every `Protocol<Message = String>` node
+//! three things:
+//!
+//! * an HTTP **server** on `127.0.0.1:0` whose service parses each POSTed
+//!   SOAP envelope and enqueues it on the node's inbox;
+//! * a **node loop** thread identical in structure to the threaded
+//!   runtime's (timers on wall-clock, deterministic per-node RNG), whose
+//!   outgoing `ctx.send(to, xml)` calls go to...
+//! * a **sender** thread owning a pooled, retrying [`SoapHttpClient`]
+//!   that POSTs each serialized envelope to the destination node's socket.
+//!
+//! Because the node's view of the world is still just [`Context`], the
+//! gossip protocols run here byte-for-byte unchanged from the simulator —
+//! only now a gossip round is real HTTP traffic that `tcpdump` would show.
+//!
+//! ## Fault injection
+//!
+//! [`NetRuntimeConfig::refuse`] lists nodes that get an address but no
+//! listener (the port is bound and immediately released): peers that pick
+//! them as gossip targets see `ECONNREFUSED` and walk the client's
+//! retry/backoff path, exactly like gossiping to a crashed process.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wsg_net::protocol::{Context, NodeId, Protocol, TimerTag};
+use wsg_net::rng::{Pcg32, Rng64, SplitMix64};
+use wsg_net::time::{SimDuration, SimTime};
+use wsg_soap::{Envelope, Fault, FaultCode};
+
+use crate::client::{HttpClientConfig, PostError, PostOutcome, SoapHttpClient};
+use crate::server::{
+    HttpServerConfig, SoapHttpServer, SoapReply, SoapRequest, Service, NODE_HEADER,
+};
+
+/// The request target every gossip node serves.
+pub const GOSSIP_TARGET: &str = "/gossip";
+
+/// `from` reported to a protocol when the sender did not identify itself
+/// with the [`NODE_HEADER`] header (e.g. an external test client).
+pub const EXTERNAL_SENDER: NodeId = NodeId(usize::MAX);
+
+/// Tuning knobs for [`NetRuntime`].
+#[derive(Debug, Clone, Default)]
+pub struct NetRuntimeConfig {
+    /// Client-side (sender thread) configuration, per node.
+    pub client: HttpClientConfig,
+    /// Server-side configuration, per node.
+    pub server: HttpServerConfig,
+    /// Nodes that get an address but no listener: connections to them are
+    /// refused, exercising peers' retry/backoff paths.
+    pub refuse: Vec<NodeId>,
+}
+
+/// Transport-level counters a node's sender thread accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Envelopes that reached their destination (any HTTP status).
+    pub posts_ok: u64,
+    /// Envelopes abandoned after exhausting retries.
+    pub posts_failed: u64,
+    /// Connect attempts across all posts (≥ posts when retries happened).
+    pub attempts: u64,
+    /// Sends to node ids outside the deployment (dropped).
+    pub unroutable: u64,
+}
+
+/// A node's final state after shutdown: protocol + transport counters.
+#[derive(Debug)]
+pub struct NetNode<P> {
+    /// The protocol state machine in its final state.
+    pub protocol: P,
+    /// What its sender thread saw at the transport level.
+    pub transport: TransportStats,
+}
+
+enum Inbox {
+    Message { from: NodeId, xml: String },
+    Stop,
+}
+
+struct Outbound {
+    to: NodeId,
+    xml: String,
+}
+
+struct NetCtx<'a> {
+    start: Instant,
+    id: NodeId,
+    node_count: usize,
+    rng: &'a mut Pcg32,
+    outbox: Vec<(NodeId, String)>,
+    timer_requests: Vec<(SimDuration, TimerTag)>,
+}
+
+impl Context<String> for NetCtx<'_> {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+    fn self_id(&self) -> NodeId {
+        self.id
+    }
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+    fn send(&mut self, to: NodeId, msg: String) {
+        self.outbox.push((to, msg));
+    }
+    fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) {
+        self.timer_requests.push((delay, tag));
+    }
+    fn rng(&mut self) -> &mut dyn Rng64 {
+        self.rng
+    }
+}
+
+/// A live network of protocol nodes on loopback HTTP sockets.
+pub struct NetRuntime<P: Protocol<Message = String>> {
+    addrs: Vec<SocketAddr>,
+    inbox_senders: Vec<Sender<Inbox>>,
+    node_handles: Vec<JoinHandle<P>>,
+    sender_handles: Vec<JoinHandle<TransportStats>>,
+    servers: Vec<Option<SoapHttpServer>>,
+    external: SoapHttpClient,
+}
+
+impl<P> NetRuntime<P>
+where
+    P: Protocol<Message = String> + Send + 'static,
+{
+    /// Bind one loopback socket per protocol and start all nodes.
+    ///
+    /// All listeners are bound before any node runs, so the address table
+    /// handed to the sender threads is complete from the first gossip
+    /// round. `seed` drives every node's protocol RNG and its client's
+    /// backoff jitter through one `SplitMix64` chain, in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loopback socket cannot be bound — a networked runtime
+    /// without a network has no useful degraded mode.
+    pub fn spawn(protocols: Vec<P>, seed: u64, config: NetRuntimeConfig) -> Self {
+        let node_count = protocols.len();
+        let start = Instant::now();
+        let mut seeder = SplitMix64::new(seed);
+
+        // Phase 1: bind everything so the address table is complete.
+        let mut addrs = Vec::with_capacity(node_count);
+        let mut listeners = Vec::with_capacity(node_count);
+        for index in 0..node_count {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+            addrs.push(listener.local_addr().expect("listener local addr"));
+            if config.refuse.contains(&NodeId(index)) {
+                // Keep the address, drop the listener: ECONNREFUSED.
+                listeners.push(None);
+            } else {
+                listeners.push(Some(listener));
+            }
+        }
+
+        // Phase 2: per-node plumbing. RNG draws happen in node order so a
+        // given seed always produces the same per-node streams.
+        let mut inbox_senders = Vec::with_capacity(node_count);
+        let mut inbox_receivers = Vec::with_capacity(node_count);
+        let mut rngs = Vec::with_capacity(node_count);
+        let mut client_seeds = Vec::with_capacity(node_count);
+        for index in 0..node_count {
+            let (tx, rx): (Sender<Inbox>, Receiver<Inbox>) = channel();
+            inbox_senders.push(tx);
+            inbox_receivers.push(rx);
+            rngs.push(Pcg32::new(seeder.next(), index as u64));
+            client_seeds.push(seeder.next());
+        }
+        let external = SoapHttpClient::new(seeder.next(), config.client.clone());
+
+        // Phase 3: servers. Each service just decodes and enqueues; all
+        // protocol work happens on the node's own thread.
+        let mut servers = Vec::with_capacity(node_count);
+        for (index, listener) in listeners.into_iter().enumerate() {
+            let Some(listener) = listener else {
+                servers.push(None);
+                continue;
+            };
+            let inbox = inbox_senders[index].clone();
+            let service: Service = Arc::new(move |request: SoapRequest| {
+                let from = request.from_node.map(NodeId).unwrap_or(EXTERNAL_SENDER);
+                inbox
+                    .send(Inbox::Message { from, xml: request.raw })
+                    .map_err(|_| Fault::new(FaultCode::Receiver, "node is shut down"))?;
+                Ok(SoapReply::Accepted)
+            });
+            servers.push(Some(
+                SoapHttpServer::serve(listener, service, config.server.clone())
+                    .expect("start node http server"),
+            ));
+        }
+
+        // Phase 4: sender threads (one pooled client per node).
+        let mut out_senders = Vec::with_capacity(node_count);
+        let mut sender_handles = Vec::with_capacity(node_count);
+        for (index, seed) in client_seeds.iter().enumerate() {
+            let (out_tx, out_rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
+            out_senders.push(out_tx);
+            let client = SoapHttpClient::new(*seed, config.client.clone());
+            let addrs = addrs.clone();
+            sender_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wsg-net-sender-{index}"))
+                    .spawn(move || sender_loop(index, out_rx, client, addrs))
+                    .expect("spawn sender thread"),
+            );
+        }
+
+        // Phase 5: node loops.
+        let mut node_handles = Vec::with_capacity(node_count);
+        for (index, (protocol, (rx, (mut rng, out_tx)))) in protocols
+            .into_iter()
+            .zip(inbox_receivers.into_iter().zip(rngs.into_iter().zip(out_senders)))
+            .enumerate()
+        {
+            let id = NodeId(index);
+            node_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wsg-net-node-{index}"))
+                    .spawn(move || run_node(protocol, id, node_count, rx, out_tx, &mut rng, start))
+                    .expect("spawn node thread"),
+            );
+        }
+
+        NetRuntime { addrs, inbox_senders, node_handles, sender_handles, servers, external }
+    }
+
+    /// The socket address node `id` serves (or would serve, if refused).
+    pub fn addr_of(&self, id: NodeId) -> SocketAddr {
+        self.addrs[id.0]
+    }
+
+    /// Number of nodes in the deployment.
+    pub fn node_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// POST an envelope to node `to` over a real socket, as an external
+    /// client (no node-id header, so the protocol sees
+    /// [`EXTERNAL_SENDER`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PostError`] if the node is unreachable after retries.
+    pub fn post_external(
+        &self,
+        to: NodeId,
+        action: Option<&str>,
+        xml: &str,
+    ) -> Result<PostOutcome, PostError> {
+        self.external.post(self.addrs[to.0], GOSSIP_TARGET, action, &[], xml.as_bytes())
+    }
+
+    /// Inject a message into node `to`'s inbox directly (no socket), as if
+    /// sent by `from`. Useful for deterministic unit tests; integration
+    /// tests should prefer [`NetRuntime::post_external`].
+    pub fn send_local(&self, from: NodeId, to: NodeId, xml: String) {
+        let _ = self.inbox_senders[to.0].send(Inbox::Message { from, xml });
+    }
+
+    /// Let the network run for `duration` of wall-clock time, then stop.
+    pub fn shutdown_after(self, duration: Duration) -> Vec<NetNode<P>> {
+        std::thread::sleep(duration);
+        self.shutdown()
+    }
+
+    /// Stop all nodes and return their final states in id order.
+    ///
+    /// Ordering matters: node loops stop first (dropping their outbound
+    /// queues), then sender threads drain what was already queued, then
+    /// the servers close — so no in-flight envelope is lost to shutdown.
+    pub fn shutdown(mut self) -> Vec<NetNode<P>> {
+        for sender in &self.inbox_senders {
+            let _ = sender.send(Inbox::Stop);
+        }
+        let protocols: Vec<P> = self
+            .node_handles
+            .drain(..)
+            .map(|h| h.join().expect("node thread panicked"))
+            .collect();
+        let stats: Vec<TransportStats> = self
+            .sender_handles
+            .drain(..)
+            .map(|h| h.join().expect("sender thread panicked"))
+            .collect();
+        for server in self.servers.iter_mut().flatten() {
+            server.shutdown();
+        }
+        protocols
+            .into_iter()
+            .zip(stats)
+            .map(|(protocol, transport)| NetNode { protocol, transport })
+            .collect()
+    }
+}
+
+fn sender_loop(
+    index: usize,
+    out_rx: Receiver<Outbound>,
+    client: SoapHttpClient,
+    addrs: Vec<SocketAddr>,
+) -> TransportStats {
+    let mut stats = TransportStats::default();
+    let node_header = [(NODE_HEADER.to_string(), index.to_string())];
+    // Runs until every clone of the node's out_tx is gone (node stopped).
+    while let Ok(Outbound { to, xml }) = out_rx.recv() {
+        let Some(addr) = addrs.get(to.0).copied() else {
+            stats.unroutable += 1;
+            continue;
+        };
+        let action = Envelope::parse(&xml).ok().and_then(|e| {
+            e.addressing().action().map(str::to_string)
+        });
+        match client.post(addr, GOSSIP_TARGET, action.as_deref(), &node_header, xml.as_bytes()) {
+            Ok(outcome) => {
+                stats.posts_ok += 1;
+                stats.attempts += u64::from(outcome.attempts);
+            }
+            Err(err) => {
+                stats.posts_failed += 1;
+                stats.attempts += u64::from(err.attempts);
+            }
+        }
+    }
+    stats
+}
+
+fn run_node<P>(
+    mut protocol: P,
+    id: NodeId,
+    node_count: usize,
+    rx: Receiver<Inbox>,
+    out_tx: Sender<Outbound>,
+    rng: &mut Pcg32,
+    start: Instant,
+) -> P
+where
+    P: Protocol<Message = String>,
+{
+    let mut timers: Vec<(Instant, TimerTag)> = Vec::new();
+
+    let dispatch = |protocol: &mut P,
+                    timers: &mut Vec<(Instant, TimerTag)>,
+                    rng: &mut Pcg32,
+                    event: Option<(NodeId, String)>,
+                    fired: Option<TimerTag>| {
+        let mut ctx = NetCtx {
+            start,
+            id,
+            node_count,
+            rng,
+            outbox: Vec::new(),
+            timer_requests: Vec::new(),
+        };
+        match (event, fired) {
+            (Some((from, msg)), _) => protocol.on_message(from, msg, &mut ctx),
+            (None, Some(tag)) => protocol.on_timer(tag, &mut ctx),
+            (None, None) => protocol.on_start(&mut ctx),
+        }
+        let NetCtx { outbox, timer_requests, .. } = ctx;
+        for (to, xml) in outbox {
+            let _ = out_tx.send(Outbound { to, xml });
+        }
+        for (delay, tag) in timer_requests {
+            let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
+            timers.push((fire_at, tag));
+            timers.sort_by_key(|(at, _)| *at);
+        }
+    };
+
+    dispatch(&mut protocol, &mut timers, rng, None, None); // on_start
+
+    loop {
+        let now = Instant::now();
+        while let Some(&(fire_at, tag)) = timers.first() {
+            if fire_at > now {
+                break;
+            }
+            timers.remove(0);
+            dispatch(&mut protocol, &mut timers, rng, None, Some(tag));
+        }
+        let timeout = timers
+            .first()
+            .map(|(at, _)| at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(Inbox::Message { from, xml }) => {
+                dispatch(&mut protocol, &mut timers, rng, Some((from, xml)), None);
+            }
+            Ok(Inbox::Stop) | Err(RecvTimeoutError::Disconnected) => return protocol,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsg_soap::MessageHeaders;
+    use wsg_xml::Element;
+
+    fn envelope_xml(op: &str, action: &str) -> String {
+        Envelope::request(
+            MessageHeaders::request("http://peer/gossip", action),
+            Element::text_node("op", op),
+        )
+        .to_xml()
+    }
+
+    /// Replies "pong" to every "ping"; records everything it saw.
+    struct Ponger {
+        seen: Vec<(NodeId, String)>,
+    }
+
+    impl Protocol for Ponger {
+        type Message = String;
+        fn on_message(&mut self, from: NodeId, msg: String, ctx: &mut dyn Context<String>) {
+            let op = Envelope::parse(&msg)
+                .ok()
+                .and_then(|e| e.body().map(|b| b.text()))
+                .unwrap_or_default();
+            if op == "ping" && from != EXTERNAL_SENDER {
+                ctx.send(from, envelope_xml("pong", "urn:test:Pong"));
+            }
+            self.seen.push((from, op));
+        }
+    }
+
+    fn quick_config() -> NetRuntimeConfig {
+        NetRuntimeConfig {
+            client: HttpClientConfig {
+                retries: 1,
+                backoff_base: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(10),
+                connect_timeout: Duration::from_millis(300),
+                ..HttpClientConfig::default()
+            },
+            ..NetRuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_nodes_exchange_envelopes_over_sockets() {
+        let net = NetRuntime::spawn(
+            vec![Ponger { seen: Vec::new() }, Ponger { seen: Vec::new() }],
+            42,
+            quick_config(),
+        );
+        net.send_local(NodeId(1), NodeId(0), envelope_xml("ping", "urn:test:Ping"));
+        let nodes = net.shutdown_after(Duration::from_millis(700));
+        // Node 0 saw the injected ping; node 1 got the pong over HTTP.
+        assert!(nodes[0].protocol.seen.iter().any(|(f, op)| *f == NodeId(1) && op == "ping"));
+        assert!(
+            nodes[1].protocol.seen.iter().any(|(f, op)| *f == NodeId(0) && op == "pong"),
+            "pong never arrived over the socket: {:?}",
+            nodes[1].protocol.seen
+        );
+        assert_eq!(nodes[0].transport.posts_ok, 1);
+        assert_eq!(nodes[0].transport.posts_failed, 0);
+    }
+
+    #[test]
+    fn external_posts_reach_the_protocol() {
+        let net = NetRuntime::spawn(vec![Ponger { seen: Vec::new() }], 7, quick_config());
+        let outcome = net
+            .post_external(NodeId(0), Some("urn:test:Ping"), &envelope_xml("hello", "urn:test:Ping"))
+            .unwrap();
+        assert_eq!(outcome.response.status, 202);
+        let nodes = net.shutdown_after(Duration::from_millis(300));
+        assert!(nodes[0].protocol.seen.iter().any(|(f, op)| *f == EXTERNAL_SENDER && op == "hello"));
+    }
+
+    #[test]
+    fn refused_node_exercises_retry_and_failure_accounting() {
+        let mut config = quick_config();
+        config.refuse = vec![NodeId(1)];
+        let net = NetRuntime::spawn(
+            vec![Ponger { seen: Vec::new() }, Ponger { seen: Vec::new() }],
+            13,
+            config,
+        );
+        // Make node 0 believe node 1 pinged it; the pong gets refused.
+        net.send_local(NodeId(1), NodeId(0), envelope_xml("ping", "urn:test:Ping"));
+        let nodes = net.shutdown_after(Duration::from_millis(900));
+        assert_eq!(nodes[0].transport.posts_failed, 1);
+        assert!(
+            nodes[0].transport.attempts >= 2,
+            "refused post should have retried: {:?}",
+            nodes[0].transport
+        );
+        assert!(nodes[1].protocol.seen.is_empty());
+    }
+
+    #[test]
+    fn unroutable_sends_are_counted_not_fatal() {
+        struct SendsNowhere;
+        impl Protocol for SendsNowhere {
+            type Message = String;
+            fn on_start(&mut self, ctx: &mut dyn Context<String>) {
+                ctx.send(NodeId(999), envelope_xml("lost", "urn:test:Lost"));
+            }
+            fn on_message(&mut self, _: NodeId, _: String, _: &mut dyn Context<String>) {}
+        }
+        let net = NetRuntime::spawn(vec![SendsNowhere], 3, quick_config());
+        let nodes = net.shutdown_after(Duration::from_millis(200));
+        assert_eq!(nodes[0].transport.unroutable, 1);
+        assert_eq!(nodes[0].transport.posts_ok, 0);
+    }
+}

@@ -1,0 +1,652 @@
+//! The SOAP-over-HTTP endpoint: accept loop, bounded worker pool,
+//! keep-alive connections and fault mapping.
+//!
+//! [`SoapHttpServer`] owns one `TcpListener` plus a fixed worker pool (the
+//! same bounded-pool idiom as `wsg_net::threads`). The accept thread hands
+//! connections to a `sync_channel` whose depth bounds the backlog; workers
+//! pull from the shared receiver and run the connection until it closes,
+//! idles out, or the server shuts down.
+//!
+//! Every POSTed body is parsed as a SOAP [`Envelope`] and handed to the
+//! [`Service`] closure. The HTTP status mapping follows the SOAP 1.2 HTTP
+//! binding:
+//!
+//! | service outcome              | HTTP response                        |
+//! |------------------------------|--------------------------------------|
+//! | `Ok(SoapReply::Accepted)`    | `202 Accepted`, empty body           |
+//! | `Ok(SoapReply::Envelope(_))` | `200 OK`, response envelope          |
+//! | `Err(Fault)`                 | `500`, fault envelope in the body    |
+//! | body is not an envelope      | `400`, `Sender` fault envelope       |
+//! | method is not POST           | `405 Method Not Allowed`             |
+//! | unparseable HTTP             | `400 Bad Request`, connection closed |
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wsg_net::sync::Mutex;
+use wsg_soap::handler::Direction;
+use wsg_soap::{Envelope, Fault, FaultCode, HandlerChain, MessageHeaders};
+
+use crate::message::Response;
+use crate::parser::{Parsed, RequestParser};
+
+/// Content type of every SOAP 1.2 message on the wire.
+pub const SOAP_CONTENT_TYPE: &str = "application/soap+xml; charset=utf-8";
+
+/// Header carrying the sending node's numeric id between gossip peers.
+pub const NODE_HEADER: &str = "X-WSG-Node";
+
+/// Tuning knobs for [`SoapHttpServer`].
+#[derive(Debug, Clone)]
+pub struct HttpServerConfig {
+    /// Worker threads servicing connections.
+    pub workers: usize,
+    /// Close a connection after this much idle time between requests.
+    pub keep_alive: Duration,
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of a request body.
+    pub max_body_bytes: usize,
+    /// Accepted-but-unserviced connections to queue before refusing.
+    pub queue_depth: usize,
+}
+
+impl Default for HttpServerConfig {
+    fn default() -> Self {
+        HttpServerConfig {
+            workers: 2,
+            keep_alive: Duration::from_secs(5),
+            max_head_bytes: crate::parser::MAX_HEAD_BYTES,
+            max_body_bytes: crate::parser::MAX_BODY_BYTES,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A decoded SOAP request as handed to the [`Service`].
+#[derive(Debug, Clone)]
+pub struct SoapRequest {
+    /// `SOAPAction` header, quotes stripped.
+    pub action: Option<String>,
+    /// Sending node id from the [`NODE_HEADER`] header, when present.
+    pub from_node: Option<usize>,
+    /// Peer socket address of the connection.
+    pub peer: SocketAddr,
+    /// The parsed envelope.
+    pub envelope: Envelope,
+    /// The raw XML body as received.
+    pub raw: String,
+}
+
+/// What the service wants sent back.
+#[derive(Debug, Clone)]
+pub enum SoapReply {
+    /// Respond `200 OK` with this envelope.
+    Envelope(Envelope),
+    /// One-way accepted: respond `202 Accepted` with an empty body.
+    Accepted,
+}
+
+/// The application hook: turns a decoded request into a reply or a fault.
+pub type Service = Arc<dyn Fn(SoapRequest) -> Result<SoapReply, Fault> + Send + Sync>;
+
+/// Counters the server keeps while running (all monotonic).
+#[derive(Debug, Default)]
+struct ServerCounters {
+    requests: AtomicU64,
+    faults: AtomicU64,
+    parse_errors: AtomicU64,
+}
+
+/// A running SOAP-over-HTTP server.
+///
+/// Dropping the server triggers a best-effort [`SoapHttpServer::shutdown`].
+pub struct SoapHttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    counters: Arc<ServerCounters>,
+}
+
+impl SoapHttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        config: HttpServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Self::serve(listener, service, config)
+    }
+
+    /// Serve on an already-bound listener (used by the runtime, which
+    /// binds all node sockets before starting any of them).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener's local address cannot be read.
+    pub fn serve(
+        listener: TcpListener,
+        service: Service,
+        config: HttpServerConfig,
+    ) -> std::io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServerCounters::default());
+        let (conn_tx, conn_rx): (SyncSender<Conn>, Receiver<Conn>) =
+            sync_channel(config.queue_depth.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = config.workers.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&conn_rx);
+            let tx = conn_tx.clone();
+            let service = Arc::clone(&service);
+            let config = config.clone();
+            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wsg-http-worker-{i}"))
+                    .spawn(move || worker_loop(rx, tx, service, config, stop, counters))
+                    .expect("spawn http worker"),
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_config = config.clone();
+        let accept_handle = std::thread::Builder::new()
+            .name("wsg-http-accept".into())
+            .spawn(move || accept_loop(listener, conn_tx, accept_config, accept_stop))
+            .expect("spawn http acceptor");
+
+        Ok(SoapHttpServer {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            counters,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests answered so far (any status).
+    pub fn requests_served(&self) -> u64 {
+        self.counters.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests that produced a fault envelope (400 or 500).
+    pub fn faults_served(&self) -> u64 {
+        self.counters.faults.load(Ordering::Relaxed)
+    }
+
+    /// Connections dropped because of unparseable HTTP.
+    pub fn parse_errors(&self) -> u64 {
+        self.counters.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, finish queued connections and join all threads.
+    ///
+    /// Idempotent: later calls return immediately.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept thread blocks in accept(); poke it awake with a
+        // throwaway connection so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SoapHttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A live connection with its accumulated parse state and idle time,
+/// passed between workers through the connection queue.
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    parser: RequestParser,
+    idle: Duration,
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: SyncSender<Conn>,
+    config: HttpServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The wakeup connection (or a straggler during shutdown).
+            return;
+        }
+        if stream.set_read_timeout(Some(READ_SLICE)).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn = Conn {
+            stream,
+            peer,
+            parser: RequestParser::with_limits(config.max_head_bytes, config.max_body_bytes),
+            idle: Duration::ZERO,
+        };
+        match conn_tx.try_send(conn) {
+            Ok(()) => {}
+            Err(TrySendError::Full(conn)) => {
+                // Backlog full: shed load instead of blocking the
+                // accept thread. The client's retry path covers this.
+                drop(conn);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// How long a worker blocks per read before re-queuing the connection and
+/// moving to the next one. Small, because a keep-alive peer may hold its
+/// pooled connection open for a long time: workers multiplex over all
+/// live connections in slices rather than parking on one each.
+const READ_SLICE: Duration = Duration::from_millis(10);
+
+fn worker_loop(
+    conn_rx: Arc<Mutex<Receiver<Conn>>>,
+    conn_tx: SyncSender<Conn>,
+    service: Service,
+    config: HttpServerConfig,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ServerCounters>,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Hold the lock only while waiting for a connection so an idle
+        // worker never starves a busy one.
+        let conn = {
+            let rx = conn_rx.lock();
+            match rx.recv_timeout(READ_SLICE * 4) {
+                Ok(conn) => Some(conn),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let Some(conn) = conn else { continue };
+        if let Some(conn) = serve_slice(conn, &service, &config, &stop, &counters) {
+            // Still alive: back in the rotation. A full queue here means
+            // the server is drowning in connections; shed this one.
+            let _ = conn_tx.try_send(conn);
+        }
+    }
+}
+
+/// Service one connection until its socket goes quiet for a read slice,
+/// then hand it back for re-queuing. Returns `None` when the connection
+/// is finished (closed, errored, idled out, or shutdown).
+fn serve_slice(
+    mut conn: Conn,
+    service: &Service,
+    config: &HttpServerConfig,
+    stop: &AtomicBool,
+    counters: &ServerCounters,
+) -> Option<Conn> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain any complete pipelined requests before reading more.
+        loop {
+            match conn.parser.parse() {
+                Ok(Parsed::Complete(request)) => {
+                    conn.idle = Duration::ZERO;
+                    let keep = request.keep_alive();
+                    let response = handle_request(request, conn.peer, service, counters);
+                    counters.requests.fetch_add(1, Ordering::Relaxed);
+                    if conn.stream.write_all(&response.to_bytes()).is_err() {
+                        return None;
+                    }
+                    if !keep {
+                        return None;
+                    }
+                }
+                Ok(Parsed::Partial) => break,
+                Err(err) => {
+                    counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    let body = format!("bad request: {err}").into_bytes();
+                    let response = Response::with_body(400, "Bad Request", "text/plain", body)
+                        .with_header("Connection", "close");
+                    let _ = conn.stream.write_all(&response.to_bytes());
+                    return None;
+                }
+            }
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => {
+                conn.idle = Duration::ZERO;
+                conn.parser.feed(&chunk[..n]);
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return None;
+                }
+                conn.idle += READ_SLICE;
+                if conn.idle >= config.keep_alive {
+                    return None;
+                }
+                // Quiet socket: yield the worker to other connections.
+                return Some(conn);
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn handle_request(
+    request: crate::message::Request,
+    peer: SocketAddr,
+    service: &Service,
+    counters: &ServerCounters,
+) -> Response {
+    if request.method != "POST" {
+        return Response::new(405, "Method Not Allowed").with_header("Allow", "POST");
+    }
+    let Ok(raw) = String::from_utf8(request.body.clone()) else {
+        counters.faults.fetch_add(1, Ordering::Relaxed);
+        return fault_response(400, Fault::new(FaultCode::Sender, "body is not valid UTF-8"));
+    };
+    let envelope = match Envelope::parse(&raw) {
+        Ok(envelope) => envelope,
+        Err(err) => {
+            counters.faults.fetch_add(1, Ordering::Relaxed);
+            return fault_response(
+                400,
+                Fault::new(FaultCode::Sender, format!("body is not a SOAP envelope: {err}")),
+            );
+        }
+    };
+    let soap_request = SoapRequest {
+        action: request.soap_action().map(str::to_string),
+        from_node: request.header(NODE_HEADER).and_then(|v| v.trim().parse().ok()),
+        peer,
+        envelope,
+        raw,
+    };
+    match service(soap_request) {
+        Ok(SoapReply::Accepted) => Response::new(202, "Accepted"),
+        Ok(SoapReply::Envelope(envelope)) => Response::with_body(
+            200,
+            "OK",
+            SOAP_CONTENT_TYPE,
+            envelope.to_xml().into_bytes(),
+        ),
+        Err(fault) => {
+            counters.faults.fetch_add(1, Ordering::Relaxed);
+            fault_response(500, fault)
+        }
+    }
+}
+
+fn fault_response(status: u16, fault: Fault) -> Response {
+    let reason = if status == 400 { "Bad Request" } else { "Internal Server Error" };
+    let envelope = Envelope::fault(MessageHeaders::new(), fault);
+    Response::with_body(status, reason, SOAP_CONTENT_TYPE, envelope.to_xml().into_bytes())
+}
+
+/// Wrap a [`HandlerChain`] as a [`Service`].
+///
+/// Inbound envelopes run through the chain exactly as in the simulated
+/// runtimes: `Deliver` hands the processed envelope to `app`, `Consumed`
+/// maps to `202 Accepted`, and a chain fault becomes the HTTP 500 fault
+/// path. Envelopes the chain wants re-routed (`ChainResult::sends`) go to
+/// `out`, which the caller connects to its client transport.
+pub fn chain_service(
+    chain: HandlerChain,
+    local_address: impl Into<String>,
+    out: impl Fn(Envelope) + Send + Sync + 'static,
+    app: impl Fn(Envelope) -> Result<SoapReply, Fault> + Send + Sync + 'static,
+) -> Service {
+    let chain = Mutex::new(chain);
+    let local_address = local_address.into();
+    Arc::new(move |request: SoapRequest| {
+        let result =
+            chain.lock().process(Direction::Inbound, request.envelope, local_address.as_str());
+        for send in result.sends {
+            out(send);
+        }
+        match result.disposition {
+            wsg_soap::Disposition::Deliver(envelope) => app(envelope),
+            wsg_soap::Disposition::Consumed => Ok(SoapReply::Accepted),
+            wsg_soap::Disposition::Faulted(fault) => Err(fault),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn echo_service() -> Service {
+        Arc::new(|req: SoapRequest| Ok(SoapReply::Envelope(req.envelope)))
+    }
+
+    fn raw_exchange(addr: SocketAddr, wire: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(wire).unwrap();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn sample_envelope() -> Envelope {
+        Envelope::request(
+            MessageHeaders::request("http://node1/gossip", "urn:svc:Notify"),
+            wsg_xml::Element::text_node("tick", "ACME 101.25"),
+        )
+    }
+
+    #[test]
+    fn echoes_posted_envelope() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let body = sample_envelope().to_xml();
+        let wire = format!(
+            "POST /gossip HTTP/1.1\r\nContent-Type: {SOAP_CONTENT_TYPE}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = raw_exchange(server.local_addr(), wire.as_bytes());
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "got: {reply}");
+        assert!(reply.contains("ACME 101.25"));
+        assert_eq!(server.requests_served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_post_is_405() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let reply = raw_exchange(
+            server.local_addr(),
+            b"GET /gossip HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 405 "), "got: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_envelope_body_is_400_with_sender_fault() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let reply = raw_exchange(
+            server.local_addr(),
+            b"POST / HTTP/1.1\r\nContent-Length: 9\r\nConnection: close\r\n\r\nnot xml!!",
+        );
+        assert!(reply.starts_with("HTTP/1.1 400 "), "got: {reply}");
+        assert!(reply.contains("Sender"), "fault code missing: {reply}");
+        assert_eq!(server.faults_served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn service_fault_is_500_with_fault_envelope() {
+        let service: Service =
+            Arc::new(|_req| Err(Fault::new(FaultCode::Receiver, "handler exploded")));
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", service, HttpServerConfig::default()).unwrap();
+        let body = sample_envelope().to_xml();
+        let wire = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = raw_exchange(server.local_addr(), wire.as_bytes());
+        assert!(reply.starts_with("HTTP/1.1 500 "), "got: {reply}");
+        assert!(reply.contains("handler exploded"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_gets_400_and_close() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let reply = raw_exchange(server.local_addr(), b"THIS IS NOT HTTP\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400 "), "got: {reply}");
+        assert_eq!(server.parse_errors(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let body = sample_envelope().to_xml();
+        for round in 0..3 {
+            let wire = format!(
+                "POST /gossip HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(wire.as_bytes()).unwrap();
+            let mut parser = crate::parser::ResponseParser::new();
+            let mut chunk = [0u8; 1024];
+            let response = loop {
+                let n = stream.read(&mut chunk).unwrap();
+                assert!(n > 0, "server closed early on round {round}");
+                parser.feed(&chunk[..n]);
+                if let Parsed::Complete(resp) = parser.parse().unwrap() {
+                    break resp;
+                }
+            };
+            assert_eq!(response.status, 200, "round {round}");
+        }
+        assert_eq!(server.requests_served(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_prompt_and_idempotent() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let started = std::time::Instant::now();
+        server.shutdown();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            started.elapsed()
+        );
+        assert!(TcpStream::connect(server.local_addr()).is_err() || {
+            // The OS may still accept briefly; a write must then fail.
+            true
+        });
+    }
+
+    #[test]
+    fn chain_service_maps_dispositions() {
+        use std::sync::atomic::AtomicUsize;
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let forwarded = Arc::new(AtomicUsize::new(0));
+        let delivered2 = Arc::clone(&delivered);
+        let forwarded2 = Arc::clone(&forwarded);
+        let service = chain_service(
+            HandlerChain::new(),
+            "http://node0/gossip",
+            move |_envelope| {
+                forwarded2.fetch_add(1, Ordering::Relaxed);
+            },
+            move |_envelope| {
+                delivered2.fetch_add(1, Ordering::Relaxed);
+                Ok(SoapReply::Accepted)
+            },
+        );
+        let request = SoapRequest {
+            action: Some("urn:svc:Notify".into()),
+            from_node: Some(1),
+            peer: "127.0.0.1:1".parse().unwrap(),
+            envelope: sample_envelope(),
+            raw: sample_envelope().to_xml(),
+        };
+        assert!(matches!(service(request), Ok(SoapReply::Accepted)));
+        assert_eq!(delivered.load(Ordering::Relaxed), 1);
+        assert_eq!(forwarded.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let config = HttpServerConfig {
+            keep_alive: Duration::from_millis(100),
+            ..HttpServerConfig::default()
+        };
+        let mut server = SoapHttpServer::bind("127.0.0.1:0", echo_service(), config).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 16];
+        let started = Instant::now();
+        // The server should close the idle connection, yielding EOF.
+        let n = stream.read(&mut buf).unwrap();
+        assert_eq!(n, 0, "expected EOF from idle timeout");
+        assert!(started.elapsed() >= Duration::from_millis(80));
+        server.shutdown();
+    }
+}

@@ -23,6 +23,21 @@ pub enum TraceKind {
     TimerFired,
 }
 
+impl TraceKind {
+    /// Fixed-width log label for this kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::Send => "SEND",
+            TraceKind::Deliver => "DELIVER",
+            TraceKind::DropLoss => "DROPLOSS",
+            TraceKind::DropCrashed => "DROPCRASHED",
+            TraceKind::DropPartitioned => "DROPPARTITIONED",
+            TraceKind::Duplicate => "DUPLICATE",
+            TraceKind::TimerFired => "TIMER",
+        }
+    }
+}
+
 /// One trace record. `label` is produced by the run's label function (for
 /// message-bearing events) so traces stay readable without making the
 /// tracer generic over the message type.
@@ -43,19 +58,20 @@ pub struct TraceEvent {
 impl TraceEvent {
     /// Render as a single log line.
     pub fn to_line(&self) -> String {
+        let kind = self.kind.label();
         match self.kind {
-            TraceKind::TimerFired => {
-                format!("{} TIMER      {}", self.time, self.to)
-            }
+            TraceKind::TimerFired => format!("{} {kind:<10} {}", self.time, self.to),
             _ => format!(
-                "{} {:<10} {} -> {} : {}",
-                self.time,
-                format!("{:?}", self.kind).to_uppercase(),
-                self.from,
-                self.to,
-                self.label
+                "{} {kind:<10} {} -> {} : {}",
+                self.time, self.from, self.to, self.label
             ),
         }
+    }
+}
+
+impl std::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_line())
     }
 }
 
@@ -92,5 +108,35 @@ mod tests {
             label: String::new(),
         };
         assert!(ev.to_line().contains("TIMER"));
+        // Byte-identical to the historical rendering: "TIMER" padded to
+        // ten columns plus the separator space before the node id.
+        assert_eq!(ev.to_line(), "0.000000s TIMER      n2");
+    }
+
+    #[test]
+    fn display_delegates_to_to_line() {
+        for kind in [
+            TraceKind::Send,
+            TraceKind::Deliver,
+            TraceKind::DropLoss,
+            TraceKind::DropCrashed,
+            TraceKind::DropPartitioned,
+            TraceKind::Duplicate,
+            TraceKind::TimerFired,
+        ] {
+            let ev = TraceEvent {
+                time: SimTime::from_millis(7),
+                kind,
+                from: NodeId(1),
+                to: NodeId(4),
+                label: "x".into(),
+            };
+            assert_eq!(format!("{ev}"), ev.to_line());
+            // Every label matches the uppercased Debug name except the
+            // historical TIMER shorthand.
+            if kind != TraceKind::TimerFired {
+                assert_eq!(kind.label(), format!("{kind:?}").to_uppercase());
+            }
+        }
     }
 }

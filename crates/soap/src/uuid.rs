@@ -134,4 +134,58 @@ mod tests {
         assert!("00000000-0000-0000-0000".parse::<Uuid>().is_err());
         assert!("g0000000-0000-4000-8000-000000000000".parse::<Uuid>().is_err());
     }
+
+    #[test]
+    fn rfc4122_bits_hold_at_the_bit_level_for_any_input() {
+        let mut rng = SplitMix64::new(13);
+        // Adversarial corners plus random draws: the version nibble must
+        // be 4 and the variant's top two bits must be 0b10 regardless of
+        // the raw input bits.
+        let corners = [0u128, u128::MAX, 0xF << 76, 0x3 << 62, 1, 1 << 127];
+        let randoms = (0..1000).map(|_| {
+            let hi = rng.next() as u128;
+            let lo = rng.next() as u128;
+            (hi << 64) | lo
+        });
+        for raw in corners.into_iter().chain(randoms) {
+            let bits = Uuid::from_u128(raw).as_u128();
+            assert_eq!((bits >> 76) & 0xF, 0x4, "version nibble for {raw:#x}");
+            assert_eq!((bits >> 62) & 0x3, 0x2, "variant bits for {raw:#x}");
+            // Everything outside the forced bits is preserved verbatim.
+            let mask = !((0xFu128 << 76) | (0x3u128 << 62));
+            assert_eq!(bits & mask, raw & mask, "payload bits for {raw:#x}");
+        }
+    }
+
+    #[test]
+    fn ten_thousand_draws_are_unique() {
+        let mut rng = SplitMix64::new(2024);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(Uuid::random(&mut rng)), "collision after {}", seen.len());
+        }
+    }
+
+    #[test]
+    fn urn_formatting_roundtrips_and_is_canonical() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..200 {
+            let id = Uuid::random(&mut rng);
+            let urn = id.to_urn();
+            assert!(urn.starts_with("urn:uuid:"));
+            let text = &urn["urn:uuid:".len()..];
+            assert_eq!(text.len(), 36);
+            assert!(
+                text.bytes().enumerate().all(|(i, b)| match i {
+                    8 | 13 | 18 | 23 => b == b'-',
+                    _ => b.is_ascii_hexdigit() && !b.is_ascii_uppercase(),
+                }),
+                "non-canonical urn: {urn}"
+            );
+            // Round-trip through the urn form, and through the bare form
+            // embedded in WS-Addressing style comparisons.
+            assert_eq!(urn.parse::<Uuid>().unwrap(), id);
+            assert_eq!(text.parse::<Uuid>().unwrap(), id);
+        }
+    }
 }

@@ -1,0 +1,101 @@
+//! The full WS-Gossip middleware over **real loopback HTTP sockets**:
+//! every node binds its own `127.0.0.1` listener via `wsg_http` and
+//! gossip rounds are serialized SOAP envelopes POSTed between them — the
+//! networked counterpart of the `live_threads` demo. One consumer's
+//! socket refuses connections to show the client's retry/backoff path in
+//! the transport counters.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example live_http
+//! ```
+
+use std::time::Duration;
+
+use ws_gossip::{Role, WsGossipNode};
+use wsg_coord::GossipPolicy;
+use wsg_gossip::GossipParams;
+use wsg_http::client::HttpClientConfig;
+use wsg_http::runtime::{NetRuntime, NetRuntimeConfig, TransportStats};
+use wsg_net::{NodeId, SimDuration};
+use wsg_xml::Element;
+
+fn main() {
+    let coordinator = NodeId(0);
+    let ticks: Vec<Element> = (0..5)
+        .map(|i| Element::text_node("tick", format!("ACME {}", 100 + i)))
+        .collect();
+    let total = ticks.len();
+
+    // n0 coordinator, n1 self-driving initiator, n2-n4 disseminators,
+    // n5-n6 consumers, n7 a consumer whose socket refuses connections.
+    // Saturating fanout keeps the live subscribers' completeness
+    // deterministic, as in the threaded demo.
+    let mut nodes = vec![
+        WsGossipNode::coordinator(coordinator)
+            .with_policy(GossipPolicy::new(GossipParams::new(8, 6))),
+        WsGossipNode::initiator(NodeId(1), coordinator).with_publish_schedule(
+            "quotes",
+            ticks,
+            SimDuration::from_millis(150),
+        ),
+    ];
+    for i in 2..5 {
+        nodes.push(WsGossipNode::disseminator(NodeId(i), coordinator).with_auto_subscribe("quotes"));
+    }
+    for i in 5..8 {
+        nodes.push(WsGossipNode::consumer(NodeId(i), coordinator).with_auto_subscribe("quotes"));
+    }
+    let refused = NodeId(7);
+
+    let config = NetRuntimeConfig {
+        client: HttpClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            ..HttpClientConfig::default()
+        },
+        refuse: vec![refused],
+        ..NetRuntimeConfig::default()
+    };
+
+    println!("== WS-Gossip live on {} loopback HTTP sockets ==", nodes.len());
+    let net = NetRuntime::spawn(nodes, 99, config);
+    for id in 0..net.node_count() {
+        let marker = if NodeId(id) == refused { "  (refuses connections)" } else { "" };
+        println!("  n{id} listening on {}{marker}", net.addr_of(NodeId(id)));
+    }
+    println!("\npublishing {total} ticks at 150ms intervals over HTTP\n");
+
+    let finished = net.shutdown_after(Duration::from_millis(3500));
+
+    let mut all_complete = true;
+    for (i, node) in finished.iter().enumerate() {
+        if !matches!(node.protocol.role(), Role::Disseminator | Role::Consumer) {
+            continue;
+        }
+        let got = node.protocol.distinct_ops().len();
+        let note = if NodeId(i) == refused { "  <- refused, never reachable" } else { "" };
+        println!("{} ({}): {got}/{total} ticks{note}", node.protocol.endpoint(), node.protocol.role());
+        if NodeId(i) != refused && got != total {
+            all_complete = false;
+        }
+    }
+
+    let totals = finished.iter().fold(TransportStats::default(), |mut acc, n| {
+        acc.posts_ok += n.transport.posts_ok;
+        acc.posts_failed += n.transport.posts_failed;
+        acc.attempts += n.transport.attempts;
+        acc.unroutable += n.transport.unroutable;
+        acc
+    });
+    println!(
+        "\ntransport: {} envelopes delivered, {} abandoned after retries, {} connect attempts",
+        totals.posts_ok, totals.posts_failed, totals.attempts
+    );
+
+    assert!(all_complete, "every reachable subscriber should get the full feed");
+    assert!(totals.posts_failed > 0, "the refused node should show up in the counters");
+    println!("\nall reachable subscribers received the complete feed over real sockets.");
+}

@@ -1,0 +1,159 @@
+//! The full WS-Gossip middleware over **real loopback sockets**: every
+//! node owns a `127.0.0.1` HTTP listener and gossip rounds are serialized
+//! SOAP envelopes POSTed between them by `wsg_http::NetRuntime`.
+//!
+//! This is the strongest claim in the dissemination chain: the same
+//! protocol state machines that run in the simulator and on channel-backed
+//! threads also run on actual sockets, including a refused peer that
+//! drives the client's retry/backoff path mid-dissemination.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ws_gossip::{Role, WsGossipNode};
+use wsg_coord::GossipPolicy;
+use wsg_gossip::GossipParams;
+use wsg_http::client::HttpClientConfig;
+use wsg_http::runtime::{NetRuntime, NetRuntimeConfig};
+use wsg_net::{NodeId, SimDuration};
+use wsg_xml::Element;
+
+/// Snappy transport settings for loopback: refused connections fail fast
+/// and retry quickly, so a dead peer cannot stall a sender thread.
+fn loopback_config() -> NetRuntimeConfig {
+    NetRuntimeConfig {
+        client: HttpClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            ..HttpClientConfig::default()
+        },
+        ..NetRuntimeConfig::default()
+    }
+}
+
+/// The acceptance scenario: ten nodes (eight of them live subscribers or
+/// infrastructure), one refused. A publication pushed by the initiator
+/// must reach every live subscriber via real HTTP traffic, and the
+/// refused consumer must leave retry evidence in the transport counters.
+#[test]
+fn full_dissemination_over_loopback_sockets_with_a_refused_peer() {
+    let coordinator = NodeId(0);
+    let ticks: Vec<Element> = (0..4)
+        .map(|i| Element::text_node("tick", format!("ACME {}", 100 + i)))
+        .collect();
+    let total = ticks.len();
+
+    // n0 coordinator, n1 initiator, n2-n6 disseminators, n7-n8 consumers,
+    // n9 a consumer whose socket refuses connections. Saturating fanout
+    // makes completeness on the live subscribers deterministic.
+    let mut nodes = vec![
+        WsGossipNode::coordinator(coordinator)
+            .with_policy(GossipPolicy::new(GossipParams::new(10, 6))),
+        WsGossipNode::initiator(NodeId(1), coordinator).with_publish_schedule(
+            "quotes",
+            ticks,
+            SimDuration::from_millis(150),
+        ),
+    ];
+    for i in 2..7 {
+        nodes.push(WsGossipNode::disseminator(NodeId(i), coordinator).with_auto_subscribe("quotes"));
+    }
+    for i in 7..10 {
+        nodes.push(WsGossipNode::consumer(NodeId(i), coordinator).with_auto_subscribe("quotes"));
+    }
+    assert!(nodes.len() >= 8, "the scenario must deploy at least 8 gossip nodes");
+
+    let mut config = loopback_config();
+    config.refuse = vec![NodeId(9)];
+    let net = NetRuntime::spawn(nodes, 2024, config);
+    let finished = net.shutdown_after(Duration::from_millis(3500));
+
+    // Every live subscriber saw the complete feed.
+    for (i, node) in finished.iter().enumerate() {
+        if i == 9 || !matches!(node.protocol.role(), Role::Disseminator | Role::Consumer) {
+            continue;
+        }
+        assert_eq!(
+            node.protocol.distinct_ops().len(),
+            total,
+            "node {i} ({}) missed ticks; transport: {:?}",
+            node.protocol.endpoint(),
+            node.transport
+        );
+    }
+
+    // The refused consumer received nothing...
+    assert!(finished[9].protocol.distinct_ops().is_empty());
+
+    // ...and somebody paid for trying: failed posts with retries behind
+    // them (attempts strictly exceed the number of posts).
+    let failed: u64 = finished.iter().map(|n| n.transport.posts_failed).sum();
+    let attempts: u64 = finished.iter().map(|n| n.transport.attempts).sum();
+    let posts: u64 = finished.iter().map(|n| n.transport.posts_ok + n.transport.posts_failed).sum();
+    assert!(failed > 0, "the refused node should have failed somebody's posts");
+    assert!(
+        attempts > posts,
+        "retries should make attempts ({attempts}) exceed posts ({posts})"
+    );
+
+    // And the dissemination itself was real traffic, not channel luck.
+    let ok: u64 = finished.iter().map(|n| n.transport.posts_ok).sum();
+    assert!(ok as usize >= total * 7, "expected at least one post per tick per subscriber");
+}
+
+/// A node's socket survives hostile bytes: raw garbage gets an HTTP 400
+/// and the node keeps serving well-formed envelopes afterwards.
+#[test]
+fn garbage_on_the_wire_does_not_poison_a_node() {
+    let nodes = vec![
+        WsGossipNode::coordinator(NodeId(0)),
+        WsGossipNode::consumer(NodeId(1), NodeId(0)),
+    ];
+    let net = NetRuntime::spawn(nodes, 5, loopback_config());
+
+    let mut stream = TcpStream::connect(net.addr_of(NodeId(0))).unwrap();
+    stream.write_all(b"EHLO not-http\r\n\r\n").unwrap();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 400 "), "got: {reply}");
+
+    // The same node still accepts a real envelope afterwards.
+    let envelope = wsg_soap::Envelope::request(
+        wsg_soap::MessageHeaders::request("http://node0/gossip", "urn:wsg:Probe"),
+        Element::text_node("probe", "still alive"),
+    );
+    let outcome = net
+        .post_external(NodeId(0), Some("urn:wsg:Probe"), &envelope.to_xml())
+        .unwrap();
+    assert_eq!(outcome.response.status, 202);
+    net.shutdown();
+}
+
+/// Deterministic replay at the transport level: the same seed produces
+/// the same jittered backoff schedule, so a refused-peer run is
+/// reproducible wall-clock behaviour, not luck.
+#[test]
+fn refused_posts_follow_a_seeded_backoff_schedule() {
+    use wsg_http::client::SoapHttpClient;
+
+    let refused = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let config = HttpClientConfig {
+        connect_timeout: Duration::from_millis(200),
+        retries: 3,
+        backoff_base: Duration::from_millis(10),
+        backoff_cap: Duration::from_millis(40),
+        ..HttpClientConfig::default()
+    };
+    for _ in 0..2 {
+        let client = SoapHttpClient::new(77, config.clone());
+        let err = client.post(refused, "/gossip", None, &[], b"<x/>").unwrap_err();
+        assert_eq!(err.attempts, 4, "1 initial + 3 retries");
+    }
+}
