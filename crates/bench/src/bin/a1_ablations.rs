@@ -1,11 +1,17 @@
 //! A — ablation experiments for the design choices in DESIGN.md §7.
 
 use wsg_bench::experiments::ablations;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
-    println!("A1 — lazy-push retry fallback (n=64, lazy push under loss)");
-    let rows = ablations::retry_ablation(64, &[0.0, 0.1, 0.25, 0.4], 5);
+    let fast = timing::fast_mode();
+    let mut report = Report::new("a1_ablations");
+
+    let (a1_n, a1_losses, a1_seeds): (usize, &[f64], u64) =
+        if fast { (32, &[0.0, 0.25], 2) } else { (64, &[0.0, 0.1, 0.25, 0.4], 5) };
+    println!("A1 — lazy-push retry fallback (n={a1_n}, lazy push under loss)");
+    let rows = ablations::retry_ablation(a1_n, a1_losses, a1_seeds);
     let mut table = Table::new(&["loss", "coverage with retry", "coverage without"]);
     for r in &rows {
         table.row_owned(vec![
@@ -15,9 +21,11 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("retry", &table);
 
-    println!("\nA2 — periodic-tick jitter (n=64, pull style, 3s)");
-    let rows = ablations::jitter_ablation(64, 7);
+    let a2_n = if fast { 32 } else { 64 };
+    println!("\nA2 — periodic-tick jitter (n={a2_n}, pull style, 3s)");
+    let rows = ablations::jitter_ablation(a2_n, 7);
     let mut table = Table::new(&["jitter", "peak sends / 10ms window", "total sends"]);
     for r in &rows {
         table.row_owned(vec![
@@ -27,9 +35,12 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("jitter", &table);
 
-    println!("\nA4 — forwarding discipline (n=128, r=16): infect-and-die vs infect-forever");
-    let rows = ablations::discipline_ablation(128, &[1, 2, 3, 4, 6], 16, 13);
+    let (a4_n, a4_fanouts, a4_rounds): (usize, &[usize], u32) =
+        if fast { (48, &[1, 3], 12) } else { (128, &[1, 2, 3, 4, 6], 16) };
+    println!("\nA4 — forwarding discipline (n={a4_n}, r={a4_rounds}): infect-and-die vs infect-forever");
+    let rows = ablations::discipline_ablation(a4_n, a4_fanouts, a4_rounds, 13);
     let mut table = Table::new(&[
         "f", "die coverage", "die payloads", "forever coverage", "forever payloads",
     ]);
@@ -43,12 +54,17 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("discipline", &table);
 
-    println!("\nA3 — payload buffer capacity (n=12, node partitioned through 60 messages, then heals)");
-    let rows = ablations::buffer_ablation(12, &[4, 16, 64, 256, 1024], 60, 5);
+    let (a3_caps, a3_msgs): (&[usize], u64) =
+        if fast { (&[4, 256], 30) } else { (&[4, 16, 64, 256, 1024], 60) };
+    println!("\nA3 — payload buffer capacity (n=12, node partitioned through {a3_msgs} messages, then heals)");
+    let rows = ablations::buffer_ablation(12, a3_caps, a3_msgs, 5);
     let mut table = Table::new(&["buffer capacity", "fraction recovered after heal"]);
     for r in &rows {
         table.row_owned(vec![r.capacity.to_string(), format!("{:.3}", r.recovered)]);
     }
     print!("{}", table.render());
+    report.add_table("buffer", &table);
+    report.write_if_requested();
 }

@@ -1,11 +1,13 @@
 //! E1 — Figure 1 of the paper, regenerated as an executable message trace.
 
 use ws_gossip::scenario::{self, Figure1Shape};
+use wsg_bench::report::Report;
 use wsg_bench::Table;
 use wsg_net::sim::SimConfig;
 use wsg_xml::Element;
 
 fn main() {
+    let mut report = Report::new("e1_figure1");
     println!("E1 / Figure 1 — dissemination using the gossip service");
     println!("paper roles: Coordinator, Initiator (App0b), Disseminators (App1, App2), Consumer (App3)\n");
 
@@ -48,10 +50,12 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("roles", &table);
     println!(
         "\ncoverage={:.0}%  wire messages={}  SOAP bytes={}",
         scenario::coverage(&net, 1) * 100.0,
         net.stats().sent,
         net.stats().bytes_sent
     );
+    report.write_if_requested();
 }

@@ -2,12 +2,18 @@
 //! configuration result the paper cites in §2).
 
 use wsg_bench::experiments::e2_reliability;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e2_reliability");
+    let (ns, max_fanout, rounds, seeds): (&[usize], usize, u32, u64) =
+        if fast { (&[64], 6, 10, 4) } else { (&[128, 512], 10, 12, 20) };
+
     println!("E2 — reliability vs fanout (eager push, r fixed)");
     println!("claim: f,r configurable for any target coverage; atomic w.h.p. near f = ln n + c\n");
-    let rows = e2_reliability::sweep(&[128, 512], 10, 12, 20);
+    let rows = e2_reliability::sweep(ns, max_fanout, rounds, seeds);
     let mut table = Table::new(&[
         "n", "f", "r", "coverage(sim)", "coverage(pred)", "P(atomic)(sim)", "P(atomic)(pred)",
     ]);
@@ -23,10 +29,23 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
-    println!("\nln(128)={:.2}, ln(512)={:.2} — the atomicity knee sits there.", (128f64).ln(), (512f64).ln());
+    report.add_table("fanout", &table);
+    let (lo, hi) = (ns[0] as f64, ns[ns.len() - 1] as f64);
+    println!(
+        "\nln({})={:.2}, ln({})={:.2} — the atomicity knee sits there.",
+        ns[0],
+        lo.ln(),
+        ns[ns.len() - 1],
+        hi.ln()
+    );
 
-    println!("\n(b) coverage under message loss (n=256, f=5, r=12)");
-    let rows = e2_reliability::loss_sweep(256, 5, 12, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 20);
+    let (loss_n, loss_f, loss_r, losses, loss_seeds): (usize, usize, u32, &[f64], u64) = if fast {
+        (64, 5, 10, &[0.0, 0.2, 0.4], 4)
+    } else {
+        (256, 5, 12, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 20)
+    };
+    println!("\n(b) coverage under message loss (n={loss_n}, f={loss_f}, r={loss_r})");
+    let rows = e2_reliability::loss_sweep(loss_n, loss_f, loss_r, losses, loss_seeds);
     let mut table = Table::new(&["loss", "coverage(sim)", "coverage(pred, lossy mean-field)"]);
     for r in &rows {
         table.row_owned(vec![
@@ -36,5 +55,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("loss", &table);
     println!("\nloss just rescales the effective fanout: f_eff = f(1-p).");
+    report.write_if_requested();
 }

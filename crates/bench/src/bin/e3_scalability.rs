@@ -1,12 +1,21 @@
 //! E3 — dissemination latency and per-node load vs system size.
 
 use wsg_bench::experiments::e3_scalability;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
-    println!("E3 — scalability (eager push, f=6)");
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e3_scalability");
+    let (ns, fanout, seeds): (&[usize], usize, u64) = if fast {
+        (&[16, 64, 256], 6, 2)
+    } else {
+        (&[16, 32, 64, 128, 256, 512, 1024, 2048], 6, 5)
+    };
+
+    println!("E3 — scalability (eager push, f={fanout})");
     println!("claim: O(log n) rounds, bounded per-node load; a central sender needs O(n)\n");
-    let rows = e3_scalability::sweep(&[16, 32, 64, 128, 256, 512, 1024, 2048], 6, 5);
+    let rows = e3_scalability::sweep(ns, fanout, seeds);
     let mut table = Table::new(&[
         "n", "rounds(sim)", "rounds(pred)", "completion_ms", "lat p50 ms", "lat p99 ms", "gossip max node load", "central sender load", "coverage",
     ]);
@@ -24,4 +33,6 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("scalability", &table);
+    report.write_if_requested();
 }

@@ -1,15 +1,23 @@
 //! E4 — survivor coverage under crashes and message loss.
 
 use wsg_bench::experiments::e4_resilience;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
-    let n = 256;
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e4_resilience");
+    let (n, fractions, seeds): (usize, &[f64], u64) = if fast {
+        (64, &[0.0, 0.2, 0.4], 3)
+    } else {
+        (256, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 10)
+    };
+
     println!("E4 — resilience to process and network faults (n={n})");
     println!("claim: gossip is 'highly resilient to network and process faults'\n");
 
     println!("(a) crash sweep — survivor coverage");
-    let rows = e4_resilience::crash_sweep(n, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 10);
+    let rows = e4_resilience::crash_sweep(n, fractions, seeds);
     let mut table = Table::new(&["crash fraction", "gossip", "tree(k=2)", "direct"]);
     for r in &rows {
         table.row_owned(vec![
@@ -20,9 +28,10 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("crash", &table);
 
     println!("\n(b) loss sweep — coverage");
-    let rows = e4_resilience::loss_sweep(n, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], 10);
+    let rows = e4_resilience::loss_sweep(n, fractions, seeds);
     let mut table = Table::new(&["loss probability", "gossip", "tree(k=2)", "direct"]);
     for r in &rows {
         table.row_owned(vec![
@@ -33,9 +42,11 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("loss", &table);
 
-    println!("\n(c) continuous churn (n=128, 20 messages, crash every 400ms / down 2s)");
-    let rows = e4_resilience::churn_comparison(128, 20, 5);
+    let (churn_n, churn_msgs) = if fast { (48, 8) } else { (128, 20) };
+    println!("\n(c) continuous churn (n={churn_n}, {churn_msgs} messages, crash every 400ms / down 2s)");
+    let rows = e4_resilience::churn_comparison(churn_n, churn_msgs, 5);
     let mut table = Table::new(&[
         "style", "churned-node coverage", "stable-node coverage",
     ]);
@@ -47,5 +58,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("churn", &table);
     println!("\npush-pull's periodic reconciliation repairs nodes that were down at publish time.");
+    report.write_if_requested();
 }

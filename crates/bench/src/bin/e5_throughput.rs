@@ -1,15 +1,23 @@
 //! E5 — throughput under perturbation (the bimodal-multicast comparison).
 
 use wsg_bench::experiments::e5_throughput;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
-    let n = 32;
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e5_throughput");
+    let (n, fractions, rate, secs, delay_ms): (usize, &[f64], u64, u64, u64) = if fast {
+        (16, &[0.0, 0.2, 0.4], 25, 2, 500)
+    } else {
+        (32, &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4], 50, 4, 500)
+    };
+
     println!("E5 — stable high throughput under perturbation (n={n})");
     println!("claim (via Birman et al.): ack-based reliable multicast goodput collapses when");
     println!("receivers slow down; gossip throughput to healthy receivers stays flat\n");
-    println!("publisher offers 50 msg/s for 4s; perturbed receivers +500ms processing delay\n");
-    let rows = e5_throughput::sweep(n, &[0.0, 0.05, 0.1, 0.2, 0.3, 0.4], 50, 4, 500, 42);
+    println!("publisher offers {rate} msg/s for {secs}s; perturbed receivers +{delay_ms}ms processing delay\n");
+    let rows = e5_throughput::sweep(n, fractions, rate, secs, delay_ms, 42);
     let mut table = Table::new(&["perturbed fraction", "broker msg/s", "gossip msg/s"]);
     for r in &rows {
         table.row_owned(vec![
@@ -19,4 +27,6 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("throughput", &table);
+    report.write_if_requested();
 }

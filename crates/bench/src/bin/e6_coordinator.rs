@@ -1,12 +1,18 @@
 //! E6 — load on the most loaded node: coordinator vs broker vs gossip peers.
 
 use wsg_bench::experiments::e6_coordinator;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
-    println!("E6 — coordinator load vs system size (20 notifications each)");
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e6_coordinator");
+    let (ns, notifications): (&[usize], u64) =
+        if fast { (&[8, 32], 5) } else { (&[8, 16, 32, 64, 128], 20) };
+
+    println!("E6 — coordinator load vs system size ({notifications} notifications each)");
     println!("claim: the coordinator handles control traffic only; a broker carries the data plane\n");
-    let rows = e6_coordinator::sweep(&[8, 16, 32, 64, 128], 20, 7);
+    let rows = e6_coordinator::sweep(ns, notifications, 7);
     let mut table = Table::new(&[
         "subscribers", "coordinator recv (control)", "broker recv (data)", "gossip mean recv/node",
     ]);
@@ -19,10 +25,13 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("centralized", &table);
     println!("\ncoordinator load is per-membership-change; broker load is per-message x n.");
 
-    println!("\n(b) distributed coordinator (paper §3): n=64 subscribers, 20 notifications");
-    let rows = e6_coordinator::distributed_sweep(64, &[1, 2, 4, 8], 20, 9);
+    let (dist_n, ks, dist_notifications): (usize, &[usize], u64) =
+        if fast { (32, &[1, 4], 5) } else { (64, &[1, 2, 4, 8], 20) };
+    println!("\n(b) distributed coordinator (paper §3): n={dist_n} subscribers, {dist_notifications} notifications");
+    let rows = e6_coordinator::distributed_sweep(dist_n, ks, dist_notifications, 9);
     let mut table = Table::new(&[
         "replicas", "busiest client load", "mean sync load", "busiest total", "coverage",
     ]);
@@ -36,5 +45,7 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("distributed", &table);
     println!("\nreplicas split subscribe/register traffic; replication gossip is the flat overhead.");
+    report.write_if_requested();
 }

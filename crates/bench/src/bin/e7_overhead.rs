@@ -1,13 +1,21 @@
 //! E7 — redundancy and control overhead vs fanout; eager vs lazy push.
 
 use wsg_bench::experiments::e7_overhead;
-use wsg_bench::Table;
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
-    let n = 256;
-    println!("E7 — message overhead (n={n}, r=12)");
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e7_overhead");
+    let (n, fanouts, rounds): (usize, &[usize], u32) = if fast {
+        (64, &[2, 4, 8], 10)
+    } else {
+        (256, &[1, 2, 3, 4, 6, 8, 10], 12)
+    };
+
+    println!("E7 — message overhead (n={n}, r={rounds})");
     println!("claim: reliability comes from 'redundancy and randomization'; here is its price\n");
-    let rows = e7_overhead::sweep(n, &[1, 2, 3, 4, 6, 8, 10], 12, 11);
+    let rows = e7_overhead::sweep(n, fanouts, rounds, 11);
     let mut table = Table::new(&[
         "f", "coverage", "eager payloads/node", "predicted", "lazy payloads/node", "lazy control/node",
     ]);
@@ -22,4 +30,6 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("overhead", &table);
+    report.write_if_requested();
 }

@@ -2,18 +2,17 @@
 //! payload size, then a full gossip dissemination over real sockets.
 
 use wsg_bench::experiments::e8_transport;
-use wsg_bench::Table;
-
-fn fast_mode() -> bool {
-    std::env::var("WSG_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
-}
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
 
 fn main() {
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e8_transport");
     println!("E8 — transport cost on real loopback sockets");
     println!("claim: the middleware's gossip rounds survive contact with an actual TCP stack\n");
 
     let sizes: &[usize] =
-        if fast_mode() { &[64, 4096] } else { &[64, 1024, 16 * 1024, 256 * 1024] };
+        if fast { &[64, 4096] } else { &[64, 1024, 16 * 1024, 256 * 1024] };
     let rows = e8_transport::roundtrips(sizes);
     let mut table = Table::new(&["payload B", "wire B", "min", "median", "mean"]);
     for r in &rows {
@@ -26,8 +25,9 @@ fn main() {
         ]);
     }
     print!("{}", table.render());
+    report.add_table("roundtrips", &table);
 
-    let (subscribers, ticks, run_ms) = if fast_mode() { (4, 2, 1800) } else { (8, 5, 3500) };
+    let (subscribers, ticks, run_ms) = if fast { (4, 2, 1800) } else { (8, 5, 3500) };
     println!("\nlive dissemination over sockets ({subscribers} subscribers, {ticks} ticks):");
     let outcome = e8_transport::dissemination(subscribers, ticks, 17, run_ms);
     println!(
@@ -38,6 +38,16 @@ fn main() {
         outcome.posts_failed,
         outcome.elapsed_ms,
     );
+    let mut dt = Table::new(&["subscribers", "complete", "posts ok", "posts failed", "wall ms"]);
+    dt.row_owned(vec![
+        outcome.subscribers.to_string(),
+        outcome.complete_subscribers.to_string(),
+        outcome.posts_ok.to_string(),
+        outcome.posts_failed.to_string(),
+        outcome.elapsed_ms.to_string(),
+    ]);
+    report.add_table("dissemination", &dt);
+    report.write_if_requested();
     assert_eq!(
         outcome.complete_subscribers, outcome.subscribers,
         "dissemination must complete over the socket transport"

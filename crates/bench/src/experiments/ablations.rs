@@ -47,14 +47,24 @@ pub fn retry_ablation(n: usize, losses: &[f64], seeds: u64) -> Vec<RetryRow> {
         net.run_until(SimTime::from_secs(10));
         (0..n).filter(|i| !net.node(NodeId(*i)).delivered().is_empty()).count() as f64 / n as f64
     };
+    // Cells in serial order: per loss, per seed, retry-on then retry-off.
+    let cells: Vec<(f64, u64, bool)> = losses
+        .iter()
+        .flat_map(|&loss| {
+            (0..seeds).flat_map(move |seed| [(loss, seed, true), (loss, seed, false)])
+        })
+        .collect();
+    let coverages =
+        crate::sweep::map(&cells, |&(loss, seed, retry)| run(loss, retry, seed * 13 + 1));
     losses
         .iter()
-        .map(|&loss| {
+        .zip(coverages.chunks(2 * seeds as usize))
+        .map(|(&loss, per_seed)| {
             let mut with = 0.0;
             let mut without = 0.0;
-            for seed in 0..seeds {
-                with += run(loss, true, seed * 13 + 1);
-                without += run(loss, false, seed * 13 + 1);
+            for pair in per_seed.chunks(2) {
+                with += pair[0];
+                without += pair[1];
             }
             RetryRow {
                 loss,
@@ -79,9 +89,7 @@ pub struct JitterRow {
 /// A2: pull-style tick synchronisation, jitter on vs off. All nodes start
 /// simultaneously, so without jitter their ticks collide forever.
 pub fn jitter_ablation(n: usize, seed: u64) -> Vec<JitterRow> {
-    [true, false]
-        .into_iter()
-        .map(|jitter| {
+    crate::sweep::map(&[true, false], |&jitter| {
             let base = GossipConfig::new(GossipStyle::Pull, GossipParams::new(2, 4))
                 .interval(SimDuration::from_millis(100));
             let config = if jitter { base } else { base.without_jitter() };
@@ -111,8 +119,7 @@ pub fn jitter_ablation(n: usize, seed: u64) -> Vec<JitterRow> {
                 peak_burst: windows.values().copied().max().unwrap_or(0),
                 total_pulls: windows.values().sum(),
             }
-        })
-        .collect()
+    })
 }
 
 /// Result of the A3 buffer ablation.
@@ -127,9 +134,7 @@ pub struct BufferRow {
 /// A3: a node is partitioned away while `messages` are published, then
 /// heals; anti-entropy can only repair what peers still buffer.
 pub fn buffer_ablation(n: usize, capacities: &[usize], messages: u64, seed: u64) -> Vec<BufferRow> {
-    capacities
-        .iter()
-        .map(|&capacity| {
+    crate::sweep::map(capacities, |&capacity| {
             let config = GossipConfig::new(GossipStyle::AntiEntropy, GossipParams::new(2, 4))
                 .interval(SimDuration::from_millis(40))
                 .buffer_capacity(capacity);
@@ -156,8 +161,7 @@ pub fn buffer_ablation(n: usize, capacities: &[usize], messages: u64, seed: u64)
             net.run_until(net.now() + SimDuration::from_secs(20));
             let recovered = net.node(victim).delivered().len() as f64 / messages as f64;
             BufferRow { capacity, recovered }
-        })
-        .collect()
+    })
 }
 
 /// Result of the A4 forwarding-discipline ablation.
@@ -201,12 +205,17 @@ pub fn discipline_ablation(n: usize, fanouts: &[usize], rounds: u32, seed: u64) 
         let payloads: u64 = (0..n).map(|i| net.node(NodeId(i)).stats().payloads_sent).sum();
         (reached, payloads)
     };
+    let cells: Vec<(usize, ForwardDiscipline)> = fanouts
+        .iter()
+        .flat_map(|&f| [(f, ForwardDiscipline::InfectAndDie), (f, ForwardDiscipline::InfectForever)])
+        .collect();
+    let outcomes = crate::sweep::map(&cells, |&(fanout, discipline)| run(fanout, discipline));
     fanouts
         .iter()
-        .map(|&fanout| {
-            let (die_coverage, die_payloads) = run(fanout, ForwardDiscipline::InfectAndDie);
-            let (forever_coverage, forever_payloads) =
-                run(fanout, ForwardDiscipline::InfectForever);
+        .zip(outcomes.chunks(2))
+        .map(|(&fanout, pair)| {
+            let (die_coverage, die_payloads) = pair[0];
+            let (forever_coverage, forever_payloads) = pair[1];
             DisciplineRow { fanout, die_coverage, die_payloads, forever_coverage, forever_payloads }
         })
         .collect()

@@ -32,22 +32,39 @@ pub struct Row {
 }
 
 /// Run the sweep: for each `n`, fanout 1..=max_fanout, `seeds` runs each.
+///
+/// Each `(n, fanout, seed)` cell is an independent simulation, fanned out
+/// over [`crate::sweep::map`]; the per-config reduction then sums coverage
+/// in seed order, so the rows are bit-identical to the old serial loop.
 pub fn sweep(ns: &[usize], max_fanout: usize, rounds: u32, seeds: u64) -> Vec<Row> {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &n in ns {
         for fanout in 1..=max_fanout {
-            let params = GossipParams::new(fanout, rounds);
+            for seed in 0..seeds {
+                cells.push((n, fanout, seed));
+            }
+        }
+    }
+    let outcomes = crate::sweep::map(&cells, |&(n, fanout, seed)| {
+        let params = GossipParams::new(fanout, rounds);
+        let outcome = run_once(
+            eager_net(n, &params, SimConfig::default().seed(seed * 1000 + fanout as u64)),
+            n,
+        );
+        (outcome.coverage, outcome.atomic)
+    });
+    cells
+        .chunks(seeds as usize)
+        .zip(outcomes.chunks(seeds as usize))
+        .map(|(config, per_seed)| {
+            let (n, fanout, _) = config[0];
             let mut coverage_sum = 0.0;
             let mut atomic_count = 0u64;
-            for seed in 0..seeds {
-                let outcome = run_once(
-                    eager_net(n, &params, SimConfig::default().seed(seed * 1000 + fanout as u64)),
-                    n,
-                );
-                coverage_sum += outcome.coverage;
-                atomic_count += outcome.atomic as u64;
+            for &(coverage, atomic) in per_seed {
+                coverage_sum += coverage;
+                atomic_count += atomic as u64;
             }
-            rows.push(Row {
+            Row {
                 n,
                 fanout,
                 rounds,
@@ -55,10 +72,9 @@ pub fn sweep(ns: &[usize], max_fanout: usize, rounds: u32, seeds: u64) -> Vec<Ro
                 coverage_pred: analysis::expected_coverage(n, fanout, rounds),
                 atomicity_sim: atomic_count as f64 / seeds as f64,
                 atomicity_pred: analysis::atomicity_probability(n, fanout),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// One row of the E2 loss table.
@@ -75,19 +91,19 @@ pub struct LossRow {
 /// Loss sweep at fixed (n, f, r): the lossy mean-field model vs simulation.
 pub fn loss_sweep(n: usize, fanout: usize, rounds: u32, losses: &[f64], seeds: u64) -> Vec<LossRow> {
     let params = GossipParams::new(fanout, rounds);
+    let cells: Vec<(f64, u64)> =
+        losses.iter().flat_map(|&loss| (0..seeds).map(move |seed| (loss, seed))).collect();
+    let coverages = crate::sweep::map(&cells, |&(loss, seed)| {
+        let config = SimConfig::default().seed(seed * 101 + 7).drop_probability(loss);
+        run_once(eager_net(n, &params, config), n).coverage
+    });
     losses
         .iter()
-        .map(|&loss| {
-            let mut coverage_sum = 0.0;
-            for seed in 0..seeds {
-                let config = SimConfig::default().seed(seed * 101 + 7).drop_probability(loss);
-                coverage_sum += run_once(eager_net(n, &params, config), n).coverage;
-            }
-            LossRow {
-                loss,
-                coverage_sim: coverage_sum / seeds as f64,
-                coverage_pred: analysis::expected_coverage_lossy(n, fanout, rounds, loss),
-            }
+        .zip(coverages.chunks(seeds as usize))
+        .map(|(&loss, per_seed)| LossRow {
+            loss,
+            coverage_sim: per_seed.iter().sum::<f64>() / seeds as f64,
+            coverage_pred: analysis::expected_coverage_lossy(n, fanout, rounds, loss),
         })
         .collect()
 }

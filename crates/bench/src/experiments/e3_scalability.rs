@@ -34,48 +34,77 @@ pub struct Row {
     pub coverage: f64,
 }
 
+/// Per-cell measurement carried back from one `(n, seed)` simulation.
+struct Cell {
+    max_round: u32,
+    completion_ms: u64,
+    coverage: f64,
+    max_sent: u64,
+    /// First-delivery latencies of nodes 1..n, in node order.
+    latencies: Vec<u64>,
+}
+
 /// Sweep system sizes with a fixed fanout.
+///
+/// Cells are `(n, seed)` pairs run in parallel via [`crate::sweep::map`];
+/// per-`n` reduction walks the cells in seed order (and latencies in node
+/// order), matching the old serial accumulation exactly.
 pub fn sweep(ns: &[usize], fanout: usize, seeds: u64) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for &n in ns {
+    let cells: Vec<(usize, u64)> =
+        ns.iter().flat_map(|&n| (0..seeds).map(move |seed| (n, seed))).collect();
+    let measured = crate::sweep::map(&cells, |&(n, seed)| {
         // Generous round budget so latency is measured, not truncated.
         let rounds = (n as f64).log2().ceil() as u32 * 3 + 6;
         let params = GossipParams::new(fanout, rounds);
-        let mut rounds_sum = 0.0;
-        let mut completion_sum = 0.0;
-        let mut load_sum = 0.0;
-        let mut coverage_sum = 0.0;
-        let mut latencies = wsg_net::Histogram::new();
-        for seed in 0..seeds {
-            let mut net = eager_net(n, &params, SimConfig::default().seed(seed + 7));
-            net.invoke(NodeId(0), |engine, ctx| {
-                engine.publish(1, ctx);
-            });
-            net.run_to_quiescence();
-            let outcome = super::summarize(&net, n);
-            rounds_sum += outcome.max_round as f64;
-            completion_sum += outcome.completion_ms as f64;
-            coverage_sum += outcome.coverage;
-            load_sum += net.stats().max_sent() as f64;
-            for i in 1..n {
-                if let Some(delivery) = net.node(NodeId(i)).delivered().first() {
-                    latencies.record(delivery.at.as_millis());
+        let mut net = eager_net(n, &params, SimConfig::default().seed(seed + 7));
+        net.invoke(NodeId(0), |engine, ctx| {
+            engine.publish(1, ctx);
+        });
+        net.run_to_quiescence();
+        let outcome = super::summarize(&net, n);
+        let latencies = (1..n)
+            .filter_map(|i| {
+                net.node(NodeId(i)).delivered().first().map(|d| d.at.as_millis())
+            })
+            .collect();
+        Cell {
+            max_round: outcome.max_round,
+            completion_ms: outcome.completion_ms,
+            coverage: outcome.coverage,
+            max_sent: net.stats().max_sent(),
+            latencies,
+        }
+    });
+    ns.iter()
+        .zip(measured.chunks(seeds as usize))
+        .map(|(&n, per_seed)| {
+            let mut rounds_sum = 0.0;
+            let mut completion_sum = 0.0;
+            let mut load_sum = 0.0;
+            let mut coverage_sum = 0.0;
+            let mut latencies = wsg_net::Histogram::new();
+            for cell in per_seed {
+                rounds_sum += cell.max_round as f64;
+                completion_sum += cell.completion_ms as f64;
+                coverage_sum += cell.coverage;
+                load_sum += cell.max_sent as f64;
+                for &ms in &cell.latencies {
+                    latencies.record(ms);
                 }
             }
-        }
-        rows.push(Row {
-            n,
-            rounds_sim: rounds_sum / seeds as f64,
-            rounds_pred: analysis::rounds_to_coverage(n, fanout, 0.999),
-            completion_ms: completion_sum / seeds as f64,
-            latency_p50_ms: latencies.quantile(0.5),
-            latency_p99_ms: latencies.quantile(0.99),
-            gossip_max_node_load: load_sum / seeds as f64,
-            central_sender_load: (n - 1) as u64,
-            coverage: coverage_sum / seeds as f64,
-        });
-    }
-    rows
+            Row {
+                n,
+                rounds_sim: rounds_sum / seeds as f64,
+                rounds_pred: analysis::rounds_to_coverage(n, fanout, 0.999),
+                completion_ms: completion_sum / seeds as f64,
+                latency_p50_ms: latencies.quantile(0.5),
+                latency_p99_ms: latencies.quantile(0.99),
+                gossip_max_node_load: load_sum / seeds as f64,
+                central_sender_load: (n - 1) as u64,
+                coverage: coverage_sum / seeds as f64,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -39,61 +39,74 @@ fn survivor_coverage(reached: &[bool], crashed: &[NodeId], n: usize) -> f64 {
 }
 
 /// Crash sweep: fraction of crashed processes vs survivor coverage.
+///
+/// `(fraction, seed)` cells run in parallel; the per-fraction reduction
+/// sums the three survivor coverages in seed order (bit-identical to the
+/// old serial accumulation).
 pub fn crash_sweep(n: usize, fractions: &[f64], seeds: u64) -> Vec<Row> {
     let params = GossipParams::atomic_for(n);
+    let cells: Vec<(f64, u64)> =
+        fractions.iter().flat_map(|&f| (0..seeds).map(move |seed| (f, seed))).collect();
+    let coverages = crate::sweep::map(&cells, |&(fraction, seed)| {
+        let crashed = crashed_set(n, fraction);
+        let config = || SimConfig::default().seed(seed * 31 + 1);
+
+        // gossip
+        let mut g = eager_net(n, &params, config());
+        for c in &crashed {
+            g.crash(*c);
+        }
+        g.invoke(NodeId(0), |e, ctx| {
+            e.publish(1, ctx);
+        });
+        g.run_to_quiescence();
+        let reached: Vec<bool> =
+            (0..n).map(|i| !g.node(NodeId(i)).delivered().is_empty()).collect();
+        let gossip = survivor_coverage(&reached, &crashed, n);
+
+        // tree
+        let mut t = SimNet::new(config());
+        t.add_nodes(n, |id| TreeNode::<u64>::new(id, n, 2));
+        t.start();
+        for c in &crashed {
+            t.crash(*c);
+        }
+        t.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        t.run_to_quiescence();
+        let reached: Vec<bool> =
+            (0..n).map(|i| !t.node(NodeId(i)).delivered().is_empty()).collect();
+        let tree = survivor_coverage(&reached, &crashed, n);
+
+        // direct
+        let mut d = SimNet::new(config());
+        d.add_nodes(n, |id| {
+            if id.index() == 0 {
+                DirectNode::<u64>::new((1..n).map(NodeId).collect())
+            } else {
+                DirectNode::new(Vec::new())
+            }
+        });
+        d.start();
+        for c in &crashed {
+            d.crash(*c);
+        }
+        d.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        d.run_to_quiescence();
+        let reached: Vec<bool> =
+            (0..n).map(|i| i == 0 || !d.node(NodeId(i)).delivered().is_empty()).collect();
+        let direct = survivor_coverage(&reached, &crashed, n);
+
+        (gossip, tree, direct)
+    });
     fractions
         .iter()
-        .map(|&fraction| {
+        .zip(coverages.chunks(seeds as usize))
+        .map(|(&fraction, per_seed)| {
             let mut sums = (0.0, 0.0, 0.0);
-            for seed in 0..seeds {
-                let crashed = crashed_set(n, fraction);
-                let config = || SimConfig::default().seed(seed * 31 + 1);
-
-                // gossip
-                let mut g = eager_net(n, &params, config());
-                for c in &crashed {
-                    g.crash(*c);
-                }
-                g.invoke(NodeId(0), |e, ctx| {
-                    e.publish(1, ctx);
-                });
-                g.run_to_quiescence();
-                let reached: Vec<bool> =
-                    (0..n).map(|i| !g.node(NodeId(i)).delivered().is_empty()).collect();
-                sums.0 += survivor_coverage(&reached, &crashed, n);
-
-                // tree
-                let mut t = SimNet::new(config());
-                t.add_nodes(n, |id| TreeNode::<u64>::new(id, n, 2));
-                t.start();
-                for c in &crashed {
-                    t.crash(*c);
-                }
-                t.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
-                t.run_to_quiescence();
-                let reached: Vec<bool> =
-                    (0..n).map(|i| !t.node(NodeId(i)).delivered().is_empty()).collect();
-                sums.1 += survivor_coverage(&reached, &crashed, n);
-
-                // direct
-                let mut d = SimNet::new(config());
-                d.add_nodes(n, |id| {
-                    if id.index() == 0 {
-                        DirectNode::<u64>::new((1..n).map(NodeId).collect())
-                    } else {
-                        DirectNode::new(Vec::new())
-                    }
-                });
-                d.start();
-                for c in &crashed {
-                    d.crash(*c);
-                }
-                d.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
-                d.run_to_quiescence();
-                let reached: Vec<bool> = (0..n)
-                    .map(|i| i == 0 || !d.node(NodeId(i)).delivered().is_empty())
-                    .collect();
-                sums.2 += survivor_coverage(&reached, &crashed, n);
+            for &(gossip, tree, direct) in per_seed {
+                sums.0 += gossip;
+                sums.1 += tree;
+                sums.2 += direct;
             }
             Row {
                 fault: fraction,
@@ -108,41 +121,48 @@ pub fn crash_sweep(n: usize, fractions: &[f64], seeds: u64) -> Vec<Row> {
 /// Loss sweep: per-message loss probability vs coverage (no crashes).
 pub fn loss_sweep(n: usize, losses: &[f64], seeds: u64) -> Vec<Row> {
     let params = GossipParams::atomic_for(n);
+    let cells: Vec<(f64, u64)> =
+        losses.iter().flat_map(|&loss| (0..seeds).map(move |seed| (loss, seed))).collect();
+    let coverages = crate::sweep::map(&cells, |&(loss, seed)| {
+        let config = || SimConfig::default().seed(seed * 77 + 3).drop_probability(loss);
+
+        let g = super::run_once(eager_net(n, &params, config()), n);
+        let gossip = g.coverage;
+
+        let mut t = SimNet::new(config());
+        t.add_nodes(n, |id| TreeNode::<u64>::new(id, n, 2));
+        t.start();
+        t.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        t.run_to_quiescence();
+        let tree = (0..n).filter(|i| !t.node(NodeId(*i)).delivered().is_empty()).count() as f64
+            / n as f64;
+
+        let mut d = SimNet::new(config());
+        d.add_nodes(n, |id| {
+            if id.index() == 0 {
+                DirectNode::<u64>::new((1..n).map(NodeId).collect())
+            } else {
+                DirectNode::new(Vec::new())
+            }
+        });
+        d.start();
+        d.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
+        d.run_to_quiescence();
+        let direct_reached =
+            1 + (1..n).filter(|i| !d.node(NodeId(*i)).delivered().is_empty()).count();
+        let direct = direct_reached as f64 / n as f64;
+
+        (gossip, tree, direct)
+    });
     losses
         .iter()
-        .map(|&loss| {
+        .zip(coverages.chunks(seeds as usize))
+        .map(|(&loss, per_seed)| {
             let mut sums = (0.0, 0.0, 0.0);
-            for seed in 0..seeds {
-                let config = || SimConfig::default().seed(seed * 77 + 3).drop_probability(loss);
-
-                let g = super::run_once(eager_net(n, &params, config()), n);
-                sums.0 += g.coverage;
-
-                let mut t = SimNet::new(config());
-                t.add_nodes(n, |id| TreeNode::<u64>::new(id, n, 2));
-                t.start();
-                t.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
-                t.run_to_quiescence();
-                sums.1 += (0..n)
-                    .filter(|i| !t.node(NodeId(*i)).delivered().is_empty())
-                    .count() as f64
-                    / n as f64;
-
-                let mut d = SimNet::new(config());
-                d.add_nodes(n, |id| {
-                    if id.index() == 0 {
-                        DirectNode::<u64>::new((1..n).map(NodeId).collect())
-                    } else {
-                        DirectNode::new(Vec::new())
-                    }
-                });
-                d.start();
-                d.invoke(NodeId(0), |node, ctx| node.publish(1, ctx));
-                d.run_to_quiescence();
-                let direct_reached = 1 + (1..n)
-                    .filter(|i| !d.node(NodeId(*i)).delivered().is_empty())
-                    .count();
-                sums.2 += direct_reached as f64 / n as f64;
+            for &(gossip, tree, direct) in per_seed {
+                sums.0 += gossip;
+                sums.1 += tree;
+                sums.2 += direct;
             }
             Row {
                 fault: loss,
@@ -170,9 +190,8 @@ pub struct ChurnRow {
 /// `downtime`, while `messages` are published. Push-pull repairs nodes
 /// that were down at publish time; plain eager push cannot.
 pub fn churn_comparison(n: usize, messages: u64, seed: u64) -> Vec<ChurnRow> {
-    [GossipStyle::EagerPush, GossipStyle::PushPull]
-        .into_iter()
-        .map(|style| {
+    let styles = [GossipStyle::EagerPush, GossipStyle::PushPull];
+    crate::sweep::map(&styles, |&style| {
             let params = GossipParams::atomic_for(n);
             let mut net = SimNet::new(SimConfig::default().seed(seed));
             net.add_nodes(n, |id| {
@@ -235,8 +254,7 @@ pub fn churn_comparison(n: usize, messages: u64, seed: u64) -> Vec<ChurnRow> {
                 churned_node_coverage: churned_cov.0 / churned_cov.1.max(1) as f64,
                 stable_node_coverage: stable_cov.0 / stable_cov.1.max(1) as f64,
             }
-        })
-        .collect()
+    })
 }
 
 #[cfg(test)]

@@ -32,16 +32,29 @@ pub fn sweep(
     perturb_ms: u64,
     seed: u64,
 ) -> Vec<Row> {
+    // Each (fraction, protocol) pair is one parallel cell: the broker and
+    // gossip runs of a fraction are independent simulations too.
+    let mut cells = Vec::new();
+    for &fraction in fractions {
+        let slow = ((n - 1) as f64 * fraction).round() as usize;
+        let slow_set: Vec<NodeId> = (0..slow).map(|i| NodeId(n - 1 - i)).collect();
+        cells.push((slow_set.clone(), true));
+        cells.push((slow_set, false));
+    }
+    let throughputs = crate::sweep::map(&cells, |(slow_set, broker)| {
+        if *broker {
+            broker_run(n, slow_set, rate, duration_secs, perturb_ms, seed)
+        } else {
+            gossip_run(n, slow_set, rate, duration_secs, perturb_ms, seed)
+        }
+    });
     fractions
         .iter()
-        .map(|&fraction| {
-            let slow = ((n - 1) as f64 * fraction).round() as usize;
-            let slow_set: Vec<NodeId> = (0..slow).map(|i| NodeId(n - 1 - i)).collect();
-            Row {
-                perturbed: fraction,
-                broker_throughput: broker_run(n, &slow_set, rate, duration_secs, perturb_ms, seed),
-                gossip_throughput: gossip_run(n, &slow_set, rate, duration_secs, perturb_ms, seed),
-            }
+        .zip(throughputs.chunks(2))
+        .map(|(&fraction, pair)| Row {
+            perturbed: fraction,
+            broker_throughput: pair[0],
+            gossip_throughput: pair[1],
         })
         .collect()
 }

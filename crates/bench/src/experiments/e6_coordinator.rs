@@ -28,13 +28,38 @@ pub struct Row {
     pub gossip_mean_received: f64,
 }
 
+/// Outcome of one E6 cell: either the WS-Gossip run or the broker run.
+enum CellOutcome {
+    WsGossip { coordinator_received: u64, gossip_mean_received: f64 },
+    Broker { broker_received: u64 },
+}
+
 /// Sweep subscriber counts with `notifications` messages each.
+///
+/// Each `n` contributes two independent cells (the full WS-Gossip network
+/// and the centralized broker), fanned out via [`crate::sweep::map`].
 pub fn sweep(ns: &[usize], notifications: u64, seed: u64) -> Vec<Row> {
-    ns.iter()
-        .map(|&n| {
+    let cells: Vec<(usize, bool)> =
+        ns.iter().flat_map(|&n| [(n, true), (n, false)]).collect();
+    let outcomes = crate::sweep::map(&cells, |&(n, wsg)| {
+        if wsg {
             let (coordinator_received, gossip_mean_received) =
                 ws_gossip_run(n, notifications, seed);
-            let broker_received = broker_run(n, notifications, seed);
+            CellOutcome::WsGossip { coordinator_received, gossip_mean_received }
+        } else {
+            CellOutcome::Broker { broker_received: broker_run(n, notifications, seed) }
+        }
+    });
+    ns.iter()
+        .zip(outcomes.chunks(2))
+        .map(|(&n, pair)| {
+            let CellOutcome::WsGossip { coordinator_received, gossip_mean_received } = pair[0]
+            else {
+                unreachable!("even cells are WS-Gossip runs")
+            };
+            let CellOutcome::Broker { broker_received } = pair[1] else {
+                unreachable!("odd cells are broker runs")
+            };
             Row {
                 n,
                 notifications,
@@ -108,8 +133,7 @@ pub fn distributed_sweep(
     notifications: u64,
     seed: u64,
 ) -> Vec<DistributedRow> {
-    ks.iter()
-        .map(|&k| {
+    crate::sweep::map(ks, |&k| {
             let shape = DistributedShape {
                 coordinators: k,
                 disseminators: n / 2,
@@ -147,8 +171,7 @@ pub fn distributed_sweep(
                 mean_sync_received: syncs.iter().sum::<u64>() as f64 / k as f64,
                 coverage: scenario::coverage(&net, 1),
             }
-        })
-        .collect()
+    })
 }
 
 #[cfg(test)]

@@ -26,41 +26,45 @@ pub struct Row {
 }
 
 /// Sweep fanout at fixed n and rounds.
+///
+/// Each fanout contributes two independent cells — the eager and the lazy
+/// run — fanned out via [`crate::sweep::map`].
 pub fn sweep(n: usize, fanouts: &[usize], rounds: u32, seed: u64) -> Vec<Row> {
+    let cells: Vec<(usize, GossipStyle)> = fanouts
+        .iter()
+        .flat_map(|&f| [(f, GossipStyle::EagerPush), (f, GossipStyle::LazyPush)])
+        .collect();
+    let outcomes = crate::sweep::map(&cells, |&(fanout, style)| {
+        let params = GossipParams::new(fanout, rounds);
+        let mut net = gossip_net(n, style, &params, SimConfig::default().seed(seed));
+        net.invoke(NodeId(0), |e, ctx| {
+            e.publish(1, ctx);
+        });
+        net.run_to_quiescence();
+        let outcome = summarize(&net, n);
+        let control: u64 = (0..n)
+            .map(|i| {
+                let s = net.node(NodeId(i)).stats();
+                s.ihave_sent + s.iwant_sent
+            })
+            .sum();
+        (outcome, control)
+    });
     fanouts
         .iter()
-        .map(|&fanout| {
-            let params = GossipParams::new(fanout, rounds);
-
-            let mut eager = gossip_net(n, GossipStyle::EagerPush, &params, SimConfig::default().seed(seed));
-            eager.invoke(NodeId(0), |e, ctx| {
-                e.publish(1, ctx);
-            });
-            eager.run_to_quiescence();
-            let eager_out = summarize(&eager, n);
+        .zip(outcomes.chunks(2))
+        .map(|(&fanout, pair)| {
+            let (eager_out, _) = &pair[0];
+            let (lazy_out, lazy_control) = &pair[1];
             let eager_reached = (eager_out.coverage * n as f64).max(1.0);
-
-            let mut lazy = gossip_net(n, GossipStyle::LazyPush, &params, SimConfig::default().seed(seed));
-            lazy.invoke(NodeId(0), |e, ctx| {
-                e.publish(1, ctx);
-            });
-            lazy.run_to_quiescence();
-            let lazy_out = summarize(&lazy, n);
             let lazy_reached = (lazy_out.coverage * n as f64).max(1.0);
-            let lazy_control: u64 = (0..n)
-                .map(|i| {
-                    let s = lazy.node(NodeId(i)).stats();
-                    s.ihave_sent + s.iwant_sent
-                })
-                .sum();
-
             Row {
                 fanout,
                 coverage: eager_out.coverage,
                 eager_redundancy: eager_out.payloads as f64 / eager_reached,
                 predicted_redundancy: analysis::expected_redundancy(n, fanout, rounds),
                 lazy_redundancy: lazy_out.payloads as f64 / lazy_reached,
-                lazy_control: lazy_control as f64 / lazy_reached,
+                lazy_control: *lazy_control as f64 / lazy_reached,
             }
         })
         .collect()

@@ -7,7 +7,16 @@
 //! unit-testable here.
 
 pub mod experiments;
+pub mod report;
+pub mod sweep;
 pub mod table;
 pub mod timing;
 
 pub use table::Table;
+
+/// Count heap allocations made by the harness so experiments can assert
+/// that hot-path serialization got cheaper (see [`timing::count_allocs`]).
+/// The wrapper delegates straight to the system allocator, so overhead is
+/// one relaxed atomic increment per allocation.
+#[global_allocator]
+static ALLOCATOR: timing::CountingAlloc = timing::CountingAlloc;

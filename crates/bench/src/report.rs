@@ -1,0 +1,479 @@
+//! Machine-readable bench reports (`BENCH_eN.json`).
+//!
+//! Every experiment binary accepts a `--json` flag. When present, the
+//! binary still prints its human tables to stdout, and additionally emits
+//! a `BENCH_{experiment}.json` file with a stable schema so the repo can
+//! record a perf trajectory across PRs (see DESIGN.md §5 for the schema).
+//!
+//! The writer is a hand-rolled minimal JSON emitter — the zero-dependency
+//! policy rules out serde — paired with an equally minimal validator
+//! ([`validate`]) that CI runs against every emitted file so the schema
+//! cannot drift silently.
+//!
+//! Schema `wsg-bench-report/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "wsg-bench-report/1",
+//!   "experiment": "e2_reliability",
+//!   "mode": "full",              // or "fast" under WSG_BENCH_FAST=1
+//!   "threads": 8,                // sweep worker count
+//!   "cells": 260,                // (config, seed) cells executed
+//!   "wall_clock_ms": 1234.5,
+//!   "cells_per_sec": 210.6,
+//!   "cell_ms": {"min": ..., "median": ..., "mean": ..., "max": ...},
+//!   "tables": [{"name": "...", "columns": [...], "rows": [[...], ...]}]
+//! }
+//! ```
+
+use crate::sweep;
+use crate::table::Table;
+use crate::timing;
+use std::time::Instant;
+
+/// The schema identifier emitted in every report.
+pub const SCHEMA: &str = "wsg-bench-report/1";
+
+/// Keys every report must carry (checked by [`validate`] and by CI).
+pub const REQUIRED_KEYS: [&str; 9] = [
+    "schema",
+    "experiment",
+    "mode",
+    "threads",
+    "cells",
+    "wall_clock_ms",
+    "cells_per_sec",
+    "cell_ms",
+    "tables",
+];
+
+/// Collects an experiment's tables and sweep statistics into a JSON report.
+pub struct Report {
+    experiment: String,
+    started: Instant,
+    tables: Vec<(String, Table)>,
+    emit: bool,
+}
+
+impl Report {
+    /// Start a report for `experiment` (e.g. `"e2_reliability"`). Resets the
+    /// sweep cell counters, so construct it before running any sweeps.
+    /// `--json` anywhere in the process arguments arms file emission.
+    pub fn new(experiment: &str) -> Self {
+        sweep::reset_counters();
+        Report {
+            experiment: experiment.to_string(),
+            started: Instant::now(),
+            tables: Vec::new(),
+            emit: std::env::args().any(|a| a == "--json"),
+        }
+    }
+
+    /// Whether `--json` was requested.
+    pub fn enabled(&self) -> bool {
+        self.emit
+    }
+
+    /// Record a finished table under a short snake_case name.
+    pub fn add_table(&mut self, name: &str, table: &Table) {
+        self.tables.push((name.to_string(), table.clone()));
+    }
+
+    /// Render the report as a JSON string (always possible, even when
+    /// `--json` was not passed — used by tests).
+    pub fn to_json(&self) -> String {
+        let wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        let cells = sweep::cells_executed();
+        let cells_per_sec = if wall_ms > 0.0 { cells as f64 / (wall_ms / 1e3) } else { 0.0 };
+        let mut nanos = sweep::cell_nanos();
+        nanos.sort_unstable();
+        let ms = |n: u64| n as f64 / 1e6;
+        let (min, median, mean, max) = if nanos.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (
+                ms(nanos[0]),
+                ms(nanos[nanos.len() / 2]),
+                ms(nanos.iter().sum::<u64>() / nanos.len() as u64),
+                ms(*nanos.last().expect("non-empty")),
+            )
+        };
+
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_string(SCHEMA)));
+        out.push_str(&format!("  \"experiment\": {},\n", json_string(&self.experiment)));
+        let mode = if timing::fast_mode() { "fast" } else { "full" };
+        out.push_str(&format!("  \"mode\": {},\n", json_string(mode)));
+        out.push_str(&format!("  \"threads\": {},\n", sweep::threads()));
+        out.push_str(&format!("  \"cells\": {cells},\n"));
+        out.push_str(&format!("  \"wall_clock_ms\": {},\n", json_number(wall_ms)));
+        out.push_str(&format!("  \"cells_per_sec\": {},\n", json_number(cells_per_sec)));
+        out.push_str(&format!(
+            "  \"cell_ms\": {{\"min\": {}, \"median\": {}, \"mean\": {}, \"max\": {}}},\n",
+            json_number(min),
+            json_number(median),
+            json_number(mean),
+            json_number(max)
+        ));
+        out.push_str("  \"tables\": [");
+        for (i, (name, table)) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"name\": {}, \"columns\": [", json_string(name)));
+            for (j, h) in table.headers().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(h));
+            }
+            out.push_str("], \"rows\": [");
+            for (j, row) in table.rows().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (k, cell) in row.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_string(cell));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        if !self.tables.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// When `--json` was passed, validate and write `BENCH_{experiment}.json`
+    /// into `WSG_BENCH_DIR` (default: current directory) and note the path on
+    /// stderr (stdout stays byte-identical to a run without `--json`).
+    pub fn write_if_requested(&self) {
+        if !self.emit {
+            return;
+        }
+        let json = self.to_json();
+        validate(&json).expect("emitted report must satisfy its own schema");
+        let dir = std::env::var("WSG_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{dir}/BENCH_{}.json", self.experiment);
+        std::fs::write(&path, &json).expect("write bench report");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        // Three decimals keeps reports diff-stable across runs of equal work.
+        format!("{x:.3}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Check that `json` parses and carries every [`REQUIRED_KEYS`] entry with
+/// a sane type. Returns a human-readable error on failure. This is the
+/// same check CI applies to emitted `BENCH_*.json` files.
+pub fn validate(json: &str) -> Result<(), String> {
+    let value = parse(json)?;
+    let Value::Object(fields) = value else {
+        return Err("top-level value must be an object".to_string());
+    };
+    let get = |key: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing required key {key:?}"))
+    };
+    for key in REQUIRED_KEYS {
+        get(key)?;
+    }
+    match get("schema")? {
+        Value::String(s) if s == SCHEMA => {}
+        other => return Err(format!("schema must be {SCHEMA:?}, got {other:?}")),
+    }
+    match get("mode")? {
+        Value::String(s) if s == "fast" || s == "full" => {}
+        other => return Err(format!("mode must be \"fast\" or \"full\", got {other:?}")),
+    }
+    for key in ["threads", "cells", "wall_clock_ms", "cells_per_sec"] {
+        if !matches!(get(key)?, Value::Number(_)) {
+            return Err(format!("{key} must be a number"));
+        }
+    }
+    if !matches!(get("cell_ms")?, Value::Object(_)) {
+        return Err("cell_ms must be an object".to_string());
+    }
+    let Value::Array(tables) = get("tables")? else {
+        return Err("tables must be an array".to_string());
+    };
+    for table in tables {
+        let Value::Object(t) = table else {
+            return Err("each table must be an object".to_string());
+        };
+        for key in ["name", "columns", "rows"] {
+            if !t.iter().any(|(k, _)| k == key) {
+                return Err(format!("table missing key {key:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A minimal JSON value — just enough structure for [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Recursive-descent JSON parser over the full grammar (objects kept as
+/// ordered key/value vectors; numbers as f64).
+fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (JSON strings are valid UTF-8
+                // here because the input is a &str).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "bad utf-8")?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_through_validator() {
+        let mut report = Report::new("test_experiment");
+        let mut t = Table::new(&["n", "coverage"]);
+        t.row(&["128", "0.997"]);
+        report.add_table("main", &t);
+        let json = report.to_json();
+        validate(&json).expect("self-emitted report validates");
+        assert!(json.contains("\"schema\": \"wsg-bench-report/1\""));
+        assert!(json.contains("\"experiment\": \"test_experiment\""));
+        assert!(json.contains("\"columns\": [\"n\", \"coverage\"]"));
+        assert!(json.contains("[\"128\", \"0.997\"]"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys() {
+        let err = validate("{\"schema\": \"wsg-bench-report/1\"}").unwrap_err();
+        assert!(err.contains("missing required key"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema() {
+        let report = Report::new("x");
+        let json = report.to_json().replace("wsg-bench-report/1", "other/9");
+        assert!(validate(&json).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("[1, 2]").is_err());
+        assert!(validate("{\"a\": }").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let v = parse("{\"a\": [1, -2.5e1, \"x\\n\\\"y\\u0041\", true, null]}").unwrap();
+        let Value::Object(fields) = v else { panic!("object") };
+        let Value::Array(items) = &fields[0].1 else { panic!("array") };
+        assert_eq!(items[0], Value::Number(1.0));
+        assert_eq!(items[1], Value::Number(-25.0));
+        assert_eq!(items[2], Value::String("x\n\"yA".to_string()));
+        assert_eq!(items[3], Value::Bool(true));
+        assert_eq!(items[4], Value::Null);
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,167 @@
+//! A work-stealing parallel sweep runner for experiment cells.
+//!
+//! Every experiment in this crate is a cross product of independent
+//! `(config, seed)` cells: each cell builds its own [`wsg_net::sim::SimNet`],
+//! runs it to completion and reduces to a small result. The cells share no
+//! state, so they can run on every core — but the *output* must stay
+//! bit-identical to the old serial loops (the committed result tables and
+//! `tests/determinism.rs` depend on it). The runner guarantees that by
+//! keying results on the cell index: workers claim cells from a shared
+//! atomic counter (self-scheduling, so a slow cell never stalls the queue
+//! behind it) and the collected results are re-assembled in cell order
+//! before they are returned. Reductions over the ordered results then add
+//! floats in exactly the order the serial loop did.
+//!
+//! Thread count comes from [`std::thread::available_parallelism`] and can
+//! be pinned with `WSG_SWEEP_THREADS` (set it to `1` to force the serial
+//! path). The result is the same at any thread count.
+//!
+//! ```
+//! let squares = wsg_bench::sweep::map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cells executed since the last [`reset_counters`] — feeds the
+/// `cells`/`cells_per_sec` fields of the `--json` bench report.
+static CELLS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+
+/// Wall-clock nanoseconds of each executed cell, in completion order
+/// (only used for aggregate statistics, so ordering does not matter).
+static CELL_NANOS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Reset the global cell counters (start of a bench binary).
+pub fn reset_counters() {
+    CELLS_EXECUTED.store(0, Ordering::Relaxed);
+    CELL_NANOS.lock().expect("cell timing lock").clear();
+}
+
+/// Number of cells executed since the last [`reset_counters`].
+pub fn cells_executed() -> u64 {
+    CELLS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Snapshot of per-cell wall-clock durations in nanoseconds.
+pub fn cell_nanos() -> Vec<u64> {
+    CELL_NANOS.lock().expect("cell timing lock").clone()
+}
+
+/// The worker count: `WSG_SWEEP_THREADS` when set, else the machine's
+/// available parallelism.
+pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("WSG_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `run` over every cell on up to [`threads()`] workers, returning
+/// results in cell order (bit-identical to the serial `cells.iter().map`).
+pub fn map<I, T, F>(cells: &[I], run: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    map_with_threads(cells, threads(), run)
+}
+
+/// [`map`] with an explicit worker count (exercised directly by the
+/// determinism tests; `map` itself derives the count from the machine).
+pub fn map_with_threads<I, T, F>(cells: &[I], threads: usize, run: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let n = cells.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return cells.iter().map(|cell| timed(|| run(cell))).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    // Self-scheduling work queue: each worker claims the
+                    // next unclaimed cell, so load balances like work
+                    // stealing without per-cell locking.
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    local.push((index, timed(|| run(&cells[index]))));
+                }
+                collected.lock().expect("sweep result lock").extend(local);
+            });
+        }
+    });
+
+    let mut pairs = collected.into_inner().expect("sweep result lock");
+    debug_assert_eq!(pairs.len(), n, "every cell produces exactly one result");
+    // Deterministic ordering: results keyed by cell index.
+    pairs.sort_by_key(|(index, _)| *index);
+    pairs.into_iter().map(|(_, result)| result).collect()
+}
+
+fn timed<T>(run: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = run();
+    let nanos = start.elapsed().as_nanos() as u64;
+    CELLS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    CELL_NANOS.lock().expect("cell timing lock").push(nanos);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_cell_order() {
+        let cells: Vec<usize> = (0..100).collect();
+        let out = map_with_threads(&cells, 8, |&i| i * 3);
+        assert_eq!(out, cells.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        // Float results must come back in the same order regardless of
+        // which worker computed them.
+        let cells: Vec<u64> = (0..64).collect();
+        let f = |&seed: &u64| (seed as f64).sqrt() * 0.1 + seed as f64;
+        let serial = map_with_threads(&cells, 1, f);
+        let parallel = map_with_threads(&cells, 7, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_cell() {
+        let none: Vec<u32> = map_with_threads(&[], 4, |&x: &u32| x);
+        assert!(none.is_empty());
+        assert_eq!(map_with_threads(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn counts_cells() {
+        reset_counters();
+        let _ = map_with_threads(&[1u32, 2, 3], 2, |&x| x);
+        assert_eq!(cells_executed(), 3);
+        assert_eq!(cell_nanos().len(), 3);
+    }
+
+    #[test]
+    fn threads_env_override_parses() {
+        // threads() itself reads the live environment; just assert sanity.
+        assert!(threads() >= 1);
+    }
+}

@@ -39,6 +39,16 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// Column headers, in order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()

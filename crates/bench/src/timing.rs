@@ -18,8 +18,60 @@
 //! `WSG_BENCH_FAST=1` to shrink calibration targets for smoke runs (CI
 //! uses this to keep bench compilation honest without burning minutes).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Heap allocations observed by [`CountingAlloc`] since process start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-delegating allocator that counts every allocation.
+///
+/// Registered as the `#[global_allocator]` of this crate (see `lib.rs`),
+/// so bench binaries and tests can measure allocations-per-message on the
+/// serialization hot path. Deallocations are not counted — the interesting
+/// number for the perf trajectory is how many times a code path *asks* the
+/// allocator for memory.
+pub struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counter is a relaxed atomic
+// with no allocation of its own, so the GlobalAlloc contract is inherited.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total allocations since process start (monotonic, process-wide).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return its result plus the number of heap allocations it
+/// performed. The counter is process-wide, so concurrent threads inflate
+/// the number — callers that need a tight bound should take the minimum
+/// over a few trials.
+pub fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let out = f();
+    (out, allocations() - before)
+}
 
 /// Samples per benchmark.
 const SAMPLES: usize = 20;
@@ -27,7 +79,9 @@ const SAMPLES: usize = 20;
 /// Target wall-clock duration of one calibrated batch.
 const BATCH_TARGET: Duration = Duration::from_millis(10);
 
-fn fast_mode() -> bool {
+/// Whether `WSG_BENCH_FAST` smoke mode is on (shrinks calibration targets
+/// and experiment parameter grids; recorded in the `--json` bench report).
+pub fn fast_mode() -> bool {
     std::env::var("WSG_BENCH_FAST").map(|v| v != "0").unwrap_or(false)
 }
 

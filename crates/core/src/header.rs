@@ -8,7 +8,16 @@
 //! unaffected").
 
 use wsg_coord::WSGOSSIP_NS;
-use wsg_xml::Element;
+use wsg_xml::{Element, QName};
+
+// Interned names for the header vocabulary: every disseminated message
+// serialises these, so cloning them must not allocate.
+static GOSSIP: QName = QName::interned(WSGOSSIP_NS, "wsg", "Gossip");
+static CONTEXT: QName = QName::interned(WSGOSSIP_NS, "wsg", "Context");
+static TOPIC: QName = QName::interned(WSGOSSIP_NS, "wsg", "Topic");
+static ORIGIN: QName = QName::interned(WSGOSSIP_NS, "wsg", "Origin");
+static SEQ: QName = QName::interned(WSGOSSIP_NS, "wsg", "Seq");
+static ROUND: QName = QName::interned(WSGOSSIP_NS, "wsg", "Round");
 
 /// The decoded `wsg:Gossip` header.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,20 +42,12 @@ impl GossipHeader {
 
     /// Encode as the SOAP header element.
     pub fn to_element(&self) -> Element {
-        let mut header = Element::in_ns("wsg", WSGOSSIP_NS, "Gossip");
-        header.push_child(
-            Element::in_ns("wsg", WSGOSSIP_NS, "Context").with_text(self.context_id.clone()),
-        );
-        header.push_child(Element::in_ns("wsg", WSGOSSIP_NS, "Topic").with_text(self.topic.clone()));
-        header.push_child(
-            Element::in_ns("wsg", WSGOSSIP_NS, "Origin").with_text(self.origin.clone()),
-        );
-        header.push_child(
-            Element::in_ns("wsg", WSGOSSIP_NS, "Seq").with_text(self.seq.to_string()),
-        );
-        header.push_child(
-            Element::in_ns("wsg", WSGOSSIP_NS, "Round").with_text(self.round.to_string()),
-        );
+        let mut header = Element::with_name(GOSSIP.clone());
+        header.push_child(Element::with_name(CONTEXT.clone()).with_text(self.context_id.clone()));
+        header.push_child(Element::with_name(TOPIC.clone()).with_text(self.topic.clone()));
+        header.push_child(Element::with_name(ORIGIN.clone()).with_text(self.origin.clone()));
+        header.push_child(Element::with_name(SEQ.clone()).with_text(self.seq.to_string()));
+        header.push_child(Element::with_name(ROUND.clone()).with_text(self.round.to_string()));
         header
     }
 

@@ -148,6 +148,9 @@ pub struct WsGossipNode {
     drive: SelfDrive,
     // Per-origin FIFO reordering of app deliveries, when enabled.
     fifo: Option<FifoBuffer<DeliveredOp>>,
+    // Reusable serialisation buffer: every outbound envelope is written
+    // into it, so steady-state transmits reuse one allocation per node.
+    scratch: String,
 }
 
 impl WsGossipNode {
@@ -194,6 +197,7 @@ impl WsGossipNode {
             rng: Pcg32::new(seeder.next(), me.index() as u64),
             drive: SelfDrive::default(),
             fifo: None,
+            scratch: String::new(),
         }
     }
 
@@ -525,7 +529,10 @@ impl WsGossipNode {
             self.stats.unroutable += 1;
             return;
         };
-        ctx.send(to, envelope.to_xml());
+        // Serialise into the node's scratch buffer; only the final
+        // wire-sized copy for the network allocates.
+        envelope.write_xml(&mut self.scratch);
+        ctx.send(to, self.scratch.clone());
     }
 
     fn reply_headers(&mut self, request: &Envelope, action: String) -> Option<MessageHeaders> {

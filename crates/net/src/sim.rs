@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 use crate::latency::LatencyModel;
 use crate::protocol::{Context, NodeId, Protocol, TimerTag};
@@ -104,8 +105,34 @@ impl SimConfig {
 }
 
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M, duplicate: bool },
+    Deliver { from: NodeId, to: NodeId, msg: MsgSlot<M>, duplicate: bool },
     Timer { node: NodeId, tag: TimerTag },
+}
+
+/// Payload slot of a queued delivery. A duplicated send shares the one
+/// serialised message between its in-flight copies via `Rc` instead of
+/// deep-cloning it at enqueue time; the deep clone happens only if both
+/// copies actually reach a live node (the later delivery unwraps the `Rc`
+/// for free, and a copy dropped at a crashed receiver never clones at all).
+enum MsgSlot<M> {
+    Owned(M),
+    Shared(Rc<M>),
+}
+
+impl<M: Clone> MsgSlot<M> {
+    fn get(&self) -> &M {
+        match self {
+            MsgSlot::Owned(m) => m,
+            MsgSlot::Shared(rc) => rc,
+        }
+    }
+
+    fn take(self) -> M {
+        match self {
+            MsgSlot::Owned(m) => m,
+            MsgSlot::Shared(rc) => Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()),
+        }
+    }
 }
 
 struct Event<M> {
@@ -500,9 +527,21 @@ impl<P: Protocol> SimNet<P> {
             let dup_at = self.now + extra_latency;
             self.stats.duplicated += 1;
             self.trace(TraceKind::Duplicate, from, to, label);
-            self.push_event(dup_at, EventKind::Deliver { from, to, msg: msg.clone(), duplicate: true });
+            let shared = Rc::new(msg);
+            self.push_event(
+                dup_at,
+                EventKind::Deliver { from, to, msg: MsgSlot::Shared(shared.clone()), duplicate: true },
+            );
+            self.push_event(
+                deliver_at,
+                EventKind::Deliver { from, to, msg: MsgSlot::Shared(shared), duplicate: false },
+            );
+        } else {
+            self.push_event(
+                deliver_at,
+                EventKind::Deliver { from, to, msg: MsgSlot::Owned(msg), duplicate: false },
+            );
         }
-        self.push_event(deliver_at, EventKind::Deliver { from, to, msg, duplicate: false });
     }
 
     fn push_event(&mut self, time: SimTime, kind: EventKind<P::Message>) {
@@ -511,19 +550,20 @@ impl<P: Protocol> SimNet<P> {
         self.queue.push(Event { time, seq, kind });
     }
 
-    fn deliver(&mut self, from: NodeId, to: NodeId, msg: P::Message, _duplicate: bool) {
+    fn deliver(&mut self, from: NodeId, to: NodeId, slot: MsgSlot<P::Message>, _duplicate: bool) {
         // Crash check happens at delivery time: a node that crashed while
         // the message was in flight never sees it.
         if self.crashed[to.0] {
             self.stats.dropped_crashed += 1;
-            let label = self.label(&msg);
+            let label = self.label(slot.get());
             self.trace(TraceKind::DropCrashed, from, to, label);
             return;
         }
         self.stats.delivered += 1;
         self.stats.received_per_node[to.0] += 1;
-        let label = self.label(&msg);
+        let label = self.label(slot.get());
         self.trace(TraceKind::Deliver, from, to, label);
+        let msg = slot.take();
         self.with_node(to, |node, ctx| node.on_message(from, msg, ctx));
     }
 

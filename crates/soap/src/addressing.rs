@@ -1,9 +1,9 @@
 //! WS-Addressing 1.0 message addressing properties.
 
-use wsg_xml::{Element, QName};
+use wsg_xml::{Element, QName, XmlError, XmlWriter};
 
 use crate::error::SoapError;
-use crate::{WSA_ANONYMOUS, WSA_NS};
+use crate::{qnames, WSA_ANONYMOUS, WSA_NS};
 
 /// A WS-Addressing endpoint reference: the address plus opaque reference
 /// parameters that are echoed back in messages sent to the endpoint.
@@ -61,6 +61,24 @@ impl EndpointReference {
             epr.push_child(params);
         }
         epr
+    }
+
+    /// Stream this EPR as an element named `name` into an open writer —
+    /// byte-identical to serialising [`EndpointReference::to_element`],
+    /// without building the intermediate tree.
+    pub fn write_into(&self, name: &QName, w: &mut XmlWriter) -> Result<(), XmlError> {
+        w.start_element(name)?;
+        w.start_element(&qnames::WSA_ADDRESS)?;
+        w.text(&self.address)?;
+        w.end_element()?;
+        if !self.reference_parameters.is_empty() {
+            w.start_element(&qnames::WSA_REFERENCE_PARAMETERS)?;
+            for p in &self.reference_parameters {
+                p.write_into(w)?;
+            }
+            w.end_element()?;
+        }
+        w.end_element()
     }
 
     /// Parse an EPR from its element form.
@@ -226,6 +244,57 @@ impl MessageHeaders {
             blocks.push(fault_to.to_element("FaultTo"));
         }
         blocks
+    }
+
+    /// Whether any addressing property is set (i.e. whether
+    /// [`MessageHeaders::to_header_blocks`] would be non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.to.is_none()
+            && self.action.is_none()
+            && self.message_id.is_none()
+            && self.relates_to.is_none()
+            && self.from.is_none()
+            && self.reply_to.is_none()
+            && self.fault_to.is_none()
+    }
+
+    /// Stream the present properties as SOAP header blocks into an open
+    /// writer — byte-identical to serialising the elements from
+    /// [`MessageHeaders::to_header_blocks`] in order, without building them.
+    pub fn write_header_blocks(&self, w: &mut XmlWriter) -> Result<(), XmlError> {
+        // Text blocks mirror the tree form exactly: `with_text` always
+        // pushes a text node, so `w.text` is called even for empty values
+        // (`<wsa:To></wsa:To>`, never self-closed).
+        if let Some(to) = &self.to {
+            w.start_element(&qnames::WSA_TO)?;
+            w.text(to)?;
+            w.end_element()?;
+        }
+        if let Some(action) = &self.action {
+            w.start_element(&qnames::WSA_ACTION)?;
+            w.text(action)?;
+            w.end_element()?;
+        }
+        if let Some(id) = &self.message_id {
+            w.start_element(&qnames::WSA_MESSAGE_ID)?;
+            w.text(id)?;
+            w.end_element()?;
+        }
+        if let Some(rel) = &self.relates_to {
+            w.start_element(&qnames::WSA_RELATES_TO)?;
+            w.text(rel)?;
+            w.end_element()?;
+        }
+        if let Some(from) = &self.from {
+            from.write_into(&qnames::WSA_FROM, w)?;
+        }
+        if let Some(reply_to) = &self.reply_to {
+            reply_to.write_into(&qnames::WSA_REPLY_TO, w)?;
+        }
+        if let Some(fault_to) = &self.fault_to {
+            fault_to.write_into(&qnames::WSA_FAULT_TO, w)?;
+        }
+        Ok(())
     }
 
     /// Extract addressing properties from a set of SOAP header blocks,

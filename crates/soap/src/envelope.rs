@@ -1,11 +1,11 @@
 //! The SOAP 1.2 envelope.
 
-use wsg_xml::Element;
+use wsg_xml::{Element, XmlError, XmlWriter};
 
 use crate::addressing::MessageHeaders;
 use crate::error::SoapError;
 use crate::fault::Fault;
-use crate::SOAP_ENV_NS;
+use crate::{qnames, SOAP_ENV_NS};
 
 /// A SOAP 1.2 message: WS-Addressing properties, additional header blocks
 /// and a body.
@@ -147,10 +147,48 @@ impl Envelope {
         envelope
     }
 
+    /// Stream this envelope into an open [`XmlWriter`] — byte-identical to
+    /// serialising [`Envelope::to_element`], without building the tree.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors (e.g. an invalid payload element name).
+    pub fn write_into(&self, w: &mut XmlWriter) -> Result<(), XmlError> {
+        w.start_element(&qnames::ENVELOPE)?;
+        w.declare_namespace("env", SOAP_ENV_NS)?;
+        w.declare_namespace("wsa", crate::WSA_NS)?;
+        if !self.addressing.is_empty() || !self.extra_headers.is_empty() {
+            w.start_element(&qnames::HEADER)?;
+            self.addressing.write_header_blocks(w)?;
+            for block in &self.extra_headers {
+                block.write_into(w)?;
+            }
+            w.end_element()?;
+        }
+        w.start_element(&qnames::BODY)?;
+        match &self.body {
+            Body::Payload(e) => e.write_into(w)?,
+            Body::Fault(f) => f.to_element().write_into(w)?,
+            Body::Empty => {}
+        }
+        w.end_element()?;
+        w.end_element()
+    }
+
+    /// Serialise to the wire (compact XML with declaration) into `buf`,
+    /// which is cleared first and whose allocation is reused — the hot-path
+    /// form of [`Envelope::to_xml`] for callers that keep a scratch buffer.
+    pub fn write_xml(&self, buf: &mut String) {
+        let mut w = XmlWriter::new_into(std::mem::take(buf));
+        w.declaration().expect("declaration is written first");
+        self.write_into(&mut w).expect("envelope is always writable");
+        *buf = w.finish().expect("envelope is always balanced");
+    }
+
     /// Serialise to the wire (compact XML with declaration).
     pub fn to_xml(&self) -> String {
-        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-        out.push_str(&self.to_element().to_xml_string());
+        let mut out = String::new();
+        self.write_xml(&mut out);
         out
     }
 
@@ -224,6 +262,38 @@ mod tests {
                 .with_attr("seq", "1")
                 .with_child(Element::text_node("value", "hello & goodbye")),
         )
+    }
+
+    #[test]
+    fn write_xml_matches_tree_serialisation() {
+        let ctx = Element::in_ns("wscoor", "urn:wscoor", "CoordinationContext")
+            .with_child(Element::text_node("Identifier", "ctx-1"));
+        let cases = [
+            sample(),
+            sample().with_header(ctx),
+            Envelope::fault(
+                MessageHeaders::request("http://dest", "urn:fault"),
+                Fault::new(FaultCode::Sender, "bad request").with_detail(
+                    Element::text_node("reason", "x < y & z"),
+                ),
+            ),
+            Envelope::empty(MessageHeaders::new()),
+            // Empty property values must render as `<wsa:To></wsa:To>`
+            // (open+close), exactly like the tree form.
+            Envelope::empty(MessageHeaders::request("", "")),
+        ];
+        for env in cases {
+            let tree = {
+                let mut out =
+                    String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+                out.push_str(&env.to_element().to_xml_string());
+                out
+            };
+            let mut buf = String::from("stale content to be cleared");
+            env.write_xml(&mut buf);
+            assert_eq!(buf, tree);
+            assert_eq!(env.to_xml(), tree);
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod envelope;
 pub mod fault;
 pub mod handler;
 pub mod handlers;
+pub mod qnames;
 pub mod uuid;
 
 mod error;

@@ -36,11 +36,36 @@ fn needs_escape(c: char, attr: bool) -> bool {
 }
 
 fn escape_with(input: &str, attr: bool) -> Cow<'_, str> {
+    if !input.chars().any(|c| needs_escape(c, attr)) {
+        return Cow::Borrowed(input);
+    }
+    let mut out = String::with_capacity(input.len() + 16);
+    escape_into(&mut out, input, attr);
+    Cow::Owned(out)
+}
+
+/// Append the text-escaped form of `input` to `out`.
+///
+/// The zero-allocation counterpart of [`escape_text`] for streaming
+/// serializers that own a reusable output buffer.
+pub fn escape_text_into(out: &mut String, input: &str) {
+    escape_into(out, input, false)
+}
+
+/// Append the attribute-escaped form of `input` to `out` (see
+/// [`escape_attr`] for the escaping rules).
+pub fn escape_attr_into(out: &mut String, input: &str) {
+    escape_into(out, input, true)
+}
+
+fn escape_into(out: &mut String, input: &str, attr: bool) {
     let first = match input.char_indices().find(|&(_, c)| needs_escape(c, attr)) {
         Some((i, _)) => i,
-        None => return Cow::Borrowed(input),
+        None => {
+            out.push_str(input);
+            return;
+        }
     };
-    let mut out = String::with_capacity(input.len() + 16);
     out.push_str(&input[..first]);
     for c in input[first..].chars() {
         match c {
@@ -54,7 +79,6 @@ fn escape_with(input: &str, attr: bool) -> Cow<'_, str> {
             other => out.push(other),
         }
     }
-    Cow::Owned(out)
 }
 
 /// Resolve the five predefined entities and numeric character references in
@@ -184,6 +208,18 @@ mod tests {
     #[test]
     fn text_escaping_replaces_specials() {
         assert_eq!(escape_text("<a&b>"), "&lt;a&amp;b&gt;");
+    }
+
+    #[test]
+    fn into_variants_match_cow_variants() {
+        for input in ["plain", "<a&b>", "a\"b\nc", ""] {
+            let mut t = String::from("prefix:");
+            escape_text_into(&mut t, input);
+            assert_eq!(t, format!("prefix:{}", escape_text(input)));
+            let mut a = String::from("prefix:");
+            escape_attr_into(&mut a, input);
+            assert_eq!(a, format!("prefix:{}", escape_attr(input)));
+        }
     }
 
     #[test]

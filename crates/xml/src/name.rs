@@ -1,5 +1,6 @@
 //! Namespace-qualified names.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A namespace-qualified XML name: optional namespace URI, optional prefix
@@ -17,25 +18,53 @@ use std::fmt;
 /// ```
 #[derive(Debug, Clone)]
 pub struct QName {
-    namespace: Option<String>,
-    prefix: Option<String>,
-    local: String,
+    // Cow<'static, str> so recurring protocol names (WS-Addressing,
+    // WS-Coordination, gossip headers) can be interned in statics and
+    // cloned without allocating; ad-hoc names still own their strings.
+    namespace: Option<Cow<'static, str>>,
+    prefix: Option<Cow<'static, str>>,
+    local: Cow<'static, str>,
 }
 
 impl QName {
     /// A name with no namespace.
     pub fn new(local: impl Into<String>) -> Self {
-        QName { namespace: None, prefix: None, local: local.into() }
+        QName { namespace: None, prefix: None, local: Cow::Owned(local.into()) }
     }
 
     /// A name in namespace `ns`.
     pub fn with_ns(ns: impl Into<String>, local: impl Into<String>) -> Self {
-        QName { namespace: Some(ns.into()), prefix: None, local: local.into() }
+        QName {
+            namespace: Some(Cow::Owned(ns.into())),
+            prefix: None,
+            local: Cow::Owned(local.into()),
+        }
+    }
+
+    /// A statically known name in namespace `ns` with suggested `prefix`.
+    ///
+    /// `const`, so hot-path protocol names can live in `static`s; cloning
+    /// such a name never allocates (all three parts stay borrowed).
+    pub const fn interned(
+        ns: &'static str,
+        prefix: &'static str,
+        local: &'static str,
+    ) -> Self {
+        QName {
+            namespace: Some(Cow::Borrowed(ns)),
+            prefix: Some(Cow::Borrowed(prefix)),
+            local: Cow::Borrowed(local),
+        }
+    }
+
+    /// A statically known name with no namespace (see [`QName::interned`]).
+    pub const fn interned_local(local: &'static str) -> Self {
+        QName { namespace: None, prefix: None, local: Cow::Borrowed(local) }
     }
 
     /// Attach a suggested prefix (presentation only).
     pub fn with_prefix(mut self, prefix: impl Into<String>) -> Self {
-        self.prefix = Some(prefix.into());
+        self.prefix = Some(Cow::Owned(prefix.into()));
         self
     }
 
@@ -72,7 +101,7 @@ impl QName {
     pub fn lexical(&self) -> String {
         match &self.prefix {
             Some(p) => format!("{p}:{}", self.local),
-            None => self.local.clone(),
+            None => self.local.clone().into_owned(),
         }
     }
 }

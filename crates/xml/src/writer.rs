@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::error::{XmlError, XmlErrorKind};
-use crate::escape::{escape_attr, escape_text, validate_name};
+use crate::escape::{escape_attr_into, escape_text_into, validate_name};
 use crate::name::{NamespaceScope, QName};
 
 /// Streaming writer producing a well-formed document into a `String`.
@@ -29,7 +29,11 @@ use crate::name::{NamespaceScope, QName};
 pub struct XmlWriter {
     out: String,
     scope: NamespaceScope,
-    open: Vec<String>,
+    // Open-element lexical names live concatenated in `open_names`;
+    // `open` holds each name's start offset. One growing arena instead of
+    // one String allocation per nested element.
+    open: Vec<usize>,
+    open_names: String,
     // The current start tag is still open (attributes may be added).
     tag_open: bool,
     root_closed: bool,
@@ -38,6 +42,10 @@ pub struct XmlWriter {
     // True when the last thing written inside the current element was
     // character data (suppresses indentation of the close tag).
     mixed: Vec<bool>,
+    // Reusable scratch for qualified_buf: the lexical form of the name
+    // being written and any xmlns declaration it needs.
+    lex_buf: String,
+    decl_buf: String,
 }
 
 impl Default for XmlWriter {
@@ -53,12 +61,27 @@ impl XmlWriter {
             out: String::new(),
             scope: NamespaceScope::new(),
             open: Vec::new(),
+            open_names: String::new(),
             tag_open: false,
             root_closed: false,
             generated: 0,
             indent: None,
             mixed: Vec::new(),
+            lex_buf: String::new(),
+            decl_buf: String::new(),
         }
+    }
+
+    /// A writer that serializes into `buf`, cleared first. [`finish`]
+    /// returns the same allocation, so callers serializing many documents
+    /// can round-trip one buffer and avoid a fresh `String` per document.
+    ///
+    /// [`finish`]: XmlWriter::finish
+    pub fn new_into(mut buf: String) -> Self {
+        buf.clear();
+        let mut w = Self::new();
+        w.out = buf;
+        w
     }
 
     /// A writer that pretty-prints with the given indent unit.
@@ -96,13 +119,12 @@ impl XmlWriter {
         }
         self.newline_indent();
         self.scope.push_scope();
-        let (lexical, declaration) = self.qualified(name, false)?;
+        self.qualified_buf(name, false)?;
         self.out.push('<');
-        self.out.push_str(&lexical);
-        if let Some(decl) = declaration {
-            self.out.push_str(&decl);
-        }
-        self.open.push(lexical);
+        self.out.push_str(&self.lex_buf);
+        self.out.push_str(&self.decl_buf);
+        self.open.push(self.open_names.len());
+        self.open_names.push_str(&self.lex_buf);
         self.tag_open = true;
         self.mixed.push(false);
         Ok(())
@@ -118,11 +140,13 @@ impl XmlWriter {
         if !self.tag_open {
             return Err(self.misuse("attribute written outside a start tag"));
         }
-        let (lexical, declaration) = self.qualified(name, true)?;
-        if let Some(decl) = declaration {
-            self.out.push_str(&decl);
-        }
-        let _ = write!(self.out, " {}=\"{}\"", lexical, escape_attr(value));
+        self.qualified_buf(name, true)?;
+        self.out.push_str(&self.decl_buf);
+        self.out.push(' ');
+        self.out.push_str(&self.lex_buf);
+        self.out.push_str("=\"");
+        escape_attr_into(&mut self.out, value);
+        self.out.push('"');
         Ok(())
     }
 
@@ -143,10 +167,14 @@ impl XmlWriter {
         }
         self.scope.declare(prefix, uri);
         if prefix.is_empty() {
-            let _ = write!(self.out, " xmlns=\"{}\"", escape_attr(uri));
+            self.out.push_str(" xmlns=\"");
         } else {
-            let _ = write!(self.out, " xmlns:{}=\"{}\"", prefix, escape_attr(uri));
+            self.out.push_str(" xmlns:");
+            self.out.push_str(prefix);
+            self.out.push_str("=\"");
         }
+        escape_attr_into(&mut self.out, uri);
+        self.out.push('"');
         Ok(())
     }
 
@@ -163,7 +191,7 @@ impl XmlWriter {
         if let Some(m) = self.mixed.last_mut() {
             *m = true;
         }
-        self.out.push_str(&escape_text(text));
+        escape_text_into(&mut self.out, text);
         Ok(())
     }
 
@@ -212,11 +240,13 @@ impl XmlWriter {
             // <a ...  />  — self-close
             self.out.push_str("/>");
             self.tag_open = false;
-            self.open.pop();
+            if let Some(start) = self.open.pop() {
+                self.open_names.truncate(start);
+            }
             self.mixed.pop();
             self.scope.pop_scope();
         } else {
-            let lexical = self
+            let start = self
                 .open
                 .pop()
                 .ok_or_else(|| self.misuse("end_element with no open element"))?;
@@ -224,7 +254,10 @@ impl XmlWriter {
             if !was_mixed {
                 self.newline_indent();
             }
-            let _ = write!(self.out, "</{lexical}>");
+            self.out.push_str("</");
+            self.out.push_str(&self.open_names[start..]);
+            self.out.push('>');
+            self.open_names.truncate(start);
             self.scope.pop_scope();
         }
         if self.open.is_empty() {
@@ -289,69 +322,80 @@ impl XmlWriter {
         }
     }
 
-    /// Produce the lexical (possibly prefixed) form for `name`, together
-    /// with the `xmlns` declaration text to splice into the open start tag
-    /// when the namespace is not yet in scope. `is_attr`: unprefixed
-    /// attributes are in no namespace, so attributes in a namespace always
-    /// need a prefix.
-    fn qualified(
-        &mut self,
-        name: &QName,
-        is_attr: bool,
-    ) -> Result<(String, Option<String>), XmlError> {
+    /// Fill `lex_buf` with the lexical (possibly prefixed) form of `name`
+    /// and `decl_buf` with the `xmlns` declaration text to splice into the
+    /// open start tag when the namespace is not yet in scope (empty when no
+    /// declaration is needed). Reuses the two scratch buffers so the hot
+    /// path allocates nothing. `is_attr`: unprefixed attributes are in no
+    /// namespace, so attributes in a namespace always need a prefix.
+    fn qualified_buf(&mut self, name: &QName, is_attr: bool) -> Result<(), XmlError> {
+        self.lex_buf.clear();
+        self.decl_buf.clear();
         validate_name(name.local())?;
         let ns = match name.namespace() {
-            Some(ns) if !ns.is_empty() => ns.to_string(),
+            Some(ns) if !ns.is_empty() => ns,
             _ => {
                 // No namespace. For elements, make sure no default ns is in
                 // scope that would capture this name.
-                let mut decl = None;
                 if !is_attr {
-                    if let Some(uri) = self.scope.resolve("") {
-                        if !uri.is_empty() {
-                            self.scope.declare("", "");
-                            decl = Some(" xmlns=\"\"".to_string());
-                        }
+                    let shadowed =
+                        matches!(self.scope.resolve(""), Some(uri) if !uri.is_empty());
+                    if shadowed {
+                        self.scope.declare("", "");
+                        self.decl_buf.push_str(" xmlns=\"\"");
                     }
                 }
-                return Ok((name.local().to_string(), decl));
+                self.lex_buf.push_str(name.local());
+                return Ok(());
             }
         };
 
         // Already bound?
-        if let Some(p) = self.scope.prefix_for(&ns) {
+        if let Some(p) = self.scope.prefix_for(ns) {
             if p.is_empty() {
                 if is_attr {
                     // default ns does not apply to attributes; fall through
                     // to declare a real prefix.
                 } else {
-                    return Ok((name.local().to_string(), None));
+                    self.lex_buf.push_str(name.local());
+                    return Ok(());
                 }
             } else {
-                return Ok((format!("{p}:{}", name.local()), None));
+                self.lex_buf.push_str(p);
+                self.lex_buf.push(':');
+                self.lex_buf.push_str(name.local());
+                return Ok(());
             }
         }
 
         // Need a declaration on this element.
-        let prefix = match name.prefix() {
-            Some(p) if !p.is_empty() && self.scope.resolve(p).is_none() => p.to_string(),
+        let generated;
+        let prefix: &str = match name.prefix() {
             Some(p)
-                if !p.is_empty() && self.scope.resolve(p) == Some(ns.as_str()) =>
+                if !p.is_empty()
+                    && (self.scope.resolve(p).is_none()
+                        || self.scope.resolve(p) == Some(ns)) =>
             {
-                p.to_string()
+                p
             }
             _ => {
                 self.generated += 1;
-                format!("ns{}", self.generated)
+                generated = format!("ns{}", self.generated);
+                &generated
             }
         };
-        let decl = if self.scope.resolve(&prefix) != Some(ns.as_str()) {
-            self.scope.declare(&prefix, &ns);
-            Some(format!(" xmlns:{}=\"{}\"", prefix, escape_attr(&ns)))
-        } else {
-            None
-        };
-        Ok((format!("{prefix}:{}", name.local()), decl))
+        if self.scope.resolve(prefix) != Some(ns) {
+            self.scope.declare(prefix, ns);
+            self.decl_buf.push_str(" xmlns:");
+            self.decl_buf.push_str(prefix);
+            self.decl_buf.push_str("=\"");
+            escape_attr_into(&mut self.decl_buf, ns);
+            self.decl_buf.push('"');
+        }
+        self.lex_buf.push_str(prefix);
+        self.lex_buf.push(':');
+        self.lex_buf.push_str(name.local());
+        Ok(())
     }
 
     fn misuse(&self, msg: &str) -> XmlError {

@@ -107,6 +107,50 @@ fn all_styles_are_bit_identical_across_runs() {
 }
 
 #[test]
+fn parallel_sweep_matches_serial_bit_for_bit() {
+    // The bench sweep runner fans (config, seed) cells across worker
+    // threads; results must come back keyed by cell index so a parallel
+    // sweep over full simulations is bit-identical to the serial loop.
+    let cells: Vec<(u64, usize)> =
+        (0..12u64).map(|seed| (seed, 3 + (seed as usize % 3))).collect();
+    let run = |&(seed, fanout): &(u64, usize)| {
+        let record = run_scenario(
+            seed * 17 + 1,
+            16,
+            GossipStyle::EagerPush,
+            GossipParams::new(fanout, 5),
+            0.1,
+            0.05,
+            None,
+        );
+        // Coverage is an f64 reduction — exactly the kind of value whose
+        // bit pattern would drift if result order depended on scheduling.
+        let covered =
+            record.1.iter().filter(|msgs| !msgs.is_empty()).count() as f64 / 16.0;
+        (record.0.len(), covered, record.2, record.3)
+    };
+    let serial = wsg_bench::sweep::map_with_threads(&cells, 1, run);
+    for workers in [2, 5, 16] {
+        let parallel = wsg_bench::sweep::map_with_threads(&cells, workers, run);
+        assert_eq!(serial, parallel, "sweep diverges at {workers} workers");
+    }
+}
+
+#[test]
+fn experiment_sweep_is_thread_count_invariant() {
+    // End-to-end: a real experiment sweep (which routes through
+    // `wsg_bench::sweep::map` and reads WSG_SWEEP_THREADS) produces the
+    // same rows serial and parallel. Env is process-global, so this test
+    // owns the variable for its whole body.
+    std::env::set_var("WSG_SWEEP_THREADS", "1");
+    let serial = wsg_bench::experiments::e2_reliability::sweep(&[32], 4, 8, 3);
+    std::env::set_var("WSG_SWEEP_THREADS", "4");
+    let parallel = wsg_bench::experiments::e2_reliability::sweep(&[32], 4, 8, 3);
+    std::env::remove_var("WSG_SWEEP_THREADS");
+    assert_eq!(serial, parallel, "experiment rows diverge with thread count");
+}
+
+#[test]
 fn different_seeds_produce_different_traces() {
     // Guards against the determinism tests passing vacuously (e.g. the
     // seed being ignored and every run identical by construction).
