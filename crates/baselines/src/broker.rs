@@ -1,6 +1,6 @@
 //! Centralized reliable broker with ack + retransmit.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use wsg_net::{Context, NodeId, Protocol, SimDuration, TimerTag};
 
@@ -43,11 +43,11 @@ pub struct BrokerNode<T> {
     window: usize,
     backlog: VecDeque<T>,
     next_seq: u64,
-    store: HashMap<u64, T>,
-    unacked: HashMap<u64, HashSet<NodeId>>,
-    retries: HashMap<u64, u32>,
+    store: BTreeMap<u64, T>,
+    unacked: BTreeMap<u64, BTreeSet<NodeId>>,
+    retries: BTreeMap<u64, u32>,
     // subscriber state
-    seen: HashSet<u64>,
+    seen: BTreeSet<u64>,
     delivered: Vec<Delivery<T>>,
     // counters
     retransmissions: u64,
@@ -66,10 +66,10 @@ impl<T: Clone> BrokerNode<T> {
             window: usize::MAX,
             backlog: VecDeque::new(),
             next_seq: 0,
-            store: HashMap::new(),
-            unacked: HashMap::new(),
-            retries: HashMap::new(),
-            seen: HashSet::new(),
+            store: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            retries: BTreeMap::new(),
+            seen: BTreeSet::new(),
             delivered: Vec::new(),
             retransmissions: 0,
             gave_up: 0,
@@ -87,10 +87,10 @@ impl<T: Clone> BrokerNode<T> {
             window: usize::MAX,
             backlog: VecDeque::new(),
             next_seq: 0,
-            store: HashMap::new(),
-            unacked: HashMap::new(),
-            retries: HashMap::new(),
-            seen: HashSet::new(),
+            store: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            retries: BTreeMap::new(),
+            seen: BTreeSet::new(),
             delivered: Vec::new(),
             retransmissions: 0,
             gave_up: 0,
@@ -209,7 +209,12 @@ impl<T: Clone> Protocol for BrokerNode<T> {
                 continue;
             }
             *attempts += 1;
-            let payload = self.store.get(&seq).expect("stored until acked").clone();
+            let Some(payload) = self.store.get(&seq).cloned() else {
+                // Payload evicted without an ack record cleanup: treat
+                // as abandoned rather than panicking the broker node.
+                abandoned.push(seq);
+                continue;
+            };
             for &subscriber in waiting {
                 self.retransmissions += 1;
                 ctx.send(subscriber, BrokerMsg::Deliver { seq, payload: payload.clone() });

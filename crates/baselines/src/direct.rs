@@ -1,6 +1,6 @@
 //! Best-effort sender-unicasts-to-all.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use wsg_net::{Context, NodeId, Protocol};
 
@@ -23,7 +23,7 @@ pub struct DirectMsg<T> {
 pub struct DirectNode<T> {
     receivers: Vec<NodeId>,
     next_seq: u64,
-    seen: HashSet<u64>,
+    seen: BTreeSet<u64>,
     delivered: Vec<Delivery<T>>,
 }
 
@@ -33,7 +33,7 @@ impl<T: Clone> DirectNode<T> {
         DirectNode {
             receivers,
             next_seq: 0,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             delivered: Vec::new(),
         }
     }

@@ -1,6 +1,6 @@
 //! Flooding: forward every new message to every peer.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use wsg_net::{Context, NodeId, Protocol};
 
@@ -24,7 +24,7 @@ pub struct FloodMsg<T> {
 pub struct FloodNode<T> {
     peers: Vec<NodeId>,
     next_seq: u64,
-    seen: HashSet<(NodeId, u64)>,
+    seen: BTreeSet<(NodeId, u64)>,
     delivered: Vec<Delivery<T>>,
     forwards: u64,
 }
@@ -35,7 +35,7 @@ impl<T: Clone> FloodNode<T> {
         FloodNode {
             peers,
             next_seq: 0,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             delivered: Vec::new(),
             forwards: 0,
         }

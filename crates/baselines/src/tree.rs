@@ -1,6 +1,6 @@
 //! Static k-ary spanning-tree multicast.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use wsg_net::{Context, NodeId, Protocol};
 
@@ -23,7 +23,7 @@ pub struct TreeMsg<T> {
 pub struct TreeNode<T> {
     children: Vec<NodeId>,
     next_seq: u64,
-    seen: HashSet<u64>,
+    seen: BTreeSet<u64>,
     delivered: Vec<Delivery<T>>,
 }
 
@@ -40,7 +40,7 @@ impl<T: Clone> TreeNode<T> {
             .filter(|&c| c < n)
             .map(NodeId)
             .collect();
-        TreeNode { children, next_seq: 0, seen: HashSet::new(), delivered: Vec::new() }
+        TreeNode { children, next_seq: 0, seen: BTreeSet::new(), delivered: Vec::new() }
     }
 
     /// Deliveries at this node.

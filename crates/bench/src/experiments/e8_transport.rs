@@ -7,7 +7,7 @@
 //! moving serialized envelopes through the loopback TCP stack.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ws_gossip::{Role, WsGossipNode};
 use wsg_coord::GossipPolicy;
@@ -121,7 +121,7 @@ pub fn dissemination(subscribers: usize, ticks: usize, seed: u64, run_ms: u64) -
         ..NetRuntimeConfig::default()
     };
 
-    let started = Instant::now();
+    let started = crate::timing::now();
     let net = NetRuntime::spawn(nodes, seed, config);
     let finished = net.shutdown_after(Duration::from_millis(run_ms));
     let elapsed_ms = started.elapsed().as_millis() as u64;

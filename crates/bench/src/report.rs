@@ -63,7 +63,7 @@ impl Report {
         sweep::reset_counters();
         Report {
             experiment: experiment.to_string(),
-            started: Instant::now(),
+            started: timing::now(),
             tables: Vec::new(),
             emit: std::env::args().any(|a| a == "--json"),
         }

@@ -23,7 +23,6 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Cells executed since the last [`reset_counters`] — feeds the
 /// `cells`/`cells_per_sec` fields of the `--json` bench report.
@@ -114,7 +113,7 @@ where
 }
 
 fn timed<T>(run: impl FnOnce() -> T) -> T {
-    let start = Instant::now();
+    let start = crate::timing::now();
     let out = run();
     let nanos = start.elapsed().as_nanos() as u64;
     CELLS_EXECUTED.fetch_add(1, Ordering::Relaxed);

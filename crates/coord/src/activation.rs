@@ -1,6 +1,6 @@
 //! The Activation service: `CreateCoordinationContext`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsg_net::SimTime;
 use wsg_xml::Element;
@@ -22,7 +22,7 @@ pub struct ActivationService {
     registration_address: String,
     next_context: u64,
     // context id -> (context, creation time)
-    active: HashMap<String, (CoordinationContext, SimTime)>,
+    active: BTreeMap<String, (CoordinationContext, SimTime)>,
 }
 
 impl ActivationService {
@@ -35,7 +35,7 @@ impl ActivationService {
             activation_address: activation_address.into(),
             registration_address: registration_address.into(),
             next_context: 0,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         }
     }
 

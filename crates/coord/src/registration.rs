@@ -1,6 +1,6 @@
 //! The Registration service: `Register` / `RegisterResponse`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsg_xml::Element;
 
@@ -94,7 +94,7 @@ impl GossipGrant {
 #[derive(Debug, Clone, Default)]
 pub struct RegistrationService {
     // context id -> registered participant endpoints (insertion order)
-    participants: HashMap<String, Vec<String>>,
+    participants: BTreeMap<String, Vec<String>>,
 }
 
 impl RegistrationService {

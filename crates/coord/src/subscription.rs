@@ -1,7 +1,7 @@
 //! Subscription management — the list the Coordinator role "manages"
 //! (paper §3, Figure 1: consumers `subscribe` before dissemination).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsg_xml::Element;
 
@@ -20,7 +20,7 @@ use crate::WSGOSSIP_NS;
 #[derive(Debug, Clone, Default)]
 pub struct SubscriptionList {
     // topic -> (endpoint -> expiry in virtual millis, u64::MAX = unbounded)
-    topics: HashMap<String, HashMap<String, u64>>,
+    topics: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl SubscriptionList {

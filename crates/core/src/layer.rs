@@ -17,7 +17,7 @@
 //!   call to the context's Registration service; messages queue until the
 //!   `RegisterResponse` grant arrives.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use wsg_coord::{CoordinationContext, GossipGrant, RegistrationService, WSCOOR_NS, WSGOSSIP_NS};
@@ -48,12 +48,12 @@ pub struct GossipLayerStats {
 struct LayerState {
     me: String,
     rng: Pcg32,
-    seen: HashSet<(String, u64)>,
+    seen: BTreeSet<(String, u64)>,
     seen_order: VecDeque<(String, u64)>,
     seen_cap: usize,
-    grants: HashMap<String, GossipGrant>,
-    pending: HashMap<String, Vec<Envelope>>,
-    registering: HashSet<String>,
+    grants: BTreeMap<String, GossipGrant>,
+    pending: BTreeMap<String, Vec<Envelope>>,
+    registering: BTreeSet<String>,
     stats: GossipLayerStats,
 }
 
@@ -105,12 +105,12 @@ impl GossipLayerHandle {
             state: Arc::new(Mutex::new(LayerState {
                 me: me.into(),
                 rng: Pcg32::new(seed, 0x60551),
-                seen: HashSet::new(),
+                seen: BTreeSet::new(),
                 seen_order: VecDeque::new(),
                 seen_cap: usize::MAX,
-                grants: HashMap::new(),
-                pending: HashMap::new(),
-                registering: HashSet::new(),
+                grants: BTreeMap::new(),
+                pending: BTreeMap::new(),
+                registering: BTreeSet::new(),
                 stats: GossipLayerStats::default(),
             })),
         }

@@ -1,6 +1,6 @@
 //! The WS-Gossip node: one service endpoint with its middleware stack.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsg_gossip::FifoBuffer;
 
@@ -98,7 +98,7 @@ struct CoordinatorState {
     registration: RegistrationService,
     subscriptions: SubscriptionList,
     // context id -> topic
-    topics: HashMap<String, String>,
+    topics: BTreeMap<String, String>,
     policy: Option<GossipPolicy>,
     protocol: GossipProtocol,
     // Peer coordinators (distributed coordinator mode, paper §3).
@@ -121,7 +121,7 @@ struct SelfDrive {
 #[derive(Debug, Default)]
 struct InitiatorState {
     // topic -> active context
-    contexts: HashMap<String, CoordinationContext>,
+    contexts: BTreeMap<String, CoordinationContext>,
     // topics with an activation in flight
     activating: Vec<String>,
     // notifications queued until their topic's context is ready
@@ -175,7 +175,7 @@ impl WsGossipNode {
                 ),
                 registration: RegistrationService::new(),
                 subscriptions: SubscriptionList::new(),
-                topics: HashMap::new(),
+                topics: BTreeMap::new(),
                 policy: None,
                 protocol: GossipProtocol::Push,
                 peers: Vec::new(),
@@ -302,7 +302,7 @@ impl WsGossipNode {
 
     /// Deliveries deduplicated by (origin, seq).
     pub fn distinct_ops(&self) -> Vec<&DeliveredOp> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.ops
             .iter()
             .filter(|op| seen.insert((op.origin.clone(), op.seq)))

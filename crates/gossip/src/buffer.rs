@@ -1,6 +1,6 @@
 //! Message identity, buffering and digests for pull/anti-entropy styles.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use wsg_net::NodeId;
 
@@ -139,9 +139,9 @@ impl Digest {
 #[derive(Debug, Clone)]
 pub struct MessageBuffer<T> {
     capacity: usize,
-    payloads: HashMap<MsgId, (u32, T)>,
+    payloads: BTreeMap<MsgId, (u32, T)>,
     order: VecDeque<MsgId>,
-    seen: HashSet<MsgId>,
+    seen: BTreeSet<MsgId>,
     digest: Digest,
 }
 
@@ -155,9 +155,9 @@ impl<T: Clone> MessageBuffer<T> {
         assert!(capacity > 0, "buffer capacity must be positive");
         MessageBuffer {
             capacity,
-            payloads: HashMap::new(),
+            payloads: BTreeMap::new(),
             order: VecDeque::new(),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             digest: Digest::new(),
         }
     }

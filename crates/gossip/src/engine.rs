@@ -1,6 +1,6 @@
 //! The gossip protocol state machine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use wsg_net::{Context, NodeId, Protocol, RngExt, SimDuration, SimTime, TimerTag};
 
@@ -172,10 +172,10 @@ pub struct GossipEngine<T> {
     next_seq: u64,
     // Lazy push: ids requested but not yet received — known advertisers
     // plus how many retry attempts have been spent.
-    pending: HashMap<MsgId, (Vec<NodeId>, u32)>,
+    pending: BTreeMap<MsgId, (Vec<NodeId>, u32)>,
     // Infect-forever: per-message re-forwarding schedule —
     // (remaining forwards, hop count to stamp on the next copies).
-    forever_schedule: HashMap<MsgId, (u32, u32)>,
+    forever_schedule: BTreeMap<MsgId, (u32, u32)>,
     forever_armed: bool,
     retry_armed: bool,
     stats: EngineStats,
@@ -193,8 +193,8 @@ impl<T: Clone> GossipEngine<T> {
             buffer,
             delivered: Vec::new(),
             next_seq: 0,
-            pending: HashMap::new(),
-            forever_schedule: HashMap::new(),
+            pending: BTreeMap::new(),
+            forever_schedule: BTreeMap::new(),
             forever_armed: false,
             retry_armed: false,
             stats: EngineStats::default(),
@@ -448,7 +448,7 @@ impl<T: Clone> Protocol for GossipEngine<T> {
             // Re-request every still-missing payload, cycling through the
             // known advertisers, with a bounded attempt budget per id.
             const MAX_RETRIES: u32 = 8;
-            let mut requests: HashMap<NodeId, Vec<MsgId>> = HashMap::new();
+            let mut requests: BTreeMap<NodeId, Vec<MsgId>> = BTreeMap::new();
             self.pending.retain(|id, (advertisers, attempts)| {
                 *attempts += 1;
                 if *attempts > MAX_RETRIES || advertisers.is_empty() {
@@ -659,7 +659,7 @@ mod tests {
         publish(&mut net, NodeId(9), 300);
         net.run_to_quiescence();
         for i in 0..n {
-            let values: std::collections::HashSet<u64> =
+            let values: std::collections::BTreeSet<u64> =
                 net.node(NodeId(i)).delivered().iter().map(|d| d.payload).collect();
             assert_eq!(values.len(), 3, "node {i} got {values:?}");
         }

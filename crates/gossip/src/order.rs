@@ -6,7 +6,7 @@
 //! origin must not be observed before tick 6. [`FifoBuffer`] provides the
 //! standard solution — hold out-of-order messages until the gap fills.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use wsg_net::NodeId;
 
@@ -28,15 +28,15 @@ use crate::buffer::MsgId;
 #[derive(Debug, Clone, Default)]
 pub struct FifoBuffer<T> {
     // origin -> next expected seq
-    next: HashMap<NodeId, u64>,
+    next: BTreeMap<NodeId, u64>,
     // origin -> held out-of-order messages
-    held: HashMap<NodeId, BTreeMap<u64, T>>,
+    held: BTreeMap<NodeId, BTreeMap<u64, T>>,
 }
 
 impl<T> FifoBuffer<T> {
     /// An empty buffer (every origin starts at seq 0).
     pub fn new() -> Self {
-        FifoBuffer { next: HashMap::new(), held: HashMap::new() }
+        FifoBuffer { next: BTreeMap::new(), held: BTreeMap::new() }
     }
 
     /// Offer a message; returns everything now releasable in order.

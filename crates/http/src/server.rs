@@ -156,11 +156,12 @@ impl SoapHttpServer {
             let config = config.clone();
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
+            // On spawn failure the early return drops the channel ends,
+            // so already-started workers observe the disconnect and exit.
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("wsg-http-worker-{i}"))
-                    .spawn(move || worker_loop(rx, tx, service, config, stop, counters))
-                    .expect("spawn http worker"),
+                    .spawn(move || worker_loop(rx, tx, service, config, stop, counters))?,
             );
         }
 
@@ -168,8 +169,7 @@ impl SoapHttpServer {
         let accept_config = config.clone();
         let accept_handle = std::thread::Builder::new()
             .name("wsg-http-accept".into())
-            .spawn(move || accept_loop(listener, conn_tx, accept_config, accept_stop))
-            .expect("spawn http acceptor");
+            .spawn(move || accept_loop(listener, conn_tx, accept_config, accept_stop))?;
 
         Ok(SoapHttpServer {
             local_addr,

@@ -1,0 +1,108 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p wsg_lint                # lint the enclosing workspace
+//! cargo run -p wsg_lint -- --deny-all  # CI mode: stale allows also fail
+//! cargo run -p wsg_lint -- --list      # print the rule catalogue
+//! cargo run -p wsg_lint -- --root DIR  # lint an explicit tree
+//! ```
+//!
+//! Exit code 0 when clean, 1 on any diagnostic (or, with `--deny-all`,
+//! on stale allow comments), 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut deny_all = false;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--quiet" | "-q" => quiet = true,
+            "--list" => {
+                for rule in wsg_lint::rules::RULES {
+                    println!("{:3} {:17} {}", rule.id, rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("wsg_lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "wsg_lint — workspace invariants as machine-checkable lint rules\n\n\
+                     usage: wsg_lint [--root DIR] [--deny-all] [--quiet] [--list]\n\n\
+                     Suppress a finding with `// wsg_lint: allow(<rule>)` on (or above)\n\
+                     the offending line; run --list for the rule catalogue."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("wsg_lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(err) => {
+                    eprintln!("wsg_lint: cannot read current directory: {err}");
+                    return ExitCode::from(2);
+                }
+            };
+            match wsg_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("wsg_lint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match wsg_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("wsg_lint: walking {} failed: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    for stale in &report.stale_allows {
+        println!(
+            "{}:{}: stale `wsg_lint: allow({})` — it suppresses nothing; remove it",
+            stale.file, stale.line, stale.rules
+        );
+    }
+
+    let failed = !report.is_clean() || (deny_all && !report.stale_allows.is_empty());
+    if !quiet {
+        eprintln!(
+            "wsg_lint: {} source files, {} manifests; {} violation(s), {} stale allow(s){}",
+            report.sources,
+            report.manifests,
+            report.diagnostics.len(),
+            report.stale_allows.len(),
+            if failed { " — FAIL" } else { " — clean" }
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

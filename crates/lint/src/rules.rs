@@ -1,0 +1,777 @@
+//! The lint rule catalogue and the token-stream rule engine.
+//!
+//! Every rule protects a project invariant (see DESIGN.md "Static
+//! analysis"):
+//!
+//! * **D1 `hash-collections`** — no `HashMap`/`HashSet` in protocol and
+//!   simulation crates. Their iteration order is nondeterministic, which
+//!   breaks the bit-identical-trace guarantee.
+//! * **D2 `wall-clock`** — no `Instant::now`/`SystemTime`/`UNIX_EPOCH`
+//!   outside `wsg_bench::timing` and `wsg_http`. Simulated protocols run
+//!   on virtual `SimTime`; a wall-clock read makes a run a function of
+//!   the host.
+//! * **D3 `ambient-rng`** — no ambient randomness (`thread_rng`,
+//!   `OsRng`, `rand::`, `RandomState`, …). All randomness flows through
+//!   `wsg_net::rng` so a run is a pure function of its seed.
+//! * **P1 `panic-path`** — no `.unwrap()`/`.expect()`/`panic!`-family
+//!   macros in the HTTP server/client/parser hot paths or inside
+//!   `Protocol`/`Handler` trait impls. A panicking worker thread takes
+//!   down a node silently; handlers must return faults instead.
+//! * **H1 `registry-deps`** — every `Cargo.toml` dependency must be a
+//!   `path`/`workspace` dependency (see `manifest`). Enforced over
+//!   manifests, listed here for the catalogue.
+//! * **M1 `allow-grammar`** — meta rule: malformed `wsg_lint:` comments
+//!   or allows naming unknown rules are themselves diagnostics, so a
+//!   typo cannot silently disable a rule.
+//!
+//! Rules run on the [`crate::lexer`] token stream, never on raw text, so
+//! occurrences inside strings, raw strings, char literals and comments
+//! cannot fire. Code under `#[cfg(test)]` / `#[test]` is exempt: tests
+//! may use wall-clock timeouts and hash sets freely.
+//!
+//! ## Allow-listing
+//!
+//! `// wsg_lint: allow(<rule>[, <rule>...])` suppresses the named rules
+//! (by name `hash-collections` or id `D1`; `all` matches every rule) on
+//! the comment's own line when it trails code, or on the next line of
+//! code when it stands alone. Unused allows are reported and fail the
+//! build under `--deny-all`, so suppressions cannot outlive the code
+//! they justify.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lint rule's identity, as shown in diagnostics and the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Short id (`D1`).
+    pub id: &'static str,
+    /// Kebab-case name used in allow comments (`hash-collections`).
+    pub name: &'static str,
+    /// One-line summary for `--list`.
+    pub summary: &'static str,
+}
+
+/// The full rule catalogue.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D1",
+        name: "hash-collections",
+        summary: "no HashMap/HashSet in protocol/sim crates (nondeterministic iteration)",
+    },
+    Rule {
+        id: "D2",
+        name: "wall-clock",
+        summary: "no Instant::now/SystemTime outside wsg_bench::timing and wsg_http",
+    },
+    Rule {
+        id: "D3",
+        name: "ambient-rng",
+        summary: "no ambient randomness; all RNG flows through wsg_net::rng",
+    },
+    Rule {
+        id: "P1",
+        name: "panic-path",
+        summary: "no unwrap/expect/panic! in HTTP hot paths or Protocol/Handler impls",
+    },
+    Rule {
+        id: "H1",
+        name: "registry-deps",
+        summary: "Cargo.toml dependencies must be path-only (hermetic build)",
+    },
+    Rule {
+        id: "M1",
+        name: "allow-grammar",
+        summary: "wsg_lint allow comments must parse and name known rules",
+    },
+];
+
+/// Look a rule up by id or name.
+pub fn rule(id_or_name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id_or_name || r.name == id_or_name)
+}
+
+/// One finding, pointing at a workspace-relative file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static Rule,
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.file, self.line, self.rule.id, self.rule.name, self.message
+        )
+    }
+}
+
+/// An allow comment that suppressed nothing — stale suppressions are
+/// reported so they cannot outlive the violation they justified.
+#[derive(Debug, Clone)]
+pub struct StaleAllow {
+    pub file: String,
+    pub line: u32,
+    pub rules: String,
+}
+
+/// Result of linting one `.rs` source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub stale_allows: Vec<StaleAllow>,
+}
+
+struct Allow {
+    comment_line: u32,
+    covered_line: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Lint one source file. `rel_path` is the workspace-relative path with
+/// `/` separators; rule scoping keys off it.
+pub fn check_source(rel_path: &str, src: &str) -> FileReport {
+    let tokens = lex(src);
+    let code: Vec<Token<'_>> = tokens.iter().copied().filter(|t| !t.is_comment()).collect();
+
+    let mut report = FileReport::default();
+    let mut allows = collect_allows(rel_path, &tokens, &code, &mut report.diagnostics);
+    let test_ranges = test_regions(&code);
+    let impl_ranges = handler_impl_regions(&code);
+
+    let in_src = rel_path.starts_with("crates/") && rel_path.contains("/src/");
+    let d1 = in_src && in_d1_scope(rel_path);
+    let d2 = in_src && in_d2_scope(rel_path);
+    let d3 = in_src && rel_path != "crates/net/src/rng.rs";
+    let p1_file = in_src && P1_FILES.contains(&rel_path);
+
+    let in_range = |ranges: &[(usize, usize)], i: usize| {
+        ranges.iter().any(|&(lo, hi)| i >= lo && i <= hi)
+    };
+
+    let mut raw = Vec::new();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || in_range(&test_ranges, i) {
+            continue;
+        }
+        if d1 {
+            if let Some(d) = check_d1(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if d2 {
+            if let Some(d) = check_d2(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if d3 {
+            if let Some(d) = check_d3(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if p1_file || (in_src && in_range(&impl_ranges, i)) {
+            if let Some(d) = check_p1(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+    }
+
+    for diag in raw {
+        let suppressed = allows.iter_mut().any(|a| {
+            a.covered_line == diag.line
+                && a.rules.iter().any(|r| {
+                    r == "all" || r == diag.rule.id || r == diag.rule.name
+                })
+                && {
+                    a.used = true;
+                    true
+                }
+        });
+        if !suppressed {
+            report.diagnostics.push(diag);
+        }
+    }
+
+    for a in allows.into_iter().filter(|a| !a.used) {
+        report.stale_allows.push(StaleAllow {
+            file: rel_path.to_string(),
+            line: a.comment_line,
+            rules: a.rules.join(", "),
+        });
+    }
+
+    report
+}
+
+// ---------------------------------------------------------------- scopes
+
+/// Crates whose state must iterate deterministically: everything that
+/// feeds the simulated protocol traces.
+const D1_SCOPE_DIRS: &[&str] = &[
+    "crates/core/src/",
+    "crates/gossip/src/",
+    "crates/coord/src/",
+    "crates/membership/src/",
+    "crates/baselines/src/",
+];
+
+/// Simulation-side files of `wsg_net` (the rest of the crate hosts the
+/// real-time thread runtime, which D1 does not constrain).
+const D1_SCOPE_FILES: &[&str] = &["crates/net/src/sim.rs", "crates/net/src/faults.rs"];
+
+fn in_d1_scope(path: &str) -> bool {
+    D1_SCOPE_DIRS.iter().any(|d| path.starts_with(d)) || D1_SCOPE_FILES.contains(&path)
+}
+
+fn in_d2_scope(path: &str) -> bool {
+    // wsg_bench::timing is the one sanctioned stopwatch; wsg_http runs
+    // on real sockets and so legitimately lives on the wall clock.
+    path != "crates/bench/src/timing.rs" && !path.starts_with("crates/http/src/")
+}
+
+/// HTTP hot-path files where a panic kills a worker thread or a client
+/// request without a fault envelope.
+const P1_FILES: &[&str] = &[
+    "crates/http/src/server.rs",
+    "crates/http/src/client.rs",
+    "crates/http/src/parser.rs",
+];
+
+// ---------------------------------------------------------------- rules
+
+fn seq_path_call(code: &[Token<'_>], i: usize, head: &str, tail: &str) -> bool {
+    code[i].is_ident(head)
+        && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.is_ident(tail))
+}
+
+fn check_d1(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    if tok.text == "HashMap" || tok.text == "HashSet" {
+        return Some(Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            rule: rule("D1").unwrap(),
+            message: format!(
+                "{} iterates in nondeterministic order and breaks bit-identical traces; \
+                 use BTreeMap/BTreeSet (or justify with `// wsg_lint: allow(hash-collections)`)",
+                tok.text
+            ),
+        });
+    }
+    None
+}
+
+fn check_d2(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    let hit = if seq_path_call(code, i, "Instant", "now") {
+        Some("Instant::now()")
+    } else if tok.text == "SystemTime" {
+        Some("SystemTime")
+    } else if tok.text == "UNIX_EPOCH" {
+        Some("UNIX_EPOCH")
+    } else {
+        None
+    };
+    hit.map(|what| Diagnostic {
+        file: file.to_string(),
+        line: tok.line,
+        rule: rule("D2").unwrap(),
+        message: format!(
+            "{what} reads the wall clock; simulated code must use SimTime and measurement \
+             code must go through wsg_bench::timing (or justify with \
+             `// wsg_lint: allow(wall-clock)`)"
+        ),
+    })
+}
+
+/// Identifiers that smell like ambient (non-seeded) randomness.
+const D3_IDENTS: &[&str] =
+    &["thread_rng", "ThreadRng", "OsRng", "StdRng", "from_entropy", "getrandom", "RandomState"];
+
+fn check_d3(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    let is_rand_path = tok.is_ident("rand")
+        && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'));
+    if D3_IDENTS.contains(&tok.text) || is_rand_path {
+        return Some(Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            rule: rule("D3").unwrap(),
+            message: format!(
+                "`{}` is ambient randomness; every random decision must flow through a seeded \
+                 wsg_net::rng generator so runs are pure functions of their seed",
+                tok.text
+            ),
+        });
+    }
+    None
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+fn check_p1(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    let method_call = (tok.text == "unwrap" || tok.text == "expect")
+        && i > 0
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+    let macro_call =
+        PANIC_MACROS.contains(&tok.text) && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+    if method_call || macro_call {
+        let what = if method_call {
+            format!(".{}()", tok.text)
+        } else {
+            format!("{}!", tok.text)
+        };
+        return Some(Diagnostic {
+            file: file.to_string(),
+            line: tok.line,
+            rule: rule("P1").unwrap(),
+            message: format!(
+                "{what} in a hot path or Protocol/Handler impl: a panic here kills a worker \
+                 or node silently — return an error/fault instead (or justify with \
+                 `// wsg_lint: allow(panic-path)`)"
+            ),
+        });
+    }
+    None
+}
+
+// ------------------------------------------------------------ allow parsing
+
+fn collect_allows(
+    file: &str,
+    tokens: &[Token<'_>],
+    code: &[Token<'_>],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for tok in tokens.iter().filter(|t| t.is_comment()) {
+        // A directive must START the comment (after the `//`/`/*`/doc
+        // sigils) — prose that merely mentions the grammar is ignored.
+        let content = tok.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("wsg_lint:") else { continue };
+        let rest = rest.trim_start();
+        let bad = |msg: &str, diags: &mut Vec<Diagnostic>| {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: tok.line,
+                rule: rule("M1").unwrap(),
+                message: msg.to_string(),
+            });
+        };
+        let Some(inner) = rest.strip_prefix("allow(").and_then(|r| {
+            // Take up to the matching close paren on this comment.
+            r.find(')').map(|end| &r[..end])
+        }) else {
+            bad(
+                "malformed wsg_lint comment: expected `wsg_lint: allow(<rule>[, <rule>...])`",
+                diags,
+            );
+            continue;
+        };
+        let names: Vec<String> =
+            inner.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+        if names.is_empty() {
+            bad("empty wsg_lint allow list", diags);
+            continue;
+        }
+        let mut ok = true;
+        for name in &names {
+            if name != "all" && rule(name).is_none() {
+                bad(&format!("unknown lint rule `{name}` in allow comment"), diags);
+                ok = false;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next line that carries code.
+        let trailing = code.iter().any(|t| t.line == tok.line);
+        let covered_line = if trailing {
+            tok.line
+        } else {
+            match code.iter().find(|t| t.line > tok.line) {
+                Some(next) => next.line,
+                None => tok.line,
+            }
+        };
+        allows.push(Allow { comment_line: tok.line, covered_line, rules: names, used: false });
+    }
+    allows
+}
+
+// ------------------------------------------------- region computation
+
+/// Token-index ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+/// items. Heuristic, but exact for this workspace's layout: the
+/// attribute target runs to the matching close brace of its body, or to
+/// the first top-level `;` for braceless items.
+fn test_regions(code: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if !(code[i].is_punct('#') && code[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let (attr_idents, after_attr) = read_attribute(code, i);
+        if !is_test_attribute(&attr_idents) {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = after_attr;
+        while j + 1 < code.len() && code[j].is_punct('#') && code[j + 1].is_punct('[') {
+            let (_, next) = read_attribute(code, j);
+            j = next;
+        }
+        let end = item_end(code, j);
+        regions.push((i, end));
+        i = end + 1;
+    }
+    regions
+}
+
+/// Read `#[...]` starting at `i` (pointing at `#`). Returns the idents
+/// inside and the index just past the closing `]`.
+fn read_attribute<'a>(code: &[Token<'a>], i: usize) -> (Vec<&'a str>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < code.len() {
+        let t = code[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, j + 1);
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(t.text);
+        }
+        j += 1;
+    }
+    (idents, code.len())
+}
+
+fn is_test_attribute(idents: &[&str]) -> bool {
+    match idents {
+        ["test"] => true,
+        _ => {
+            idents.contains(&"cfg")
+                && idents.contains(&"test")
+                && !idents.contains(&"not")
+        }
+    }
+}
+
+/// The index of the token ending the item starting at `start`: the
+/// matching `}` of its first top-level brace, or the first top-level `;`.
+fn item_end(code: &[Token<'_>], start: usize) -> usize {
+    let mut j = start;
+    let mut paren = 0i32;
+    while j < code.len() {
+        let t = code[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct(';') && paren == 0 {
+            return j;
+        } else if t.is_punct('{') && paren == 0 {
+            return match_brace(code, j);
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(code: &[Token<'_>], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < code.len() {
+        if code[j].is_punct('{') {
+            depth += 1;
+        } else if code[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Body token ranges of `impl <Trait> for <Type>` blocks where the trait
+/// is `Protocol` or `Handler` — the message/request handler surfaces the
+/// paper's Layer concept maps onto.
+fn handler_impl_regions(code: &[Token<'_>]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Scan the impl header up to its body `{` at angle-depth 0,
+        // remembering the last path segment before a depth-0 `for`.
+        let mut angle = 0i32;
+        let mut last_ident: Option<&str> = None;
+        let mut trait_name: Option<&str> = None;
+        let mut j = i + 1;
+        let mut body = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                // `->` in an fn type does not close a generic list.
+                if !(j > 0 && code[j - 1].is_punct('-')) {
+                    angle -= 1;
+                }
+            } else if t.is_punct('{') && angle <= 0 {
+                body = Some(j);
+                break;
+            } else if t.is_punct(';') && angle <= 0 {
+                break;
+            } else if t.kind == TokenKind::Ident {
+                if t.text == "for" && angle <= 0 && trait_name.is_none() {
+                    trait_name = last_ident;
+                } else if angle <= 0 {
+                    last_ident = Some(t.text);
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body else {
+            i = j + 1;
+            continue;
+        };
+        let close = match_brace(code, open);
+        if matches!(trait_name, Some("Protocol") | Some("Handler")) {
+            regions.push((open, close));
+        }
+        // Nested impls inside fn bodies are rare; restart after the
+        // header so inner impls (e.g. in test mods) are still seen.
+        i = open + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_at(path: &str, src: &str) -> Vec<String> {
+        check_source(path, src)
+            .diagnostics
+            .into_iter()
+            .map(|d| format!("{}:{}", d.rule.id, d.line))
+            .collect()
+    }
+
+    const COORD: &str = "crates/coord/src/fake.rs";
+
+    #[test]
+    fn d1_fires_on_hashmap_in_protocol_crate() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }\n";
+        assert_eq!(lint_at(COORD, src), vec!["D1:1", "D1:2"]);
+    }
+
+    #[test]
+    fn d1_silent_outside_scope() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_at("crates/xml/src/reader.rs", src).is_empty());
+        assert!(lint_at("crates/coord/tests/integration.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_silent_in_strings_comments_rawstrings() {
+        let src = concat!(
+            "// HashMap in a comment\n",
+            "/* HashSet in a block comment */\n",
+            "const A: &str = \"HashMap::new()\";\n",
+            "const B: &str = r#\"HashSet of \"things\"\"#;\n",
+            "const C: char = 'H';\n",
+        );
+        assert!(lint_at(COORD, src).is_empty());
+    }
+
+    #[test]
+    fn d1_silent_under_cfg_test() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::collections::HashSet;\n",
+            "    #[test]\n",
+            "    fn t() { let _ = HashSet::<u32>::new(); }\n",
+            "}\n",
+        );
+        assert!(lint_at(COORD, src).is_empty());
+    }
+
+    #[test]
+    fn d1_fires_after_cfg_test_block_ends() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests { }\n",
+            "type T = std::collections::HashMap<u8, u8>;\n",
+        );
+        assert_eq!(lint_at(COORD, src), vec!["D1:3"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f() { let _: std::collections::HashMap<u8,u8>; }\n";
+        assert_eq!(lint_at(COORD, src), vec!["D1:2"]);
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "use std::collections::HashMap; // wsg_lint: allow(hash-collections)\n";
+        let report = check_source(COORD, src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert!(report.stale_allows.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line() {
+        let src = concat!(
+            "// wsg_lint: allow(D1) — keys never iterated\n",
+            "use std::collections::HashMap;\n",
+            "use std::collections::HashSet;\n",
+        );
+        assert_eq!(lint_at(COORD, src), vec!["D1:3"]);
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// wsg_lint: allow(hash-collections)\nfn nothing_wrong() {}\n";
+        let report = check_source(COORD, src);
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.stale_allows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_m1() {
+        let src = "// wsg_lint: allow(hash-colections)\nfn f() {}\n";
+        let report = check_source(COORD, src);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule.id, "M1");
+    }
+
+    #[test]
+    fn malformed_allow_is_m1() {
+        let src = "// wsg_lint: allowing everything\nfn f() {}\n";
+        let report = check_source(COORD, src);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule.id, "M1");
+    }
+
+    #[test]
+    fn d2_fires_on_instant_now_and_systemtime() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\nfn g() -> SystemTime { todo() }\n";
+        assert_eq!(lint_at("crates/net/src/threads.rs", src), vec!["D2:1", "D2:2"]);
+    }
+
+    #[test]
+    fn d2_allows_instant_as_a_type() {
+        // Storing or adding to an Instant passed in is fine; only the
+        // `::now` read is ambient.
+        let src = "fn f(start: Instant) -> Duration { start.elapsed() }\n";
+        assert!(lint_at("crates/net/src/threads.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_exempt_in_timing_and_http() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(lint_at("crates/bench/src/timing.rs", src).is_empty());
+        assert!(lint_at("crates/http/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_fires_on_ambient_rng() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        let hits = lint_at("crates/gossip/src/engine.rs", src);
+        assert!(hits.contains(&"D3:1".to_string()), "{hits:?}");
+    }
+
+    #[test]
+    fn d3_exempt_in_rng_module() {
+        let src = "struct RandomState;\n";
+        assert!(lint_at("crates/net/src/rng.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_fires_in_http_files_outside_tests() {
+        let src = concat!(
+            "fn serve() { stream.write_all(b).unwrap(); }\n",
+            "fn fail() { panic!(\"boom\"); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { serve().unwrap(); }\n",
+            "}\n",
+        );
+        assert_eq!(lint_at("crates/http/src/server.rs", src), vec!["P1:1", "P1:2"]);
+    }
+
+    #[test]
+    fn p1_fires_inside_protocol_impls_only() {
+        let src = concat!(
+            "fn free() { x.unwrap(); }\n", // not in an impl: no diagnostic
+            "impl<T: Clone> Protocol for Node<T> {\n",
+            "    fn on_message(&mut self) { self.x.unwrap(); }\n",
+            "}\n",
+            "impl Handler for H {\n",
+            "    fn handle(&mut self) { unreachable!() }\n",
+            "}\n",
+            "impl Node<u8> {\n",
+            "    fn inherent(&self) { y.expect(\"fine here\"); }\n",
+            "}\n",
+        );
+        assert_eq!(lint_at("crates/gossip/src/engine.rs", src), vec!["P1:3", "P1:6"]);
+    }
+
+    #[test]
+    fn p1_ignores_unwrap_or_variants() {
+        let src = "impl Protocol for N { fn f(&self) { x.unwrap_or(0); y.unwrap_or_default(); } }\n";
+        assert!(lint_at("crates/gossip/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_impls_inside_test_mods_are_exempt() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    impl Protocol for Fake { fn f(&self) { x.unwrap(); } }\n",
+            "}\n",
+        );
+        assert!(lint_at("crates/gossip/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn debug_impl_is_not_a_handler() {
+        let src = "impl std::fmt::Debug for Chain { fn fmt(&self) { x.unwrap(); } }\n";
+        assert!(lint_at("crates/gossip/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_lookup_by_id_and_name() {
+        assert_eq!(rule("D1").unwrap().name, "hash-collections");
+        assert_eq!(rule("wall-clock").unwrap().id, "D2");
+        assert!(rule("nope").is_none());
+    }
+}

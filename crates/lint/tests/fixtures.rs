@@ -1,0 +1,151 @@
+//! End-to-end tests over the on-disk fixture trees in
+//! `tests/fixtures/{bad,clean}`: exact `(rule, file, line)` hits through
+//! the library, and exit codes + diagnostics through the built binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(tree: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(tree)
+}
+
+#[test]
+fn bad_tree_yields_exactly_the_planted_violations() {
+    let report = wsg_lint::lint_workspace(&fixture("bad")).expect("walk bad fixture tree");
+    let got: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{}", d.rule.id, d.file, d.line))
+        .collect();
+    let want = [
+        // H1: version string, inline version, git, version sub-table, patch.
+        "H1:Cargo.toml:8",
+        "H1:Cargo.toml:9",
+        "H1:Cargo.toml:13",
+        "H1:Cargo.toml:15",
+        "H1:Cargo.toml:18",
+        // D1: use, field, and un-allowed alias — NOT the occurrences in
+        // comments/strings/raw strings, the allow-listed line, or tests.
+        "D1:crates/coord/src/lib.rs:4",
+        "D1:crates/coord/src/lib.rs:7",
+        "D1:crates/coord/src/lib.rs:20",
+        // D3: `rand::` path and `thread_rng` both fire on line 6.
+        "D3:crates/gossip/src/engine.rs:6",
+        "D3:crates/gossip/src/engine.rs:6",
+        "D3:crates/gossip/src/engine.rs:7",
+        // P1 inside Protocol/Handler impls; the free fn on line 12 is exempt.
+        "P1:crates/gossip/src/engine.rs:19",
+        "P1:crates/gossip/src/engine.rs:20",
+        "P1:crates/gossip/src/engine.rs:26",
+        // P1 by file scope in the HTTP hot path; line 11 is allow-listed.
+        "P1:crates/http/src/server.rs:5",
+        "P1:crates/http/src/server.rs:6",
+        // D2: SystemTime in the use, SystemTime::now, Instant::now — but
+        // not the `Instant` parameter type on line 12.
+        "D2:crates/net/src/clock.rs:3",
+        "D2:crates/net/src/clock.rs:7",
+        "D2:crates/net/src/clock.rs:8",
+        // M1: allow naming an unknown rule.
+        "M1:crates/net/src/clock.rs:16",
+    ];
+    assert_eq!(got, want, "diagnostics drifted from the planted fixture violations");
+
+    let stale: Vec<String> =
+        report.stale_allows.iter().map(|s| format!("{}:{}:{}", s.file, s.line, s.rules)).collect();
+    assert_eq!(stale, ["crates/coord/src/lib.rs:22:wall-clock"]);
+}
+
+#[test]
+fn every_rule_fires_at_least_once_on_the_bad_tree() {
+    let report = wsg_lint::lint_workspace(&fixture("bad")).expect("walk bad fixture tree");
+    for id in ["D1", "D2", "D3", "P1", "H1", "M1"] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule.id == id),
+            "rule {id} has no fixture coverage"
+        );
+    }
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let report = wsg_lint::lint_workspace(&fixture("clean")).expect("walk clean fixture tree");
+    let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(msgs.is_empty(), "clean fixture tree produced diagnostics:\n{}", msgs.join("\n"));
+    assert!(report.stale_allows.is_empty());
+    assert_eq!((report.sources, report.manifests), (2, 1));
+}
+
+// ------------------------------------------------------------- binary
+
+fn run_lint(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_wsg_lint"))
+        .args(args)
+        .output()
+        .expect("spawn wsg_lint binary");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn binary_exits_nonzero_with_file_line_diagnostics_on_bad_tree() {
+    let bad = fixture("bad");
+    let (code, stdout, stderr) = run_lint(&["--root", bad.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    // One representative file:line diagnostic per rule.
+    for needle in [
+        "crates/coord/src/lib.rs:4: D1 [hash-collections]",
+        "crates/net/src/clock.rs:8: D2 [wall-clock]",
+        "crates/gossip/src/engine.rs:7: D3 [ambient-rng]",
+        "crates/http/src/server.rs:5: P1 [panic-path]",
+        "Cargo.toml:8: H1 [registry-deps]",
+        "crates/net/src/clock.rs:16: M1 [allow-grammar]",
+        "stale `wsg_lint: allow(wall-clock)`",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    assert!(stderr.contains("FAIL"), "{stderr}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree_even_with_deny_all() {
+    let clean = fixture("clean");
+    let (code, stdout, stderr) = run_lint(&["--root", clean.to_str().unwrap(), "--deny-all"]);
+    assert_eq!(code, Some(0), "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stderr.contains("clean"), "{stderr}");
+}
+
+#[test]
+fn deny_all_turns_stale_allows_into_failure() {
+    // A tree whose only problem is a stale allow: passes by default,
+    // fails under --deny-all.
+    let dir = std::env::temp_dir().join(format!("wsg_lint_stale_{}", std::process::id()));
+    let src_dir = dir.join("crates/coord/src");
+    std::fs::create_dir_all(&src_dir).expect("mk temp tree");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "// wsg_lint: allow(hash-collections)\npub fn fine() {}\n",
+    )
+    .expect("write stale-allow source");
+
+    let root = dir.to_str().unwrap();
+    let (code, stdout, _) = run_lint(&["--root", root]);
+    assert_eq!(code, Some(0), "stale allow alone must not fail by default:\n{stdout}");
+    assert!(stdout.contains("stale"), "{stdout}");
+
+    let (code, stdout, stderr) = run_lint(&["--root", root, "--deny-all"]);
+    assert_eq!(code, Some(1), "--deny-all must fail on stale allows:\n{stdout}\n{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn list_prints_the_rule_catalogue() {
+    let (code, stdout, _) = run_lint(&["--list"]);
+    assert_eq!(code, Some(0));
+    for rule in wsg_lint::rules::RULES {
+        assert!(stdout.contains(rule.id) && stdout.contains(rule.name), "{stdout}");
+    }
+}

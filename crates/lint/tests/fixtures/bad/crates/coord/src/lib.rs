@@ -1,0 +1,31 @@
+//! D1 fixture: protocol-crate scope, every way a hash collection can
+//! appear — plus the occurrences that must NOT fire.
+
+use std::collections::HashMap; // line 4: fires
+
+pub struct State {
+    pub members: HashMap<String, u64>, // line 7: fires
+}
+
+// The same tokens inside literals and comments are invisible to rules:
+// HashMap::new() in a line comment
+/* HashSet::with_hasher in a block comment */
+pub const DOC: &str = "HashMap inside a plain string";
+pub const RAW: &str = r#"HashSet inside a raw string with "quotes""#;
+pub const CH: char = 'H';
+
+// wsg_lint: allow(hash-collections) — bounded scratch set, order never escapes
+pub type Scratch = std::collections::HashSet<u64>; // line 18: suppressed
+
+pub type Leak = std::collections::HashSet<u64>; // line 20: fires (no allow)
+
+// wsg_lint: allow(wall-clock) — stale: the next line reads no clock
+pub const N: u32 = 1; // the allow above suppresses nothing → reported stale
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::collections::HashSet::<u8>::new(); // exempt
+    }
+}

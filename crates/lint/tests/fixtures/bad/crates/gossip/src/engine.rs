@@ -1,0 +1,34 @@
+//! D3 + P1 fixture: ambient randomness, and panics inside a Protocol
+//! handler impl (vs. a free function, which P1 ignores outside the HTTP
+//! hot-path files).
+
+pub fn seed_peers() {
+    let mut rng = rand::thread_rng(); // line 6: fires twice (rand:: path + thread_rng)
+    let _state = RandomState::new(); // line 7: fires (RandomState)
+    let _ = rng;
+}
+
+pub fn free_function_can_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // no P1: not a handler impl, not an HTTP hot-path file
+}
+
+pub struct Node;
+
+impl Protocol for Node {
+    fn on_message(&mut self, payload: Option<u8>) {
+        let _ = payload.unwrap(); // line 19: fires (P1)
+        panic!("boom"); // line 20: fires (P1)
+    }
+}
+
+impl Handler for Node {
+    fn handle(&mut self) {
+        unreachable!() // line 26: fires (P1)
+    }
+}
+
+impl Node {
+    pub fn inherent(&self, x: Option<u8>) -> u8 {
+        x.expect("inherent impls are not handler surfaces") // no P1
+    }
+}

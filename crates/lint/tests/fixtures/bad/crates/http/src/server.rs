@@ -1,0 +1,22 @@
+//! P1 fixture: the HTTP server hot path is file-scoped — any panic
+//! surface outside test code fires.
+
+pub fn serve(stream: Option<u8>) {
+    let _s = stream.unwrap(); // line 5: fires
+    let _t = stream.expect("listening"); // line 6: fires
+}
+
+pub fn boot() {
+    // wsg_lint: allow(panic-path) — startup-only assertion, before serving begins
+    panic!("suppressed by the allow above"); // line 11: suppressed
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::serve(Some(1));
+        let v: Option<u8> = Some(2);
+        v.unwrap();
+    }
+}

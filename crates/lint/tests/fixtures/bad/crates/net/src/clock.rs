@@ -1,0 +1,17 @@
+//! D2 fixture: wall-clock reads outside the sanctioned modules.
+
+use std::time::{Duration, Instant, SystemTime};
+// line 3 fires once: the `SystemTime` identifier (plain `Instant` is a type, not a read)
+
+pub fn stamp() -> u64 {
+    let _epoch = SystemTime::now(); // line 7: fires (SystemTime)
+    let t = Instant::now(); // line 8: fires (Instant::now)
+    t.elapsed().as_micros() as u64
+}
+
+pub fn ok_to_hold(start: Instant) -> Duration {
+    start.elapsed() // storing/elapsing a passed-in Instant is fine
+}
+
+// wsg_lint: allow(no-such-rule) — typo'd rule names must be loud (M1)
+pub fn noop() {}

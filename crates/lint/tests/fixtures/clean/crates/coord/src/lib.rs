@@ -1,0 +1,16 @@
+//! Clean fixture: deterministic collections, no wall clock, seeded RNG,
+//! fault-returning handlers.
+
+use std::collections::BTreeMap;
+
+pub struct State {
+    pub members: BTreeMap<String, u64>,
+}
+
+pub struct Node;
+
+impl Protocol for Node {
+    fn on_message(&mut self, payload: Option<u8>) -> Result<u8, &'static str> {
+        payload.ok_or("empty payload propagates as a fault")
+    }
+}

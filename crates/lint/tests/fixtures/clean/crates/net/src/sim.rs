@@ -1,0 +1,8 @@
+//! Clean fixture in D1 file scope (`net::sim`): ordered structures only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Sim {
+    pub inboxes: BTreeMap<u64, Vec<u8>>,
+    pub crashed: BTreeSet<u64>,
+}

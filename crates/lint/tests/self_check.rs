@@ -1,0 +1,26 @@
+//! The workspace lints itself: this is the same gate CI runs via
+//! `cargo run -p wsg_lint -- --deny-all`, as a test so a violation also
+//! fails plain `cargo test`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wsg_lint::lint_workspace(&root).expect("walk workspace");
+
+    let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(msgs.is_empty(), "workspace has lint violations:\n{}", msgs.join("\n"));
+
+    let stale: Vec<String> = report
+        .stale_allows
+        .iter()
+        .map(|s| format!("{}:{} allow({})", s.file, s.line, s.rules))
+        .collect();
+    assert!(stale.is_empty(), "workspace has stale allow comments:\n{}", stale.join("\n"));
+
+    // Sanity: the walk really covered the tree (and did not, say, start
+    // from a wrong root and scan nothing).
+    assert!(report.sources > 50, "only {} sources scanned", report.sources);
+    assert!(report.manifests > 5, "only {} manifests scanned", report.manifests);
+}

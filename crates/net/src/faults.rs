@@ -81,7 +81,7 @@ impl FaultSchedule {
     }
 
     /// All nodes that appear in a `Crash` event (the churn victim set).
-    pub fn victims(&self) -> std::collections::HashSet<NodeId> {
+    pub fn victims(&self) -> std::collections::BTreeSet<NodeId> {
         self.events
             .iter()
             .filter_map(|(_, e)| match e {

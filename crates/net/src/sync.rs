@@ -1,17 +1,206 @@
 //! Minimal std-based synchronisation primitives shared across the
-//! workspace.
+//! workspace — with a sanitizer-style lock-order deadlock detector in
+//! debug builds.
 //!
 //! The workspace builds with zero registry dependencies, so instead of
 //! `parking_lot` this module wraps [`std::sync::Mutex`] with the same
 //! ergonomic surface: `lock()` returns the guard directly. Lock poisoning
 //! is deliberately not propagated — a panic while holding one of these
 //! locks already aborts the affected test or simulation, and every
-//! guarded structure here (delivery logs, layer state) stays consistent
-//! between mutations.
+//! guarded structure here (delivery logs, layer state, the HTTP worker
+//! pool's connection queue) stays consistent between mutations.
+//!
+//! ## Lock-order tracking (debug builds only)
+//!
+//! In debug builds every [`Mutex`] carries a unique id and every
+//! acquisition is recorded in a global lock-order graph: holding `A`
+//! while acquiring `B` adds the edge `A → B`, stamped with both
+//! acquisition sites (`#[track_caller]`). If an acquisition would create
+//! a cycle — the classic two-locks-in-opposite-order deadlock — the
+//! detector panics *before blocking*, printing the current acquisition
+//! site, the held lock's site, and the previously observed conflicting
+//! order, so the report appears deterministically even when the actual
+//! interleaving would only deadlock once in a thousand runs. Acquiring a
+//! lock the same thread already holds (guaranteed self-deadlock with
+//! `std::sync::Mutex`) panics too.
+//!
+//! In release builds the tracking fields compile out entirely; the
+//! compile-time assertions at the bottom of this file pin
+//! `size_of::<Mutex<T>>()` to exactly `std::sync::Mutex<T>`'s, so the
+//! detector is zero-cost where it matters — `cargo build --release`
+//! fails if tracking ever leaks into release layout.
 
-use std::sync::MutexGuard;
+use std::ops::{Deref, DerefMut};
+
+#[cfg(debug_assertions)]
+mod order {
+    //! The global lock-order graph and per-thread held-lock stack.
+
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    type Site = &'static Location<'static>;
+
+    /// One observed ordering: while `from` was held (acquired at
+    /// `held_site`), `to` was acquired at `acq_site`.
+    #[derive(Clone, Copy)]
+    struct Edge {
+        held_site: Site,
+        acq_site: Site,
+    }
+
+    /// Adjacency: from-lock → (to-lock → first observed sites).
+    static GRAPH: StdMutex<BTreeMap<u64, BTreeMap<u64, Edge>>> = StdMutex::new(BTreeMap::new());
+
+    thread_local! {
+        /// Locks this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<(u64, Site)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Debug identity of one `Mutex` instance. Ids are never reused;
+    /// dropping the mutex purges its edges so the graph stays bounded
+    /// by the number of *live* locks.
+    #[derive(Debug)]
+    pub(super) struct Track {
+        pub(super) id: u64,
+    }
+
+    impl Track {
+        pub(super) fn fresh() -> Self {
+            static NEXT: AtomicU64 = AtomicU64::new(1);
+            Track { id: NEXT.fetch_add(1, Ordering::Relaxed) }
+        }
+    }
+
+    impl Drop for Track {
+        fn drop(&mut self) {
+            let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+            graph.remove(&self.id);
+            for targets in graph.values_mut() {
+                targets.remove(&self.id);
+            }
+        }
+    }
+
+    /// RAII token for one held lock; popping happens on guard drop, by
+    /// id, so guards may be dropped out of acquisition order.
+    pub(super) struct Held {
+        id: u64,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&(id, _)| id == self.id) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Record the intent to acquire `id` at `site`. Panics on a
+    /// same-thread re-acquisition or on a lock-order cycle; otherwise
+    /// registers the ordering edge and marks the lock held.
+    pub(super) fn acquire(id: u64, site: Site) -> Held {
+        let fatal = HELD.with(|held| {
+            let held = held.borrow();
+            if let Some(&(_, prev_site)) = held.iter().find(|&&(h, _)| h == id) {
+                return Some(format!(
+                    "wsg_net::sync::Mutex recursive lock (guaranteed self-deadlock): \
+                     Mutex#{id} acquired at {site} is already held by this thread \
+                     (acquired at {prev_site})"
+                ));
+            }
+            let &(top_id, top_site) = held.last()?;
+            let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+            if graph.get(&top_id).is_some_and(|t| t.contains_key(&id)) {
+                return None; // ordering already known good
+            }
+            if let Some(path) = path_between(&graph, id, top_id) {
+                let mut msg = format!(
+                    "wsg_net::sync::Mutex lock-order cycle (potential deadlock): \
+                     acquiring Mutex#{id} at {site} while holding Mutex#{top_id} \
+                     (acquired at {top_site}); conflicting order previously observed:"
+                );
+                for (from, to, edge) in path {
+                    msg.push_str(&format!(
+                        "\n  Mutex#{to} acquired at {} while Mutex#{from} was held \
+                         (acquired at {})",
+                        edge.acq_site, edge.held_site
+                    ));
+                }
+                return Some(msg);
+            }
+            graph
+                .entry(top_id)
+                .or_default()
+                .insert(id, Edge { held_site: top_site, acq_site: site });
+            None
+        });
+        // Panic outside the HELD/GRAPH borrows so unwinding re-enters
+        // neither.
+        if let Some(msg) = fatal {
+            panic!("{msg}");
+        }
+        HELD.with(|held| held.borrow_mut().push((id, site)));
+        Held { id }
+    }
+
+    /// A directed path `from → … → to` in the order graph, if any —
+    /// the witness that `to → from` would close a cycle.
+    fn path_between(
+        graph: &BTreeMap<u64, BTreeMap<u64, Edge>>,
+        from: u64,
+        to: u64,
+    ) -> Option<Vec<(u64, u64, Edge)>> {
+        fn dfs(
+            graph: &BTreeMap<u64, BTreeMap<u64, Edge>>,
+            at: u64,
+            to: u64,
+            seen: &mut Vec<u64>,
+            path: &mut Vec<(u64, u64, Edge)>,
+        ) -> bool {
+            let Some(targets) = graph.get(&at) else { return false };
+            for (&next, &edge) in targets {
+                if seen.contains(&next) {
+                    continue;
+                }
+                seen.push(next);
+                path.push((at, next, edge));
+                if next == to || dfs(graph, next, to, seen, path) {
+                    return true;
+                }
+                path.pop();
+            }
+            false
+        }
+        let mut path = Vec::new();
+        let mut seen = vec![from];
+        dfs(graph, from, to, &mut seen, &mut path).then_some(path)
+    }
+
+    /// Whether the ordering edge `a → b` is currently recorded
+    /// (test support).
+    #[cfg(test)]
+    pub(super) fn has_edge(a: u64, b: u64) -> bool {
+        GRAPH
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&a)
+            .is_some_and(|t| t.contains_key(&b))
+    }
+}
 
 /// A mutual-exclusion lock whose `lock()` returns the guard directly.
+///
+/// In debug builds, acquisitions feed a global lock-order graph that
+/// panics deterministically on ordering cycles and same-thread
+/// re-acquisition (see the module docs); in release builds this type is
+/// layout- and cost-identical to [`std::sync::Mutex`].
 ///
 /// ```
 /// use wsg_net::sync::Mutex;
@@ -20,24 +209,48 @@ use std::sync::MutexGuard;
 /// *counter.lock() += 1;
 /// assert_eq!(*counter.lock(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mutex<T> {
     inner: std::sync::Mutex<T>,
+    #[cfg(debug_assertions)]
+    track: order::Track,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
 }
 
 impl<T> Mutex<T> {
     /// A new lock guarding `value`.
     pub fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+            #[cfg(debug_assertions)]
+            track: order::Track::fresh(),
+        }
     }
 
     /// Acquire the lock, blocking until available.
     ///
     /// # Panics
     ///
-    /// Panics if a previous holder panicked while holding the lock.
+    /// Panics if a previous holder panicked while holding the lock. In
+    /// debug builds, also panics — *before* blocking — when this thread
+    /// already holds the lock, or when the acquisition would create a
+    /// lock-order cycle with an ordering observed anywhere else in the
+    /// process (a potential deadlock, reported with both acquisition
+    /// sites).
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("wsg_net::sync::Mutex poisoned")
+        #[cfg(debug_assertions)]
+        let held = order::acquire(self.track.id, std::panic::Location::caller());
+        MutexGuard {
+            inner: self.inner.lock().expect("wsg_net::sync::Mutex poisoned"),
+            #[cfg(debug_assertions)]
+            _held: held,
+        }
     }
 
     /// Consume the lock and return the guarded value.
@@ -50,6 +263,50 @@ impl<T> Mutex<T> {
         self.inner.get_mut().expect("wsg_net::sync::Mutex poisoned")
     }
 }
+
+/// Guard returned by [`Mutex::lock`]; releases the lock (and, in debug
+/// builds, pops the thread's held-lock stack) on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    _held: order::Held,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+// Zero-cost guarantee: in release builds the tracking fields are gone
+// and this wrapper is layout-identical to std's. Checked at compile
+// time, so `cargo build --release` itself is the regression test.
+#[cfg(not(debug_assertions))]
+const _: () = {
+    assert!(
+        std::mem::size_of::<Mutex<u64>>() == std::mem::size_of::<std::sync::Mutex<u64>>(),
+        "release Mutex must not carry lock-order tracking"
+    );
+    assert!(
+        std::mem::size_of::<MutexGuard<'static, u64>>()
+            == std::mem::size_of::<std::sync::MutexGuard<'static, u64>>(),
+        "release MutexGuard must not carry lock-order tracking"
+    );
+};
 
 #[cfg(test)]
 mod tests {
@@ -88,5 +345,104 @@ mod tests {
         let mut m = Mutex::new(5);
         *m.get_mut() = 7;
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn nested_consistent_order_is_fine() {
+        let a = Mutex::new(1);
+        let b = Mutex::new(2);
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            assert_eq!(*ga + *gb, 3);
+        }
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_fine() {
+        let a = Mutex::new(1);
+        let b = Mutex::new(2);
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // dropped before gb: stack pops by id, not LIFO
+        assert_eq!(*gb, 2);
+        drop(gb);
+        let _ = a.lock();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "lock-order cycle")]
+    fn inverted_order_panics_deterministically() {
+        let a = Mutex::new('a');
+        let b = Mutex::new('b');
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // records a → b
+        }
+        let _gb = b.lock();
+        let _ga = a.lock(); // b → a closes the cycle: panic, not deadlock
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "recursive lock")]
+    fn same_thread_reacquisition_panics() {
+        let m = Mutex::new(0);
+        let _first = m.lock();
+        let _second = m.lock();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn transitive_cycles_are_detected() {
+        let a = Arc::new(Mutex::new(0));
+        let b = Arc::new(Mutex::new(0));
+        let c = Arc::new(Mutex::new(0));
+        {
+            let _ga = a.lock();
+            let _gb = b.lock(); // a → b
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock(); // b → c
+        }
+        let (a2, c2) = (Arc::clone(&a), Arc::clone(&c));
+        let err = std::thread::spawn(move || {
+            let _gc = c2.lock();
+            let _ga = a2.lock(); // c → a closes a → b → c → a
+        })
+        .join()
+        .expect_err("cycle must panic the acquiring thread");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is the diagnostic string");
+        assert!(msg.contains("lock-order cycle"), "unexpected message: {msg}");
+        assert!(msg.contains("previously observed"), "missing witness path: {msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn dropping_a_mutex_purges_its_edges() {
+        let a = Mutex::new(0);
+        let b = Mutex::new(0);
+        let (ia, ib) = (a.track.id, b.track.id);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert!(order::has_edge(ia, ib));
+        drop(b);
+        assert!(!order::has_edge(ia, ib));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn debug_build_actually_tracks() {
+        // The inverse of the release-mode compile-time layout check:
+        // in debug the id field must be present.
+        assert!(
+            std::mem::size_of::<Mutex<u64>>() > std::mem::size_of::<std::sync::Mutex<u64>>()
+        );
     }
 }

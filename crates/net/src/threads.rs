@@ -83,6 +83,7 @@ where
     /// deterministic random stream (scheduling is still OS-dependent).
     pub fn spawn(protocols: Vec<P>, seed: u64) -> Self {
         let node_count = protocols.len();
+        // wsg_lint: allow(wall-clock) — real-time runtime: uptime anchor for Drop-time join deadline
         let start = Instant::now();
         let mut seeder = SplitMix64::new(seed);
         #[allow(clippy::type_complexity)]
@@ -169,6 +170,7 @@ where
             }
         }
         for (delay, tag) in timer_requests {
+            // wsg_lint: allow(wall-clock) — real-time runtime: protocol timers fire on the host clock by contract
             let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
             timers.push((fire_at, tag));
             timers.sort_by_key(|(at, _)| *at);
@@ -179,6 +181,7 @@ where
 
     loop {
         // Fire due timers.
+        // wsg_lint: allow(wall-clock) — real-time runtime: timer wheel compares against the host clock
         let now = Instant::now();
         while let Some(&(fire_at, tag)) = timers.first() {
             if fire_at > now {
@@ -189,6 +192,7 @@ where
         }
         let timeout = timers
             .first()
+            // wsg_lint: allow(wall-clock) — real-time runtime: recv timeout until the next host-clock deadline
             .map(|(at, _)| at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {

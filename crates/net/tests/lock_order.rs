@@ -1,0 +1,120 @@
+//! Behavioural tests for the debug lock-order deadlock detector, through
+//! the public `wsg_net::sync` API only.
+//!
+//! The classic bug: two threads acquiring two locks in opposite order.
+//! The schedule that actually deadlocks is rare; the detector's job is
+//! to report the *ordering* violation deterministically on every run,
+//! before any blocking happens. Release builds compile the tracking out
+//! (checked at compile time in `wsg_net::sync`), so these tests are
+//! debug-only.
+
+#![cfg(debug_assertions)]
+
+use std::sync::Arc;
+use wsg_net::sync::Mutex;
+
+/// The detector must name the rule and carry both acquisition sites in
+/// its panic payload.
+fn diagnostic_of(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+        err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default()
+    })
+}
+
+#[test]
+fn two_threads_opposite_order_report_a_cycle() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+
+    // Thread 1 establishes the order a → b and exits cleanly.
+    {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        })
+        .join()
+        .expect("consistent order must not panic");
+    }
+
+    // Thread 2 takes them in the opposite order. Without the detector
+    // this is a latent deadlock that a scheduler interleaving may or may
+    // not expose; with it, the acquisition of `a` while holding `b`
+    // panics deterministically.
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let err = std::thread::spawn(move || {
+        let _gb = b2.lock();
+        let _ga = a2.lock();
+    })
+    .join()
+    .expect_err("inverted order must trip the detector");
+
+    let msg = diagnostic_of(err);
+    assert!(msg.contains("lock-order cycle"), "diagnostic names the failure: {msg}");
+    assert!(msg.contains("lock_order.rs"), "diagnostic carries acquisition sites: {msg}");
+    assert!(msg.contains("previously observed"), "diagnostic shows the witness: {msg}");
+}
+
+#[test]
+fn independent_locks_never_false_positive() {
+    // Disjoint pairs taken in arbitrary per-pair orders never form a
+    // cycle; the detector must stay silent under heavy concurrency.
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let x = Mutex::new(0u8);
+                let y = Mutex::new(0u8);
+                for _ in 0..100 {
+                    let _gx = x.lock();
+                    let _gy = y.lock();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no false positives");
+    }
+}
+
+#[test]
+fn detector_reports_instead_of_deadlocking_under_contention() {
+    // Both threads run concurrently with a barrier, each holding one
+    // lock before taking the other — the textbook deadlock schedule.
+    // At least one thread must panic with the cycle report; the process
+    // must not hang. (Which thread trips depends on who registers its
+    // edge first, so only the *presence* of a report is asserted.)
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let barrier = Arc::new(std::sync::Barrier::new(2));
+
+    let t1 = {
+        let (a, b, barrier) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            barrier.wait();
+            let _gb = b.lock();
+        })
+    };
+    let t2 = {
+        let (a, b, barrier) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+        std::thread::spawn(move || {
+            let _gb = b.lock();
+            barrier.wait();
+            let _ga = a.lock();
+        })
+    };
+
+    let outcomes = [t1.join(), t2.join()];
+    let reports: Vec<String> = outcomes
+        .into_iter()
+        .filter_map(|o| o.err())
+        .map(diagnostic_of)
+        .collect();
+    // The tripped thread panics while holding the lock its peer wants,
+    // so the peer may die of poisoning as fallout — also fine: the
+    // process made progress and at least one thread carries the report.
+    assert!(
+        reports.iter().any(|m| m.contains("lock-order cycle")),
+        "the textbook deadlock schedule must produce a cycle report, got: {reports:?}"
+    );
+}
