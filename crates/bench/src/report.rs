@@ -22,9 +22,14 @@
 //!   "wall_clock_ms": 1234.5,
 //!   "cells_per_sec": 210.6,
 //!   "cell_ms": {"min": ..., "median": ..., "mean": ..., "max": ...},
+//!   "metrics": {"wsg_gossip_published_total{...}": 1, ...},  // optional
 //!   "tables": [{"name": "...", "columns": [...], "rows": [[...], ...]}]
 //! }
 //! ```
+//!
+//! The optional `metrics` key carries a [`wsg_obs::Registry`] snapshot
+//! (see [`Report::add_metrics`]): one entry per exposition sample, in the
+//! registry's deterministic render order.
 
 use crate::sweep;
 use crate::table::Table;
@@ -52,6 +57,7 @@ pub struct Report {
     experiment: String,
     started: Instant,
     tables: Vec<(String, Table)>,
+    metrics: Vec<(String, f64)>,
     emit: bool,
 }
 
@@ -65,6 +71,7 @@ impl Report {
             experiment: experiment.to_string(),
             started: timing::now(),
             tables: Vec::new(),
+            metrics: Vec::new(),
             emit: std::env::args().any(|a| a == "--json"),
         }
     }
@@ -77,6 +84,16 @@ impl Report {
     /// Record a finished table under a short snake_case name.
     pub fn add_table(&mut self, name: &str, table: &Table) {
         self.tables.push((name.to_string(), table.clone()));
+    }
+
+    /// Snapshot a [`wsg_obs::Registry`] into the report's optional
+    /// `metrics` key: one `"name{labels}": value` entry per exposition
+    /// sample, in the registry's deterministic render order. Calling it
+    /// again replaces the previous snapshot (the report records the
+    /// final state, not a time series).
+    pub fn add_metrics(&mut self, registry: &wsg_obs::Registry) {
+        self.metrics = wsg_obs::parse_exposition(&registry.render())
+            .expect("a registry always renders a parseable exposition");
     }
 
     /// Render the report as a JSON string (always possible, even when
@@ -116,6 +133,16 @@ impl Report {
             json_number(mean),
             json_number(max)
         ));
+        if !self.metrics.is_empty() {
+            out.push_str("  \"metrics\": {");
+            for (i, (key, value)) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(key), json_number(*value)));
+            }
+            out.push_str("},\n");
+        }
         out.push_str("  \"tables\": [");
         for (i, (name, table)) in self.tables.iter().enumerate() {
             if i > 0 {
@@ -437,6 +464,30 @@ mod tests {
         assert!(json.contains("\"experiment\": \"test_experiment\""));
         assert!(json.contains("\"columns\": [\"n\", \"coverage\"]"));
         assert!(json.contains("[\"128\", \"0.997\"]"));
+    }
+
+    #[test]
+    fn metrics_snapshot_lands_in_the_report() {
+        let registry = wsg_obs::Registry::new();
+        registry.register_counter("wsg_demo_total", "Demo counter.").set(3);
+        registry
+            .register_gauge_family("wsg_demo_active", "Demo gauge.", &["style"])
+            .with(&["pull"])
+            .set(-2);
+        let mut report = Report::new("metrics_test");
+        report.add_metrics(&registry);
+        let json = report.to_json();
+        validate(&json).expect("report with metrics validates");
+        assert!(json.contains("\"wsg_demo_total\": 3.000"), "{json}");
+        assert!(json.contains("\"wsg_demo_active{style=\\\"pull\\\"}\": -2.000"), "{json}");
+    }
+
+    #[test]
+    fn empty_registry_omits_the_metrics_key() {
+        let report = Report::new("metrics_test");
+        let json = report.to_json();
+        validate(&json).expect("report without metrics validates");
+        assert!(!json.contains("\"metrics\""), "{json}");
     }
 
     #[test]

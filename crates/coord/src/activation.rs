@@ -23,6 +23,19 @@ pub struct ActivationService {
     next_context: u64,
     // context id -> (context, creation time)
     active: BTreeMap<String, (CoordinationContext, SimTime)>,
+    stats: ActivationStats,
+}
+
+/// Monotone counters of Activation-service operations, exported as the
+/// `wsg_coord_contexts_*` metrics (see [`crate::obs`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivationStats {
+    /// Contexts minted by `CreateCoordinationContext`.
+    pub created: u64,
+    /// Contexts adopted from peer coordinators (first sighting only).
+    pub adopted: u64,
+    /// Contexts dropped by expiry collection.
+    pub expired: u64,
 }
 
 impl ActivationService {
@@ -36,7 +49,13 @@ impl ActivationService {
             registration_address: registration_address.into(),
             next_context: 0,
             active: BTreeMap::new(),
+            stats: ActivationStats::default(),
         }
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &ActivationStats {
+        &self.stats
     }
 
     /// The Activation endpoint address.
@@ -54,6 +73,7 @@ impl ActivationService {
     ) -> CoordinationContext {
         let identifier = format!("urn:ws-gossip:ctx:{}", self.next_context);
         self.next_context += 1;
+        self.stats.created += 1;
         let context = CoordinationContext::new(
             identifier.clone(),
             protocol,
@@ -67,9 +87,11 @@ impl ActivationService {
     /// Adopt a context replicated from a peer coordinator (distributed
     /// coordinator mode). Idempotent; keeps the earliest creation time.
     pub fn adopt(&mut self, context: CoordinationContext, created_at: SimTime) {
-        self.active
-            .entry(context.identifier().to_string())
-            .or_insert((context, created_at));
+        let key = context.identifier().to_string();
+        if !self.active.contains_key(&key) {
+            self.stats.adopted += 1;
+            self.active.insert(key, (context, created_at));
+        }
     }
 
     /// All active contexts — the replication snapshot.
@@ -96,7 +118,9 @@ impl ActivationService {
     pub fn expire(&mut self, now: SimTime) -> usize {
         let before = self.active.len();
         self.active.retain(|_, (context, created)| !context.is_expired(*created, now));
-        before - self.active.len()
+        let removed = before - self.active.len();
+        self.stats.expired += removed as u64;
+        removed
     }
 
     /// Number of active contexts.

@@ -38,6 +38,7 @@
 
 pub mod activation;
 pub mod context;
+pub mod obs;
 pub mod registration;
 pub mod subscription;
 pub mod sync;
@@ -45,11 +46,11 @@ pub mod topics;
 
 mod error;
 
-pub use activation::ActivationService;
+pub use activation::{ActivationService, ActivationStats};
 pub use context::{CoordinationContext, GossipPolicy, GossipProtocol};
 pub use error::CoordError;
-pub use registration::{GossipGrant, RegistrationService};
-pub use subscription::SubscriptionList;
+pub use registration::{GossipGrant, RegistrationService, RegistrationStats};
+pub use subscription::{SubscriptionList, SubscriptionStats};
 pub use sync::CoordinatorSync;
 pub use topics::TopicFilter;
 

@@ -1,0 +1,158 @@
+//! Metric export for the coordinator services.
+//!
+//! The services themselves stay plain deterministic structs with
+//! embedded counter structs ([`crate::activation::ActivationStats`],
+//! [`crate::registration::RegistrationStats`],
+//! [`crate::subscription::SubscriptionStats`]); this module copies a
+//! snapshot of those counters — plus state-derived gauges like the
+//! per-topic subscriber fan-out — into a [`wsg_obs::Registry`].
+//! Counters are `set` from monotone sources, so re-exporting a newer
+//! snapshot keeps the exposition monotone.
+
+use wsg_obs::Registry;
+
+use crate::activation::ActivationService;
+use crate::registration::RegistrationService;
+use crate::subscription::SubscriptionList;
+
+/// Export one coordinator's service state under the `wsg_coord_*`
+/// metric families. `now_millis` is the virtual time used to decide
+/// which subscriptions are live (the fan-out gauges).
+pub fn export(
+    registry: &Registry,
+    activation: &ActivationService,
+    registration: &RegistrationService,
+    subscriptions: &SubscriptionList,
+    now_millis: u64,
+) {
+    let a = activation.stats();
+    let counters: [(&str, &str, u64); 11] = [
+        (
+            "wsg_coord_contexts_created_total",
+            "Coordination contexts minted by CreateCoordinationContext.",
+            a.created,
+        ),
+        (
+            "wsg_coord_contexts_adopted_total",
+            "Contexts adopted from peer coordinators.",
+            a.adopted,
+        ),
+        ("wsg_coord_contexts_expired_total", "Contexts dropped by expiry.", a.expired),
+        (
+            "wsg_coord_registrations_total",
+            "First-time participant registrations.",
+            registration.stats().registered,
+        ),
+        (
+            "wsg_coord_reregistrations_total",
+            "Idempotent re-registrations.",
+            registration.stats().reregistrations,
+        ),
+        (
+            "wsg_coord_deregistrations_total",
+            "Participants removed.",
+            registration.stats().deregistered,
+        ),
+        (
+            "wsg_coord_subscribes_total",
+            "First-time subscriptions.",
+            subscriptions.stats().subscribed,
+        ),
+        (
+            "wsg_coord_subscription_renewals_total",
+            "Subscription lease renewals.",
+            subscriptions.stats().renewed,
+        ),
+        (
+            "wsg_coord_subscription_merges_total",
+            "Replicated subscriptions merged in.",
+            subscriptions.stats().merged,
+        ),
+        (
+            "wsg_coord_unsubscribes_total",
+            "Explicit unsubscribes.",
+            subscriptions.stats().unsubscribed,
+        ),
+        (
+            "wsg_coord_subscriptions_expired_total",
+            "Subscriptions dropped by expiry.",
+            subscriptions.stats().expired,
+        ),
+    ];
+    for (name, help, value) in counters {
+        registry.register_counter(name, help).set(value);
+    }
+    registry
+        .register_gauge("wsg_coord_contexts_active", "Active coordination contexts.")
+        .set(activation.active_count() as i64);
+    registry
+        .register_gauge(
+            "wsg_coord_participants",
+            "Registered participants across all contexts.",
+        )
+        .set(registration.snapshot().len() as i64);
+    let fanout = registry.register_gauge_family(
+        "wsg_coord_subscribers",
+        "Live subscribers per topic (the dissemination fan-out).",
+        &["topic"],
+    );
+    for topic in subscriptions.topics() {
+        let count = subscriptions.subscriber_count(topic, now_millis) as i64;
+        fanout.with(&[topic]).set(count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{GossipPolicy, GossipProtocol};
+    use wsg_net::SimTime;
+
+    #[test]
+    fn export_covers_all_three_services() {
+        let mut activation =
+            ActivationService::new("http://c/activation", "http://c/registration");
+        let ctx =
+            activation.create_context(GossipProtocol::Push, GossipPolicy::default(), SimTime::ZERO);
+
+        let mut registration = RegistrationService::new();
+        registration.register(ctx.identifier(), "http://n1");
+        registration.register(ctx.identifier(), "http://n1"); // re-registration
+        registration.register(ctx.identifier(), "http://n2");
+
+        let mut subscriptions = SubscriptionList::new();
+        subscriptions.subscribe("quotes", "http://n1", u64::MAX);
+        subscriptions.subscribe("quotes", "http://n2", 500);
+        subscriptions.subscribe("alerts", "http://n3", u64::MAX);
+        subscriptions.expire(1_000); // n2's lease lapses
+
+        let registry = Registry::new();
+        export(&registry, &activation, &registration, &subscriptions, 1_000);
+        let text = registry.render();
+        assert!(text.contains("wsg_coord_contexts_created_total 1\n"), "got: {text}");
+        assert!(text.contains("wsg_coord_contexts_active 1\n"));
+        assert!(text.contains("wsg_coord_registrations_total 2\n"));
+        assert!(text.contains("wsg_coord_reregistrations_total 1\n"));
+        assert!(text.contains("wsg_coord_participants 2\n"));
+        assert!(text.contains("wsg_coord_subscribes_total 3\n"));
+        assert!(text.contains("wsg_coord_subscriptions_expired_total 1\n"));
+        assert!(text.contains("wsg_coord_subscribers{topic=\"alerts\"} 1\n"));
+        assert!(text.contains("wsg_coord_subscribers{topic=\"quotes\"} 1\n"));
+    }
+
+    #[test]
+    fn reexport_is_idempotent_and_monotone() {
+        let registry = Registry::new();
+        let activation = ActivationService::new("http://c/a", "http://c/r");
+        let mut registration = RegistrationService::new();
+        let subscriptions = SubscriptionList::new();
+        registration.register("ctx", "http://n1");
+        export(&registry, &activation, &registration, &subscriptions, 0);
+        let first = registry.render();
+        registration.register("ctx", "http://n2");
+        export(&registry, &activation, &registration, &subscriptions, 0);
+        let second = registry.render();
+        assert!(first.contains("wsg_coord_registrations_total 1\n"));
+        assert!(second.contains("wsg_coord_registrations_total 2\n"));
+    }
+}

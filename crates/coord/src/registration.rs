@@ -95,6 +95,19 @@ impl GossipGrant {
 pub struct RegistrationService {
     // context id -> registered participant endpoints (insertion order)
     participants: BTreeMap<String, Vec<String>>,
+    stats: RegistrationStats,
+}
+
+/// Monotone counters of Registration-service operations, exported as
+/// the `wsg_coord_registrations_*` metrics (see [`crate::obs`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrationStats {
+    /// First-time registrations.
+    pub registered: u64,
+    /// Idempotent re-registrations of an already-known participant.
+    pub reregistrations: u64,
+    /// Participants removed.
+    pub deregistered: u64,
 }
 
 impl RegistrationService {
@@ -109,9 +122,11 @@ impl RegistrationService {
         let participant = participant.into();
         let list = self.participants.entry(context.to_string()).or_default();
         if list.contains(&participant) {
+            self.stats.reregistrations += 1;
             false
         } else {
             list.push(participant);
+            self.stats.registered += 1;
             true
         }
     }
@@ -122,10 +137,19 @@ impl RegistrationService {
             Some(list) => {
                 let before = list.len();
                 list.retain(|p| p != participant);
-                before != list.len()
+                let removed = before != list.len();
+                if removed {
+                    self.stats.deregistered += 1;
+                }
+                removed
             }
             None => false,
         }
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &RegistrationStats {
+        &self.stats
     }
 
     /// All participants of a context, in registration order.

@@ -13,7 +13,7 @@ use crate::WSGOSSIP_NS;
 /// dissemination (and computes "adequate parameter configurations" from
 /// the subscriber count) from this list.
 ///
-/// Subscription keys are WS-Topics-style [`TopicFilter`]s: an exact path
+/// Subscription keys are WS-Topics-style [`TopicFilter`](crate::TopicFilter)s: an exact path
 /// subscribes to one topic, `market/*` to every direct child, and
 /// `market/**` to the whole subtree. [`SubscriptionList::subscribers`]
 /// takes a *concrete* topic and unions every matching filter.
@@ -21,6 +21,23 @@ use crate::WSGOSSIP_NS;
 pub struct SubscriptionList {
     // topic -> (endpoint -> expiry in virtual millis, u64::MAX = unbounded)
     topics: BTreeMap<String, BTreeMap<String, u64>>,
+    stats: SubscriptionStats,
+}
+
+/// Monotone counters of subscription operations, exported as the
+/// `wsg_coord_subscri*` metrics (see [`crate::obs`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// First-time subscriptions.
+    pub subscribed: u64,
+    /// Lease renewals (re-subscribe of a live entry).
+    pub renewed: u64,
+    /// Replicated subscriptions merged in (new or lease-extending).
+    pub merged: u64,
+    /// Explicit unsubscribes that removed an entry.
+    pub unsubscribed: u64,
+    /// Subscriptions dropped by expiry collection.
+    pub expired: u64,
 }
 
 impl SubscriptionList {
@@ -38,11 +55,23 @@ impl SubscriptionList {
         endpoint: impl Into<String>,
         expires_at_millis: u64,
     ) -> bool {
-        self.topics
+        let new = self
+            .topics
             .entry(topic.to_string())
             .or_default()
             .insert(endpoint.into(), expires_at_millis)
-            .is_none()
+            .is_none();
+        if new {
+            self.stats.subscribed += 1;
+        } else {
+            self.stats.renewed += 1;
+        }
+        new
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &SubscriptionStats {
+        &self.stats
     }
 
     /// Merge a replicated subscription: keeps the *later* expiry, so
@@ -57,7 +86,7 @@ impl SubscriptionList {
     ) -> bool {
         let subs = self.topics.entry(topic.to_string()).or_default();
         let endpoint = endpoint.into();
-        match subs.get_mut(&endpoint) {
+        let changed = match subs.get_mut(&endpoint) {
             Some(current) if *current >= expires_at_millis => false,
             Some(current) => {
                 *current = expires_at_millis;
@@ -67,7 +96,11 @@ impl SubscriptionList {
                 subs.insert(endpoint, expires_at_millis);
                 true
             }
+        };
+        if changed {
+            self.stats.merged += 1;
         }
+        changed
     }
 
     /// All (topic, endpoint, expiry) entries — the replication snapshot.
@@ -86,10 +119,15 @@ impl SubscriptionList {
 
     /// Remove a subscription; `true` when something was removed.
     pub fn unsubscribe(&mut self, topic: &str, endpoint: &str) -> bool {
-        self.topics
+        let removed = self
+            .topics
             .get_mut(topic)
             .map(|subs| subs.remove(endpoint).is_some())
-            .unwrap_or(false)
+            .unwrap_or(false);
+        if removed {
+            self.stats.unsubscribed += 1;
+        }
+        removed
     }
 
     /// Active subscribers of a **concrete** topic at virtual time
@@ -132,6 +170,7 @@ impl SubscriptionList {
             removed += before - subs.len();
         }
         self.topics.retain(|_, subs| !subs.is_empty());
+        self.stats.expired += removed as u64;
         removed
     }
 

@@ -324,6 +324,80 @@ impl WsGossipNode {
         self.layer.as_ref().map(|l| l.stats())
     }
 
+    /// Export this node's counters into `registry` as `wsg_node_*` /
+    /// `wsg_layer_*` families (plus the coordinator's `wsg_coord_*`
+    /// families when this node hosts the coordination services).
+    ///
+    /// Observe-only snapshot: all sources are monotone, so re-exporting
+    /// after more progress keeps every counter monotone. Safe to call
+    /// from bench/report code without perturbing the simulation.
+    pub fn export_metrics(&self, registry: &wsg_obs::Registry, now: SimTime) {
+        let set = |name: &str, help: &str, value: u64| {
+            registry.register_counter(name, help).set(value);
+        };
+        set(
+            "wsg_node_messages_received_total",
+            "Wire messages received by the node.",
+            self.stats.messages_received,
+        );
+        set(
+            "wsg_node_parse_errors_total",
+            "Wire messages that failed to parse as SOAP.",
+            self.stats.parse_errors,
+        );
+        set(
+            "wsg_node_faults_total",
+            "Faults produced by the inbound handler chain.",
+            self.stats.faults,
+        );
+        set(
+            "wsg_node_unroutable_total",
+            "Envelopes that could not be routed to a node.",
+            self.stats.unroutable,
+        );
+        set(
+            "wsg_node_ops_delivered_total",
+            "Application notifications delivered.",
+            self.stats.ops_delivered,
+        );
+        set(
+            "wsg_node_sync_received_total",
+            "Coordinator-sync messages received.",
+            self.stats.sync_received,
+        );
+        if let Some(layer) = self.layer_stats() {
+            set(
+                "wsg_layer_intercepted_total",
+                "Outgoing notifications intercepted by the gossip layer.",
+                layer.intercepted,
+            );
+            set(
+                "wsg_layer_forwards_sent_total",
+                "Forward copies re-routed to peers by the gossip layer.",
+                layer.forwards_sent,
+            );
+            set(
+                "wsg_layer_registers_sent_total",
+                "Register calls issued for unknown gossip interactions.",
+                layer.registers_sent,
+            );
+            set(
+                "wsg_layer_duplicates_suppressed_total",
+                "Inbound copies suppressed as duplicates by the gossip layer.",
+                layer.duplicates_suppressed,
+            );
+        }
+        if let Some(coord) = &self.coord {
+            wsg_coord::obs::export(
+                registry,
+                &coord.activation,
+                &coord.registration,
+                &coord.subscriptions,
+                now.as_millis(),
+            );
+        }
+    }
+
     /// Coordinator: number of active subscribers of `topic`.
     pub fn subscriber_count(&self, topic: &str, now: SimTime) -> usize {
         self.coord
@@ -994,5 +1068,38 @@ mod tests {
         }
         assert_eq!(node.ops().len(), 3);
         assert_eq!(node.distinct_ops().len(), 1);
+    }
+
+    #[test]
+    fn export_metrics_matches_the_node_role() {
+        let coordinator = WsGossipNode::coordinator(NodeId(0));
+        let registry = wsg_obs::Registry::new();
+        coordinator.export_metrics(&registry, SimTime::ZERO);
+        let text = registry.render();
+        assert!(text.contains("wsg_node_messages_received_total 0"), "{text}");
+        assert!(text.contains("wsg_coord_contexts_created_total 0"), "{text}");
+        assert!(!text.contains("wsg_layer_"), "coordinator has no gossip layer");
+
+        let mut disseminator = WsGossipNode::disseminator(NodeId(2), NodeId(0));
+        disseminator.stats.ops_delivered = 4;
+        let registry = wsg_obs::Registry::new();
+        disseminator.export_metrics(&registry, SimTime::ZERO);
+        let text = registry.render();
+        assert!(text.contains("wsg_node_ops_delivered_total 4"), "{text}");
+        assert!(text.contains("wsg_layer_intercepted_total 0"), "{text}");
+        assert!(!text.contains("wsg_coord_"), "disseminator hosts no coordinator");
+    }
+
+    #[test]
+    fn reexporting_metrics_is_idempotent() {
+        let mut node = WsGossipNode::consumer(NodeId(1), NodeId(0));
+        let registry = wsg_obs::Registry::new();
+        node.export_metrics(&registry, SimTime::ZERO);
+        let before = registry.render();
+        node.export_metrics(&registry, SimTime::ZERO);
+        assert_eq!(before, registry.render(), "same state renders identically");
+        node.stats.messages_received = 7;
+        node.export_metrics(&registry, SimTime::ZERO);
+        assert!(registry.render().contains("wsg_node_messages_received_total 7"));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use wsg_net::{Context, NodeId, Protocol, RngExt, SimDuration, SimTime, TimerTag};
+use wsg_net::{Context, Histogram, NodeId, Protocol, RngExt, SimDuration, SimTime, TimerTag};
 
 use crate::buffer::{Digest, MessageBuffer, MsgId};
 use crate::params::{ForwardDiscipline, GossipParams, GossipStyle, DEFAULT_GOSSIP_INTERVAL};
@@ -155,6 +155,65 @@ pub struct EngineStats {
     pub pull_responses_sent: u64,
     /// Payload receipts that were duplicates of something already seen.
     pub duplicates_received: u64,
+    /// Hop counts at delivery (round stamped on each first receipt) —
+    /// the per-style latency distribution in rounds. Purely a function
+    /// of the deterministic run, so recording it cannot perturb replay.
+    pub delivery_rounds: Histogram,
+}
+
+impl EngineStats {
+    /// Merge another engine's counters into this one (for aggregating a
+    /// whole network's overhead before exporting it).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.published += other.published;
+        self.payloads_sent += other.payloads_sent;
+        self.ihave_sent += other.ihave_sent;
+        self.iwant_sent += other.iwant_sent;
+        self.pull_requests_sent += other.pull_requests_sent;
+        self.pull_responses_sent += other.pull_responses_sent;
+        self.duplicates_received += other.duplicates_received;
+        self.delivery_rounds.merge(&other.delivery_rounds);
+    }
+
+    /// Export a snapshot into `registry` under the `wsg_gossip_*`
+    /// families, labeled with the gossip `style` (use
+    /// [`GossipStyle::label`]). Counters are `set`, not added: calling
+    /// again with a newer snapshot of the same monotone source keeps
+    /// the exposition monotone.
+    pub fn export(&self, registry: &wsg_obs::Registry, style: &str) {
+        let counters: [(&str, &str, u64); 7] = [
+            ("wsg_gossip_published_total", "Messages published locally.", self.published),
+            (
+                "wsg_gossip_payloads_sent_total",
+                "Full payloads sent (eager pushes, IWant answers, pull responses).",
+                self.payloads_sent,
+            ),
+            ("wsg_gossip_ihave_sent_total", "IHave advertisements sent.", self.ihave_sent),
+            ("wsg_gossip_iwant_sent_total", "IWant requests sent.", self.iwant_sent),
+            ("wsg_gossip_pull_requests_sent_total", "Pull requests sent.", self.pull_requests_sent),
+            (
+                "wsg_gossip_pull_responses_sent_total",
+                "Non-empty pull responses sent.",
+                self.pull_responses_sent,
+            ),
+            (
+                "wsg_gossip_duplicates_received_total",
+                "Payload receipts already seen.",
+                self.duplicates_received,
+            ),
+        ];
+        for (name, help, value) in counters {
+            registry.register_counter_family(name, help, &["style"]).with(&[style]).set(value);
+        }
+        registry
+            .register_histogram_family(
+                "wsg_gossip_delivery_rounds",
+                "Hop count at first delivery, per gossip style.",
+                &["style"],
+            )
+            .with(&[style])
+            .set_snapshot(&self.delivery_rounds);
+    }
 }
 
 /// The engine: implements every [`GossipStyle`] behind one
@@ -269,6 +328,7 @@ impl<T: Clone> GossipEngine<T> {
         }
         self.pending.remove(&id);
         self.delivered.push(DeliveredMessage { id, round, at: ctx.now(), payload: payload.clone() });
+        self.stats.delivery_rounds.record(round as u64);
 
         if round >= self.config.params.rounds() {
             return true; // round budget exhausted: deliver but do not forward

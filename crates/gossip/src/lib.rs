@@ -50,6 +50,6 @@ pub mod params;
 
 pub use aggregation::{PushSum, PushSumShare};
 pub use buffer::{Digest, MessageBuffer, MsgId};
-pub use engine::{DeliveredMessage, GossipConfig, GossipEngine, GossipMessage};
+pub use engine::{DeliveredMessage, EngineStats, GossipConfig, GossipEngine, GossipMessage};
 pub use order::FifoBuffer;
 pub use params::{ForwardDiscipline, GossipParams, GossipStyle};

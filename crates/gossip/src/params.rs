@@ -99,6 +99,18 @@ impl GossipStyle {
         matches!(self, GossipStyle::EagerPush | GossipStyle::PushPull)
     }
 
+    /// Stable underscore name, used as the `style` label value in
+    /// exported metrics (`wsg_obs` exposition).
+    pub fn label(&self) -> &'static str {
+        match self {
+            GossipStyle::EagerPush => "eager_push",
+            GossipStyle::LazyPush => "lazy_push",
+            GossipStyle::Pull => "pull",
+            GossipStyle::PushPull => "push_pull",
+            GossipStyle::AntiEntropy => "anti_entropy",
+        }
+    }
+
     /// All styles, for sweeps in the benchmark harness.
     pub fn all() -> [GossipStyle; 5] {
         [

@@ -1,0 +1,230 @@
+//! Counter-semantics regression tests for [`wsg_gossip::EngineStats`].
+//!
+//! The exported `wsg_gossip_*` metrics are only trustworthy if the
+//! underlying counters obey their documented semantics:
+//!
+//! * every redundant payload receipt increments `duplicates_received`
+//!   exactly once (and first sightings never do);
+//! * a pull exchange with nothing to offer sends no response at all —
+//!   neither `pull_responses_sent` nor `payloads_sent` move;
+//! * the lazy-push retry path re-requests only while payloads are
+//!   actually missing (one `IWant` per first-sighted advertisement on a
+//!   lossless network; strictly more under loss, and only then).
+//!
+//! Most tests pin a conservation law on a lossless network: every
+//! payload put on the wire is received exactly once, and every receipt
+//! is either a first sighting (a delivery that was not the local
+//! publish) or a counted duplicate:
+//!
+//! ```text
+//! sum(payloads_sent) == sum(delivered - published) + sum(duplicates_received)
+//! ```
+
+use wsg_gossip::{
+    DeliveredMessage, EngineStats, GossipConfig, GossipEngine, GossipParams, GossipStyle, MsgId,
+};
+use wsg_net::sim::{SimConfig, SimNet};
+use wsg_net::{LatencyModel, NodeId, SimDuration, SimTime};
+
+type Net = SimNet<GossipEngine<u64>>;
+
+fn build(n: usize, config: GossipConfig, sim: SimConfig) -> Net {
+    let mut net = SimNet::new(sim);
+    net.add_nodes(n, |id| {
+        let peers = (0..n).map(NodeId).filter(|p| *p != id).collect();
+        GossipEngine::new(config.clone(), peers)
+    });
+    net.start();
+    net
+}
+
+fn publish(net: &mut Net, node: NodeId, value: u64) -> MsgId {
+    let mut out = None;
+    net.invoke(node, |engine, ctx| {
+        out = Some(engine.publish(value, ctx));
+    });
+    out.expect("publish ran")
+}
+
+fn totals(net: &Net, n: usize) -> (EngineStats, u64) {
+    let mut merged = EngineStats::default();
+    let mut delivered = 0u64;
+    for i in 0..n {
+        let engine = net.node(NodeId(i));
+        merged.merge(engine.stats());
+        delivered += engine.delivered().len() as u64;
+    }
+    (merged, delivered)
+}
+
+/// `payloads_sent == (delivered - published) + duplicates_received` on a
+/// lossless network: every wire payload is accounted as exactly one
+/// first sighting or exactly one duplicate, never both, never neither.
+fn assert_conservation(stats: &EngineStats, delivered: u64, context: &str) {
+    assert_eq!(
+        stats.payloads_sent,
+        (delivered - stats.published) + stats.duplicates_received,
+        "payload conservation violated for {context}: {stats:?}, delivered={delivered}"
+    );
+}
+
+#[test]
+fn eager_push_counts_each_duplicate_receipt_exactly_once() {
+    // Full mesh of 3, fanout 2, rounds 2: peer selection always picks
+    // "everyone else", so the traffic pattern is exact. Constant latency
+    // makes both round-1 copies the first sightings (random latency
+    // could let a round-2 forward outrun an original, changing whose
+    // budget is spent). One publish at node 0 sends 2 copies; both
+    // receivers forward to both other nodes (4 more copies). 6 payloads,
+    // 2 first remote sightings, 4 duplicates.
+    let config = GossipConfig::new(GossipStyle::EagerPush, GossipParams::new(2, 2));
+    let sim = SimConfig::default().seed(7).latency(LatencyModel::constant_millis(5));
+    let mut net = build(3, config, sim);
+    publish(&mut net, NodeId(0), 42);
+    net.run_to_quiescence();
+
+    let (stats, delivered) = totals(&net, 3);
+    assert_eq!(delivered, 3, "each node delivers the message exactly once");
+    assert_eq!(stats.published, 1);
+    assert_eq!(stats.payloads_sent, 6);
+    assert_eq!(stats.duplicates_received, 4);
+    assert_conservation(&stats, delivered, "eager push full mesh");
+}
+
+#[test]
+fn push_styles_conserve_payload_accounting_at_quiescence() {
+    for style in [GossipStyle::EagerPush, GossipStyle::LazyPush] {
+        let config = GossipConfig::new(style, GossipParams::new(3, 6));
+        let mut net = build(8, config, SimConfig::default().seed(11));
+        publish(&mut net, NodeId(0), 1);
+        publish(&mut net, NodeId(3), 2);
+        net.run_to_quiescence();
+
+        let (stats, delivered) = totals(&net, 8);
+        assert_eq!(stats.published, 2);
+        assert!(delivered > 2, "epidemic spread beyond the publishers ({style})");
+        assert_conservation(&stats, delivered, &style.to_string());
+    }
+}
+
+#[test]
+fn periodic_styles_conserve_payload_accounting_modulo_in_flight() {
+    for style in [GossipStyle::Pull, GossipStyle::PushPull, GossipStyle::AntiEntropy] {
+        let config = GossipConfig::new(style, GossipParams::new(3, 6));
+        let mut net = build(6, config, SimConfig::default().seed(13));
+        publish(&mut net, NodeId(0), 9);
+        net.run_until(SimTime::ZERO + SimDuration::from_millis(2000));
+
+        let (stats, delivered) = totals(&net, 6);
+        assert_eq!(delivered, 6, "2 s of ticks saturate 6 nodes ({style})");
+        // The periodic tick never stops, so the deadline can strand sent
+        // payloads in flight: sends may exceed accounted receipts, never
+        // the other way around.
+        assert!(
+            stats.payloads_sent >= (delivered - stats.published) + stats.duplicates_received,
+            "more receipts than sends for {style}: {stats:?}, delivered={delivered}"
+        );
+    }
+}
+
+#[test]
+fn pull_peers_with_nothing_to_offer_send_no_response() {
+    // Nothing is ever published: every digest matches, so every
+    // PullRequest must be answered with silence, not an empty response.
+    let config = GossipConfig::new(GossipStyle::Pull, GossipParams::new(2, 4));
+    let mut net = build(4, config, SimConfig::default().seed(3));
+    net.run_until(SimTime::ZERO + SimDuration::from_millis(1500));
+
+    let (stats, delivered) = totals(&net, 4);
+    assert!(stats.pull_requests_sent > 0, "ticks fired: {stats:?}");
+    assert_eq!(stats.pull_responses_sent, 0, "no content, no responses");
+    assert_eq!(stats.payloads_sent, 0);
+    assert_eq!(delivered, 0);
+
+    // Once one node has content, responses start flowing — and every
+    // response carries at least one payload.
+    publish(&mut net, NodeId(0), 5);
+    net.run_until(SimTime::ZERO + SimDuration::from_millis(3000));
+    let (stats, _) = totals(&net, 4);
+    assert!(stats.pull_responses_sent > 0);
+    assert!(stats.payloads_sent >= stats.pull_responses_sent);
+}
+
+#[test]
+fn lossless_lazy_push_sends_one_iwant_per_node_per_message() {
+    // Full mesh, fanout = n-1: every node advertises to everyone, so most
+    // nodes see several IHaves for the same id. Only the first sighting
+    // may trigger an IWant; later advertisers are merely remembered, and
+    // the retry timer finds nothing pending on a lossless network.
+    let n = 5;
+    let config = GossipConfig::new(GossipStyle::LazyPush, GossipParams::new(n - 1, 4));
+    let mut net = build(n, config, SimConfig::default().seed(21));
+    publish(&mut net, NodeId(0), 77);
+    net.run_to_quiescence();
+
+    for i in 0..n {
+        let engine = net.node(NodeId(i));
+        let expected = u64::from(i != 0); // the publisher never wants its own payload
+        assert_eq!(
+            engine.stats().iwant_sent,
+            expected,
+            "node {i} re-requested a payload that was never lost: {:?}",
+            engine.stats()
+        );
+    }
+}
+
+#[test]
+fn lazy_push_retries_fire_only_under_loss_and_recover_coverage() {
+    let params = GossipParams::new(3, 6);
+    let lossy = || SimConfig::default().seed(17).drop_probability(0.4);
+    let delivered_count = |net: &Net, n: usize| {
+        (0..n).filter(|i| !net.node(NodeId(*i)).delivered().is_empty()).count()
+    };
+
+    // Same seed, same loss pattern — the only difference is the retry
+    // fallback. Retries must issue strictly more IWants and deliver to
+    // at least as many nodes.
+    let mut with_retry = build(10, GossipConfig::new(GossipStyle::LazyPush, params.clone()), lossy());
+    publish(&mut with_retry, NodeId(0), 4);
+    with_retry.run_to_quiescence();
+
+    let mut without_retry = build(
+        10,
+        GossipConfig::new(GossipStyle::LazyPush, params).without_retry(),
+        lossy(),
+    );
+    publish(&mut without_retry, NodeId(0), 4);
+    without_retry.run_to_quiescence();
+
+    let (retry_stats, _) = totals(&with_retry, 10);
+    let (plain_stats, _) = totals(&without_retry, 10);
+    assert!(
+        retry_stats.iwant_sent > plain_stats.iwant_sent,
+        "loss must make the retry path re-request: retry={retry_stats:?} plain={plain_stats:?}"
+    );
+    assert!(delivered_count(&with_retry, 10) >= delivered_count(&without_retry, 10));
+}
+
+#[test]
+fn delivery_rounds_histogram_records_every_delivery_once() {
+    let config = GossipConfig::new(GossipStyle::EagerPush, GossipParams::new(3, 6));
+    let mut net = build(8, config, SimConfig::default().seed(5));
+    publish(&mut net, NodeId(0), 8);
+    net.run_to_quiescence();
+
+    for i in 0..8 {
+        let engine = net.node(NodeId(i));
+        let hist = &engine.stats().delivery_rounds;
+        assert_eq!(
+            hist.len(),
+            engine.delivered().len() as u64,
+            "one histogram observation per delivery at node {i}"
+        );
+        for DeliveredMessage { round, .. } in engine.delivered() {
+            assert!(u64::from(*round) <= hist.max());
+        }
+    }
+    // The publisher delivers locally at round 0.
+    assert_eq!(net.node(NodeId(0)).stats().delivery_rounds.min(), 0);
+}

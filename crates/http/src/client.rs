@@ -17,11 +17,12 @@
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use wsg_net::rng::{Pcg32, RngExt};
 use wsg_net::sync::Mutex;
+use wsg_obs::{Counter, Family, HistogramMetric, Registry};
 
 use crate::message::{Request, Response};
 use crate::parser::{Parsed, ResponseParser};
@@ -86,11 +87,56 @@ impl std::fmt::Display for PostError {
 
 impl std::error::Error for PostError {}
 
-#[derive(Debug, Default)]
-struct ClientCounters {
-    posts: AtomicU64,
-    retries: AtomicU64,
-    pool_hits: AtomicU64,
+/// Live metric handles the client updates, registered under
+/// `wsg_http_client_*` in the registry handed to
+/// [`SoapHttpClient::new_observed`] (a fresh private registry otherwise).
+#[derive(Debug)]
+struct ClientMetrics {
+    posts: Arc<Counter>,
+    post_failures: Arc<Counter>,
+    retries: Arc<Counter>,
+    pool_hits: Arc<Counter>,
+    pool_misses: Arc<Counter>,
+    backoff_micros: Arc<Counter>,
+    responses: Arc<Family<Counter>>,
+    post_micros: Arc<HistogramMetric>,
+}
+
+impl ClientMetrics {
+    fn new(registry: &Registry) -> Self {
+        ClientMetrics {
+            posts: registry.register_counter("wsg_http_client_posts_total", "Posts started."),
+            post_failures: registry.register_counter(
+                "wsg_http_client_post_failures_total",
+                "Posts abandoned after exhausting transport retries.",
+            ),
+            retries: registry.register_counter(
+                "wsg_http_client_retries_total",
+                "Transport-level retries performed (backoff sleeps taken).",
+            ),
+            pool_hits: registry.register_counter(
+                "wsg_http_client_pool_hits_total",
+                "Posts answered over a pooled keep-alive connection.",
+            ),
+            pool_misses: registry.register_counter(
+                "wsg_http_client_pool_misses_total",
+                "Posts that needed a fresh connection.",
+            ),
+            backoff_micros: registry.register_counter(
+                "wsg_http_client_backoff_micros_total",
+                "Total wall-clock time spent sleeping in retry backoff, microseconds.",
+            ),
+            responses: registry.register_counter_family(
+                "wsg_http_client_responses_total",
+                "Responses received by status class (2xx/4xx/5xx).",
+                &["class"],
+            ),
+            post_micros: registry.register_histogram(
+                "wsg_http_client_post_micros",
+                "Wall-clock time per successful post (including retries), microseconds.",
+            ),
+        }
+    }
 }
 
 /// A pooled, retrying SOAP-over-HTTP client.
@@ -98,17 +144,25 @@ pub struct SoapHttpClient {
     config: HttpClientConfig,
     pool: Mutex<HashMap<SocketAddr, Vec<TcpStream>>>,
     rng: Mutex<Pcg32>,
-    counters: ClientCounters,
+    counters: ClientMetrics,
 }
 
 impl SoapHttpClient {
-    /// A client whose backoff jitter is derived from `seed`.
+    /// A client whose backoff jitter is derived from `seed`, with a
+    /// private metric registry.
     pub fn new(seed: u64, config: HttpClientConfig) -> Self {
+        Self::new_observed(seed, config, &Registry::new())
+    }
+
+    /// Like [`SoapHttpClient::new`], but register the client's metrics
+    /// in a caller-provided registry (the node runtime shares one
+    /// registry per node between its server and client).
+    pub fn new_observed(seed: u64, config: HttpClientConfig, registry: &Registry) -> Self {
         SoapHttpClient {
             config,
             pool: Mutex::new(HashMap::new()),
             rng: Mutex::new(Pcg32::new(seed, 0x5350_4f54)),
-            counters: ClientCounters::default(),
+            counters: ClientMetrics::new(registry),
         }
     }
 
@@ -130,7 +184,8 @@ impl SoapHttpClient {
         extra_headers: &[(String, String)],
         body: &[u8],
     ) -> Result<PostOutcome, PostError> {
-        self.counters.posts.fetch_add(1, Ordering::Relaxed);
+        self.counters.posts.inc();
+        let started = Instant::now();
         let mut request = Request::post(target, body.to_vec())
             .with_header("Host", addr.to_string())
             .with_header("Content-Type", SOAP_CONTENT_TYPE);
@@ -149,26 +204,49 @@ impl SoapHttpClient {
             // whether the peer is reachable now.
             while let Some(stream) = self.take_pooled(addr) {
                 if let Ok(outcome) = self.exchange(&stream, &wire) {
-                    self.counters.pool_hits.fetch_add(1, Ordering::Relaxed);
+                    self.counters.pool_hits.inc();
                     self.maybe_pool(addr, stream, &outcome);
-                    return Ok(PostOutcome { response: outcome, attempts: attempts.max(1) });
+                    return Ok(self.finish(outcome, attempts.max(1), started));
                 }
             }
             attempts += 1;
             match self.connect_and_exchange(addr, &wire) {
                 Ok((stream, response)) => {
+                    if attempts == 1 {
+                        self.counters.pool_misses.inc();
+                    }
                     self.maybe_pool(addr, stream, &response);
-                    return Ok(PostOutcome { response, attempts });
+                    return Ok(self.finish(response, attempts, started));
                 }
                 Err(err) => {
                     if attempts > self.config.retries {
+                        self.counters.post_failures.inc();
                         return Err(PostError { attempts, last: err });
                     }
-                    self.counters.retries.fetch_add(1, Ordering::Relaxed);
-                    std::thread::sleep(self.backoff(attempts));
+                    self.counters.retries.inc();
+                    let backoff = self.backoff(attempts);
+                    self.counters
+                        .backoff_micros
+                        .add(backoff.as_micros().min(u128::from(u64::MAX)) as u64);
+                    std::thread::sleep(backoff);
                 }
             }
         }
+    }
+
+    // Record the per-post metrics a delivered exchange contributes.
+    fn finish(&self, response: Response, attempts: u32, started: Instant) -> PostOutcome {
+        let class = match response.status / 100 {
+            2 => "2xx",
+            3 => "3xx",
+            4 => "4xx",
+            _ => "5xx",
+        };
+        self.counters.responses.with(&[class]).inc();
+        self.counters
+            .post_micros
+            .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        PostOutcome { response, attempts }
     }
 
     /// Nominal exponential backoff before retry `n` (1-based), jittered
@@ -239,17 +317,22 @@ impl SoapHttpClient {
 
     /// Total posts started.
     pub fn posts(&self) -> u64 {
-        self.counters.posts.load(Ordering::Relaxed)
+        self.counters.posts.get()
     }
 
     /// Transport-level retries performed (sleeps taken).
     pub fn retries_performed(&self) -> u64 {
-        self.counters.retries.load(Ordering::Relaxed)
+        self.counters.retries.get()
     }
 
     /// Posts answered over a pooled (kept-alive) connection.
     pub fn pool_hits(&self) -> u64 {
-        self.counters.pool_hits.load(Ordering::Relaxed)
+        self.counters.pool_hits.get()
+    }
+
+    /// Posts that had to open a fresh connection.
+    pub fn pool_misses(&self) -> u64 {
+        self.counters.pool_misses.get()
     }
 
     /// Idle pooled connections for `addr` right now (test visibility).
@@ -354,6 +437,53 @@ mod tests {
         assert_eq!(outcome.attempts, 1, "stale pool entry must not count as an attempt");
         assert_eq!(client.retries_performed(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn observed_client_exports_transport_metrics() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", accept_service(), HttpServerConfig::default())
+                .unwrap();
+        let registry = Registry::new();
+        let client = SoapHttpClient::new_observed(7, HttpClientConfig::default(), &registry);
+        let xml = sample_xml();
+        client.post(server.local_addr(), "/gossip", None, &[], xml.as_bytes()).unwrap();
+        client.post(server.local_addr(), "/gossip", None, &[], xml.as_bytes()).unwrap();
+        let text = registry.render();
+        assert!(text.contains("wsg_http_client_posts_total 2\n"), "got: {text}");
+        assert!(text.contains("wsg_http_client_pool_hits_total 1\n"), "got: {text}");
+        assert!(text.contains("wsg_http_client_pool_misses_total 1\n"), "got: {text}");
+        assert!(text.contains("wsg_http_client_responses_total{class=\"2xx\"} 2\n"));
+        assert!(text.contains("wsg_http_client_post_micros_count 2\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_posts_count_retries_and_backoff_time() {
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let registry = Registry::new();
+        let config = HttpClientConfig {
+            retries: 2,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(8),
+            connect_timeout: Duration::from_millis(100),
+            ..HttpClientConfig::default()
+        };
+        let client = SoapHttpClient::new_observed(13, config, &registry);
+        assert!(client.post(addr, "/gossip", None, &[], b"<x/>").is_err());
+        let text = registry.render();
+        assert!(text.contains("wsg_http_client_post_failures_total 1\n"), "got: {text}");
+        assert!(text.contains("wsg_http_client_retries_total 2\n"), "got: {text}");
+        let samples = wsg_obs::parse_exposition(&text).unwrap();
+        let backoff = samples
+            .iter()
+            .find(|(k, _)| k == "wsg_http_client_backoff_micros_total")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(backoff > 0.0, "backoff sleeps must be accounted");
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use wsg_net::protocol::{Context, NodeId, Protocol, TimerTag};
 use wsg_net::rng::{Pcg32, Rng64, SplitMix64};
 use wsg_net::time::{SimDuration, SimTime};
+use wsg_obs::{Counter, Registry};
 use wsg_soap::{Envelope, Fault, FaultCode};
 
 use crate::client::{HttpClientConfig, PostError, PostOutcome, SoapHttpClient};
@@ -127,6 +128,7 @@ pub struct NetRuntime<P: Protocol<Message = String>> {
     node_handles: Vec<JoinHandle<P>>,
     sender_handles: Vec<JoinHandle<TransportStats>>,
     servers: Vec<Option<SoapHttpServer>>,
+    registries: Vec<Arc<Registry>>,
     external: SoapHttpClient,
 }
 
@@ -170,12 +172,17 @@ where
         let mut inbox_receivers = Vec::with_capacity(node_count);
         let mut rngs = Vec::with_capacity(node_count);
         let mut client_seeds = Vec::with_capacity(node_count);
+        let mut registries = Vec::with_capacity(node_count);
         for index in 0..node_count {
             let (tx, rx): (Sender<Inbox>, Receiver<Inbox>) = channel();
             inbox_senders.push(tx);
             inbox_receivers.push(rx);
             rngs.push(Pcg32::new(seeder.next(), index as u64));
             client_seeds.push(seeder.next());
+            // One registry per node, shared by its server, its sender
+            // thread's client, and its transport counters — `GET
+            // /metrics` on the node's socket shows all of them.
+            registries.push(Arc::new(Registry::new()));
         }
         let external = SoapHttpClient::new(seeder.next(), config.client.clone());
 
@@ -196,8 +203,13 @@ where
                 Ok(SoapReply::Accepted)
             });
             servers.push(Some(
-                SoapHttpServer::serve(listener, service, config.server.clone())
-                    .expect("start node http server"),
+                SoapHttpServer::serve_observed(
+                    listener,
+                    service,
+                    config.server.clone(),
+                    Arc::clone(&registries[index]),
+                )
+                .expect("start node http server"),
             ));
         }
 
@@ -207,12 +219,14 @@ where
         for (index, seed) in client_seeds.iter().enumerate() {
             let (out_tx, out_rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
             out_senders.push(out_tx);
-            let client = SoapHttpClient::new(*seed, config.client.clone());
+            let client =
+                SoapHttpClient::new_observed(*seed, config.client.clone(), &registries[index]);
+            let transport = TransportMetrics::new(&registries[index]);
             let addrs = addrs.clone();
             sender_handles.push(
                 std::thread::Builder::new()
                     .name(format!("wsg-net-sender-{index}"))
-                    .spawn(move || sender_loop(index, out_rx, client, addrs))
+                    .spawn(move || sender_loop(index, out_rx, client, addrs, transport))
                     .expect("spawn sender thread"),
             );
         }
@@ -233,12 +247,27 @@ where
             );
         }
 
-        NetRuntime { addrs, inbox_senders, node_handles, sender_handles, servers, external }
+        NetRuntime {
+            addrs,
+            inbox_senders,
+            node_handles,
+            sender_handles,
+            servers,
+            registries,
+            external,
+        }
     }
 
     /// The socket address node `id` serves (or would serve, if refused).
     pub fn addr_of(&self, id: NodeId) -> SocketAddr {
         self.addrs[id.0]
+    }
+
+    /// Node `id`'s metric registry — what its `GET /metrics` renders.
+    /// Refused nodes have a registry too (their sender thread still
+    /// accumulates transport counters); it just isn't scrapeable.
+    pub fn registry_of(&self, id: NodeId) -> Arc<Registry> {
+        Arc::clone(&self.registries[id.0])
     }
 
     /// Number of nodes in the deployment.
@@ -305,11 +334,44 @@ where
     }
 }
 
+/// Live `wsg_transport_*` counters mirrored into a node's registry by
+/// its sender thread, alongside the `TransportStats` it returns on join.
+struct TransportMetrics {
+    posts_ok: Arc<Counter>,
+    posts_failed: Arc<Counter>,
+    attempts: Arc<Counter>,
+    unroutable: Arc<Counter>,
+}
+
+impl TransportMetrics {
+    fn new(registry: &Registry) -> Self {
+        TransportMetrics {
+            posts_ok: registry.register_counter(
+                "wsg_transport_posts_ok_total",
+                "Gossip envelopes this node posted successfully",
+            ),
+            posts_failed: registry.register_counter(
+                "wsg_transport_posts_failed_total",
+                "Gossip envelope posts that failed after all retries",
+            ),
+            attempts: registry.register_counter(
+                "wsg_transport_attempts_total",
+                "Connection attempts made by the node's sender thread",
+            ),
+            unroutable: registry.register_counter(
+                "wsg_transport_unroutable_total",
+                "Outbound envelopes addressed to unknown node ids",
+            ),
+        }
+    }
+}
+
 fn sender_loop(
     index: usize,
     out_rx: Receiver<Outbound>,
     client: SoapHttpClient,
     addrs: Vec<SocketAddr>,
+    metrics: TransportMetrics,
 ) -> TransportStats {
     let mut stats = TransportStats::default();
     let node_header = [(NODE_HEADER.to_string(), index.to_string())];
@@ -317,6 +379,7 @@ fn sender_loop(
     while let Ok(Outbound { to, xml }) = out_rx.recv() {
         let Some(addr) = addrs.get(to.0).copied() else {
             stats.unroutable += 1;
+            metrics.unroutable.inc();
             continue;
         };
         let action = Envelope::parse(&xml).ok().and_then(|e| {
@@ -326,10 +389,14 @@ fn sender_loop(
             Ok(outcome) => {
                 stats.posts_ok += 1;
                 stats.attempts += u64::from(outcome.attempts);
+                metrics.posts_ok.inc();
+                metrics.attempts.add(u64::from(outcome.attempts));
             }
             Err(err) => {
                 stats.posts_failed += 1;
                 stats.attempts += u64::from(err.attempts);
+                metrics.posts_failed.inc();
+                metrics.attempts.add(u64::from(err.attempts));
             }
         }
     }
@@ -500,6 +567,30 @@ mod tests {
             nodes[0].transport
         );
         assert!(nodes[1].protocol.seen.is_empty());
+    }
+
+    #[test]
+    fn node_registry_collects_server_client_and_transport_families() {
+        let net = NetRuntime::spawn(
+            vec![Ponger { seen: Vec::new() }, Ponger { seen: Vec::new() }],
+            42,
+            quick_config(),
+        );
+        net.send_local(NodeId(1), NodeId(0), envelope_xml("ping", "urn:test:Ping"));
+        let sender_side = net.registry_of(NodeId(0));
+        let receiver_side = net.registry_of(NodeId(1));
+        let nodes = net.shutdown_after(Duration::from_millis(700));
+        assert_eq!(nodes[0].transport.posts_ok, 1);
+        // The ping was injected locally, so the only HTTP traffic is the
+        // pong: node 0's registry shows its client and transport counters,
+        // node 1's shows the server that answered the post.
+        let sent = sender_side.render();
+        assert!(sent.contains("wsg_http_client_posts_total 1"), "{sent}");
+        assert!(sent.contains("wsg_transport_posts_ok_total 1"), "{sent}");
+        assert!(sent.contains("wsg_transport_posts_failed_total 0"), "{sent}");
+        let received = receiver_side.render();
+        assert!(received.contains("wsg_http_server_requests_total 1"), "{received}");
+        assert!(received.contains("wsg_http_server_responses_total{class=\"2xx\"} 1"), "{received}");
     }
 
     #[test]

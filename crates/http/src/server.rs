@@ -17,18 +17,21 @@
 //! | `Ok(SoapReply::Envelope(_))` | `200 OK`, response envelope          |
 //! | `Err(Fault)`                 | `500`, fault envelope in the body    |
 //! | body is not an envelope      | `400`, `Sender` fault envelope       |
-//! | method is not POST           | `405 Method Not Allowed`             |
+//! | `GET /metrics`               | `200`, metric registry exposition    |
+//! | `GET` anything else          | `404 Not Found`                      |
+//! | other method                 | `405`, `Allow` from the route table  |
 //! | unparseable HTTP             | `400 Bad Request`, connection closed |
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use wsg_net::sync::Mutex;
+use wsg_obs::{Counter, Family, HistogramMetric, Registry};
 use wsg_soap::handler::Direction;
 use wsg_soap::{Envelope, Fault, FaultCode, HandlerChain, MessageHeaders};
 
@@ -95,12 +98,82 @@ pub enum SoapReply {
 /// The application hook: turns a decoded request into a reply or a fault.
 pub type Service = Arc<dyn Fn(SoapRequest) -> Result<SoapReply, Fault> + Send + Sync>;
 
-/// Counters the server keeps while running (all monotonic).
-#[derive(Debug, Default)]
-struct ServerCounters {
-    requests: AtomicU64,
-    faults: AtomicU64,
-    parse_errors: AtomicU64,
+/// Paths servable with `GET` (read-only observability routes). The 405
+/// `Allow` header is derived from this table plus the SOAP `POST` route,
+/// so it can never drift out of sync with what the server actually
+/// accepts.
+const GET_ROUTES: &[&str] = &["/metrics"];
+
+/// The `Allow` header value matching the live route table.
+fn allowed_methods() -> String {
+    let mut methods = vec!["POST"];
+    if !GET_ROUTES.is_empty() {
+        methods.push("GET");
+    }
+    methods.sort_unstable();
+    methods.join(", ")
+}
+
+/// Live metric handles the server updates while running — all registered
+/// in the (possibly shared) [`Registry`] that `GET /metrics` renders.
+#[derive(Debug)]
+struct ServerMetrics {
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    responses: Arc<Family<Counter>>,
+    faults: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    request_micros: Arc<HistogramMetric>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        let requests = registry
+            .register_counter("wsg_http_server_requests_total", "HTTP requests answered.");
+        let responses = registry.register_counter_family(
+            "wsg_http_server_responses_total",
+            "Responses by status class (2xx/4xx/5xx).",
+            &["class"],
+        );
+        let faults = registry.register_counter(
+            "wsg_http_server_faults_total",
+            "Requests answered with a SOAP fault envelope (400 or 500).",
+        );
+        let parse_errors = registry.register_counter(
+            "wsg_http_server_parse_errors_total",
+            "Connections dropped because of unparseable HTTP.",
+        );
+        let request_micros = registry.register_histogram(
+            "wsg_http_server_request_micros",
+            "Wall-clock service time per request, microseconds.",
+        );
+        let bytes_in = registry
+            .register_counter("wsg_http_server_bytes_in_total", "Bytes read from sockets.");
+        let bytes_out = registry
+            .register_counter("wsg_http_server_bytes_out_total", "Bytes written to sockets.");
+        ServerMetrics {
+            registry,
+            requests,
+            responses,
+            faults,
+            parse_errors,
+            request_micros,
+            bytes_in,
+            bytes_out,
+        }
+    }
+
+    fn count_response(&self, status: u16) {
+        let class = match status / 100 {
+            2 => "2xx",
+            3 => "3xx",
+            4 => "4xx",
+            _ => "5xx",
+        };
+        self.responses.with(&[class]).inc();
+    }
 }
 
 /// A running SOAP-over-HTTP server.
@@ -111,11 +184,12 @@ pub struct SoapHttpServer {
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
-    counters: Arc<ServerCounters>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl SoapHttpServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving with a fresh
+    /// metric registry.
     ///
     /// # Errors
     ///
@@ -125,12 +199,30 @@ impl SoapHttpServer {
         service: Service,
         config: HttpServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_observed(addr, service, config, Arc::new(Registry::new()))
+    }
+
+    /// Like [`SoapHttpServer::bind`], but register the server's metrics
+    /// in a caller-provided registry — `GET /metrics` then exposes
+    /// whatever else the caller exports there (gossip and coordinator
+    /// families in the node runtime).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_observed(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        config: HttpServerConfig,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        Self::serve(listener, service, config)
+        Self::serve_observed(listener, service, config, registry)
     }
 
     /// Serve on an already-bound listener (used by the runtime, which
-    /// binds all node sockets before starting any of them).
+    /// binds all node sockets before starting any of them) with a fresh
+    /// metric registry.
     ///
     /// # Errors
     ///
@@ -140,9 +232,23 @@ impl SoapHttpServer {
         service: Service,
         config: HttpServerConfig,
     ) -> std::io::Result<Self> {
+        Self::serve_observed(listener, service, config, Arc::new(Registry::new()))
+    }
+
+    /// Like [`SoapHttpServer::serve`], with a caller-provided registry.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener's local address cannot be read.
+    pub fn serve_observed(
+        listener: TcpListener,
+        service: Service,
+        config: HttpServerConfig,
+        registry: Arc<Registry>,
+    ) -> std::io::Result<Self> {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(ServerCounters::default());
+        let counters = Arc::new(ServerMetrics::new(registry));
         let (conn_tx, conn_rx): (SyncSender<Conn>, Receiver<Conn>) =
             sync_channel(config.queue_depth.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -176,7 +282,7 @@ impl SoapHttpServer {
             stop,
             accept_handle: Some(accept_handle),
             worker_handles,
-            counters,
+            metrics: counters,
         })
     }
 
@@ -185,19 +291,24 @@ impl SoapHttpServer {
         self.local_addr
     }
 
+    /// The registry backing `GET /metrics` on this server.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.metrics.registry)
+    }
+
     /// Requests answered so far (any status).
     pub fn requests_served(&self) -> u64 {
-        self.counters.requests.load(Ordering::Relaxed)
+        self.metrics.requests.get()
     }
 
     /// Requests that produced a fault envelope (400 or 500).
     pub fn faults_served(&self) -> u64 {
-        self.counters.faults.load(Ordering::Relaxed)
+        self.metrics.faults.get()
     }
 
     /// Connections dropped because of unparseable HTTP.
     pub fn parse_errors(&self) -> u64 {
-        self.counters.parse_errors.load(Ordering::Relaxed)
+        self.metrics.parse_errors.get()
     }
 
     /// Stop accepting, finish queued connections and join all threads.
@@ -288,7 +399,7 @@ fn worker_loop(
     service: Service,
     config: HttpServerConfig,
     stop: Arc<AtomicBool>,
-    counters: Arc<ServerCounters>,
+    counters: Arc<ServerMetrics>,
 ) {
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -321,7 +432,7 @@ fn serve_slice(
     service: &Service,
     config: &HttpServerConfig,
     stop: &AtomicBool,
-    counters: &ServerCounters,
+    counters: &ServerMetrics,
 ) -> Option<Conn> {
     let mut chunk = [0u8; 4096];
     loop {
@@ -331,9 +442,16 @@ fn serve_slice(
                 Ok(Parsed::Complete(request)) => {
                     conn.idle = Duration::ZERO;
                     let keep = request.keep_alive();
+                    let started = Instant::now();
                     let response = handle_request(request, conn.peer, service, counters);
-                    counters.requests.fetch_add(1, Ordering::Relaxed);
-                    if conn.stream.write_all(&response.to_bytes()).is_err() {
+                    counters
+                        .request_micros
+                        .observe(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    counters.requests.inc();
+                    counters.count_response(response.status);
+                    let wire = response.to_bytes();
+                    counters.bytes_out.add(wire.len() as u64);
+                    if conn.stream.write_all(&wire).is_err() {
                         return None;
                     }
                     if !keep {
@@ -342,11 +460,14 @@ fn serve_slice(
                 }
                 Ok(Parsed::Partial) => break,
                 Err(err) => {
-                    counters.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    counters.parse_errors.inc();
                     let body = format!("bad request: {err}").into_bytes();
                     let response = Response::with_body(400, "Bad Request", "text/plain", body)
                         .with_header("Connection", "close");
-                    let _ = conn.stream.write_all(&response.to_bytes());
+                    counters.count_response(response.status);
+                    let wire = response.to_bytes();
+                    counters.bytes_out.add(wire.len() as u64);
+                    let _ = conn.stream.write_all(&wire);
                     return None;
                 }
             }
@@ -355,6 +476,7 @@ fn serve_slice(
             Ok(0) => return None,
             Ok(n) => {
                 conn.idle = Duration::ZERO;
+                counters.bytes_in.add(n as u64);
                 conn.parser.feed(&chunk[..n]);
             }
             Err(err)
@@ -380,19 +502,31 @@ fn handle_request(
     request: crate::message::Request,
     peer: SocketAddr,
     service: &Service,
-    counters: &ServerCounters,
+    counters: &ServerMetrics,
 ) -> Response {
+    if request.method == "GET" {
+        let path = request.target.split('?').next().unwrap_or(request.target.as_str());
+        return match path {
+            "/metrics" => Response::with_body(
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                counters.registry.render().into_bytes(),
+            ),
+            _ => Response::new(404, "Not Found"),
+        };
+    }
     if request.method != "POST" {
-        return Response::new(405, "Method Not Allowed").with_header("Allow", "POST");
+        return Response::new(405, "Method Not Allowed").with_header("Allow", allowed_methods());
     }
     let Ok(raw) = String::from_utf8(request.body.clone()) else {
-        counters.faults.fetch_add(1, Ordering::Relaxed);
+        counters.faults.inc();
         return fault_response(400, Fault::new(FaultCode::Sender, "body is not valid UTF-8"));
     };
     let envelope = match Envelope::parse(&raw) {
         Ok(envelope) => envelope,
         Err(err) => {
-            counters.faults.fetch_add(1, Ordering::Relaxed);
+            counters.faults.inc();
             return fault_response(
                 400,
                 Fault::new(FaultCode::Sender, format!("body is not a SOAP envelope: {err}")),
@@ -415,7 +549,7 @@ fn handle_request(
             envelope.to_xml().into_bytes(),
         ),
         Err(fault) => {
-            counters.faults.fetch_add(1, Ordering::Relaxed);
+            counters.faults.inc();
             fault_response(500, fault)
         }
     }
@@ -499,7 +633,23 @@ mod tests {
     }
 
     #[test]
-    fn non_post_is_405() {
+    fn unknown_method_is_405_with_derived_allow() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        let reply = raw_exchange(
+            server.local_addr(),
+            b"PUT /gossip HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 405 "), "got: {reply}");
+        // The Allow header is derived from the route table (GET routes
+        // plus the SOAP POST endpoint), not hard-coded.
+        assert!(reply.contains("Allow: GET, POST\r\n"), "got: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn get_off_route_is_404() {
         let mut server =
             SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
                 .unwrap();
@@ -507,7 +657,56 @@ mod tests {
             server.local_addr(),
             b"GET /gossip HTTP/1.1\r\nConnection: close\r\n\r\n",
         );
-        assert!(reply.starts_with("HTTP/1.1 405 "), "got: {reply}");
+        assert!(reply.starts_with("HTTP/1.1 404 "), "got: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_route_serves_the_registry_exposition() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", echo_service(), HttpServerConfig::default())
+                .unwrap();
+        // One POST first so the counters are non-trivial.
+        let body = sample_envelope().to_xml();
+        let wire = format!(
+            "POST /gossip HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = raw_exchange(server.local_addr(), wire.as_bytes());
+        let reply = raw_exchange(
+            server.local_addr(),
+            b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "got: {reply}");
+        assert!(reply.contains("# TYPE wsg_http_server_requests_total counter"));
+        assert!(reply.contains("wsg_http_server_requests_total 1"), "got: {reply}");
+        assert!(reply.contains("wsg_http_server_responses_total{class=\"2xx\"} 1"));
+        // Query strings are stripped before routing.
+        let reply = raw_exchange(
+            server.local_addr(),
+            b"GET /metrics?format=text HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "got: {reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn observed_server_shares_a_caller_registry() {
+        let registry = Arc::new(Registry::new());
+        registry.register_counter("wsg_app_custom_total", "App-level counter.").add(9);
+        let mut server = SoapHttpServer::bind_observed(
+            "127.0.0.1:0",
+            echo_service(),
+            HttpServerConfig::default(),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let reply = raw_exchange(
+            server.local_addr(),
+            b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.contains("wsg_app_custom_total 9"), "got: {reply}");
+        assert!(Arc::ptr_eq(&registry, &server.registry()));
         server.shutdown();
     }
 

@@ -23,6 +23,10 @@
 //! * **M1 `allow-grammar`** — meta rule: malformed `wsg_lint:` comments
 //!   or allows naming unknown rules are themselves diagnostics, so a
 //!   typo cannot silently disable a rule.
+//! * **O1 `metric-name`** — literal metric names passed to the
+//!   `wsg_obs::Registry` register methods must match the exposition
+//!   grammar `[a-z][a-z0-9_]*`, so a misnamed metric fails the build
+//!   instead of panicking at first registration in production.
 //!
 //! Rules run on the [`crate::lexer`] token stream, never on raw text, so
 //! occurrences inside strings, raw strings, char literals and comments
@@ -82,6 +86,11 @@ pub const RULES: &[Rule] = &[
         id: "M1",
         name: "allow-grammar",
         summary: "wsg_lint allow comments must parse and name known rules",
+    },
+    Rule {
+        id: "O1",
+        name: "metric-name",
+        summary: "registered metric names must match [a-z][a-z0-9_]*",
     },
 ];
 
@@ -175,6 +184,11 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
         }
         if p1_file || (in_src && in_range(&impl_ranges, i)) {
             if let Some(d) = check_p1(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if in_src {
+            if let Some(d) = check_o1(rel_path, &code, i) {
                 raw.push(d);
             }
         }
@@ -342,6 +356,59 @@ fn check_p1(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
         });
     }
     None
+}
+
+/// The `wsg_obs::Registry` get-or-register entry points. A literal first
+/// argument is the metric name; anything else (a variable, a `format!`)
+/// is out of static reach and left to the runtime validation.
+const O1_REGISTER_FNS: &[&str] = &[
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+    "register_counter_family",
+    "register_gauge_family",
+    "register_histogram_family",
+];
+
+/// The exposition name grammar, mirrored from `wsg_obs::valid_metric_name`
+/// (kept in sync by `wsg_obs`'s tests; duplicated so the linter stays
+/// dependency-free).
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn check_o1(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    let is_register_call = O1_REGISTER_FNS.contains(&tok.text)
+        && i > 0
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+    if !is_register_call {
+        return None;
+    }
+    let arg = code.get(i + 2)?;
+    if arg.kind != TokenKind::Str {
+        return None; // dynamic name: checked at runtime by the registry
+    }
+    let name = arg.text.trim_start_matches('b').trim_matches('"');
+    if valid_metric_name(name) {
+        return None;
+    }
+    Some(Diagnostic {
+        file: file.to_string(),
+        line: arg.line,
+        rule: rule("O1").unwrap(),
+        message: format!(
+            "metric name {:?} violates the exposition grammar [a-z][a-z0-9_]*; \
+             scrapers reject it and the registry panics at first registration",
+            name
+        ),
+    })
 }
 
 // ------------------------------------------------------------ allow parsing
@@ -766,6 +833,51 @@ mod tests {
     fn debug_impl_is_not_a_handler() {
         let src = "impl std::fmt::Debug for Chain { fn fmt(&self) { x.unwrap(); } }\n";
         assert!(lint_at("crates/gossip/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn o1_fires_on_bad_literal_metric_names() {
+        let src = concat!(
+            "fn f(r: &Registry) {\n",
+            "    r.register_counter(\"Wsg_Bad_Total\", \"help\");\n",
+            "    r.register_gauge_family(\"wsg-dashes\", \"help\", &[\"l\"]);\n",
+            "    r.register_histogram(\"wsg_good_micros\", \"help\");\n",
+            "}\n",
+        );
+        assert_eq!(lint_at("crates/obs/src/fake.rs", src), vec!["O1:2", "O1:3"]);
+    }
+
+    #[test]
+    fn o1_ignores_dynamic_names_and_non_method_calls() {
+        let src = concat!(
+            "fn f(r: &Registry, name: &str) {\n",
+            "    r.register_counter(name, \"help\");\n", // dynamic: runtime's job
+            "    register_counter(\"NOT A METHOD\", \"help\");\n", // free fn, not the registry
+            "}\n",
+        );
+        assert!(lint_at("crates/obs/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn o1_silent_in_tests() {
+        let src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(r: &Registry) { r.register_counter(\"BAD\", \"h\"); }\n",
+            "}\n",
+        );
+        assert!(lint_at("crates/obs/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn o1_grammar_matches_wsg_obs() {
+        assert!(valid_metric_name("wsg_gossip_published_total"));
+        assert!(valid_metric_name("a"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("_leading"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("has-dash"));
+        assert!(!valid_metric_name("UpperCase"));
     }
 
     #[test]

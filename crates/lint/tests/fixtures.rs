@@ -47,6 +47,10 @@ fn bad_tree_yields_exactly_the_planted_violations() {
         "D2:crates/net/src/clock.rs:8",
         // M1: allow naming an unknown rule.
         "M1:crates/net/src/clock.rs:16",
+        // O1: bad literal metric names; the valid and dynamic ones are
+        // silent, as is the test module.
+        "O1:crates/obs/src/metrics.rs:4",
+        "O1:crates/obs/src/metrics.rs:5",
     ];
     assert_eq!(got, want, "diagnostics drifted from the planted fixture violations");
 
@@ -58,7 +62,7 @@ fn bad_tree_yields_exactly_the_planted_violations() {
 #[test]
 fn every_rule_fires_at_least_once_on_the_bad_tree() {
     let report = wsg_lint::lint_workspace(&fixture("bad")).expect("walk bad fixture tree");
-    for id in ["D1", "D2", "D3", "P1", "H1", "M1"] {
+    for id in ["D1", "D2", "D3", "P1", "H1", "M1", "O1"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule.id == id),
             "rule {id} has no fixture coverage"
@@ -72,7 +76,7 @@ fn clean_tree_is_clean() {
     let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
     assert!(msgs.is_empty(), "clean fixture tree produced diagnostics:\n{}", msgs.join("\n"));
     assert!(report.stale_allows.is_empty());
-    assert_eq!((report.sources, report.manifests), (2, 1));
+    assert_eq!((report.sources, report.manifests), (3, 1));
 }
 
 // ------------------------------------------------------------- binary

@@ -1,0 +1,20 @@
+//! O1 fixture: literal metric names that violate the exposition grammar.
+
+pub fn register(registry: &Registry) {
+    registry.register_counter("Wsg_Bad_Total", "uppercase start"); // line 4: fires
+    registry.register_gauge_family("wsg-dash-name", "dashes", &["style"]); // line 5: fires
+    registry.register_histogram("wsg_good_micros", "valid name, no diagnostic");
+}
+
+pub fn dynamic(registry: &Registry, name: &str) {
+    // Non-literal names are the registry's runtime problem, not O1's.
+    registry.register_counter(name, "dynamic");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_register_anything() {
+        registry.register_counter("EVEN THIS", "tests are exempt from all rules");
+    }
+}

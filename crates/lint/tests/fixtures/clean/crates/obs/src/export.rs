@@ -1,0 +1,9 @@
+//! Clean fixture: well-formed metric registrations produce no O1 noise.
+
+pub fn export(registry: &Registry, delivered: u64) {
+    registry
+        .register_counter("wsg_demo_delivered_total", "Messages delivered.")
+        .set(delivered);
+    registry.register_gauge_family("wsg_demo_active", "Active peers.", &["style"]);
+    registry.register_histogram("wsg_demo_rounds", "Delivery hop counts.");
+}

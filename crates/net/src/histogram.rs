@@ -1,8 +1,9 @@
 //! A small log-bucketed histogram for latency statistics.
 
 /// Histogram over `u64` values (microseconds, counts, …) with
-/// power-of-two buckets — O(1) record, ~1.4× relative quantile error,
-/// fixed 64-slot footprint. Enough for the harness's percentile tables.
+/// power-of-two buckets — O(1) record, at most √2× relative quantile
+/// error (quantiles report the bucket's geometric midpoint), fixed
+/// 64-slot footprint. Enough for the harness's percentile tables.
 ///
 /// ```
 /// use wsg_net::Histogram;
@@ -78,8 +79,10 @@ impl Histogram {
         }
     }
 
-    /// Approximate `q`-quantile (bucket upper bound), clamped to observed
-    /// min/max. `q` outside `[0, 1]` is clamped.
+    /// Approximate `q`-quantile: the geometric midpoint of the matched
+    /// bucket, clamped to observed min/max. The midpoint halves the
+    /// log-scale error of reporting a bucket bound — worst case √2×
+    /// relative error instead of 2×. `q` outside `[0, 1]` is clamped.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.is_empty() {
             return 0;
@@ -90,17 +93,24 @@ impl Histogram {
         for (bucket, &count) in self.buckets.iter().enumerate() {
             seen += count;
             if seen >= target {
-                let upper = if bucket == 0 {
+                // Bucket 0 holds exactly {0}; bucket b >= 1 holds
+                // [2^(b-1), 2^b - 1] (the last spans to u64::MAX).
+                let mid = if bucket == 0 {
                     0u64
-                } else if bucket >= 64 {
-                    u64::MAX
                 } else {
-                    (1u64 << bucket) - 1
+                    let lo = 1u64 << (bucket - 1);
+                    let hi = if bucket >= 64 { u64::MAX } else { (1u64 << bucket) - 1 };
+                    (((lo as f64) * (hi as f64)).sqrt() as u64).clamp(lo, hi)
                 };
-                return upper.clamp(self.min, self.max);
+                return mid.clamp(self.min, self.max);
             }
         }
         self.max
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Merge another histogram into this one.
@@ -149,9 +159,52 @@ mod tests {
         let p50 = h.quantile(0.5);
         let p99 = h.quantile(0.99);
         assert!(p50 < p99);
-        // log buckets: p50 of 1..1000 in [500, 1023]
-        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        // Geometric midpoint of the bucket holding the 500th value
+        // ([256, 511]): sqrt(256 * 511) = 361.
+        assert_eq!(p50, 361);
         assert!(p99 <= 1000, "clamped to observed max");
+    }
+
+    #[test]
+    fn quantiles_stay_within_sqrt2_of_exact_on_uniform_data() {
+        // Regression for the old behavior of returning the bucket
+        // *upper bound*, which overshot the exact quantile by up to 2x
+        // (p50 of uniform 1..=1000 came back as 511, not ~500-adjacent
+        // on a log scale).
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let sqrt2 = 2f64.sqrt();
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let got = h.quantile(q) as f64;
+            let exact = exact as f64;
+            assert!(
+                got >= exact / sqrt2 && got <= exact * sqrt2,
+                "q={q}: estimate {got} outside sqrt(2) band of exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_clamps_midpoint_to_observed_range() {
+        // All values identical: the bucket midpoint (sqrt(8*15) = 10)
+        // would overshoot every recorded value; clamping repairs it.
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(8);
+        }
+        assert_eq!(h.quantile(0.5), 8);
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn sum_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 60);
     }
 
     #[test]

@@ -1,0 +1,794 @@
+//! Zero-dependency metrics for the WS-Gossip stack.
+//!
+//! Three metric kinds, each registrable either plain or as a labeled
+//! family:
+//!
+//! - [`Counter`]: monotone `u64`, lock-free (`Relaxed` atomics) — cheap
+//!   enough for hot transport paths.
+//! - [`Gauge`]: signed instantaneous value (pool sizes, active contexts).
+//! - [`HistogramMetric`]: a [`wsg_net::Histogram`] behind an in-tree
+//!   mutex, rendered as a Prometheus *summary* (quantiles + sum/count).
+//!
+//! A [`Registry`] owns the metrics and renders the whole set as a
+//! Prometheus-style text exposition. Rendering is **deterministic**:
+//! metric names and family label sets live in `BTreeMap`s, so two
+//! registries holding the same values render byte-identical text.
+//!
+//! Determinism contract: nothing in this crate reads a clock or an RNG.
+//! Simulated components keep their plain stats structs and *export*
+//! snapshots into a registry after (or outside) the deterministic run;
+//! only genuinely wall-clock components (`wsg_http`) update live metric
+//! handles inline.
+//!
+//! ```
+//! use wsg_obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let posts = registry.register_counter("wsg_demo_posts_total", "Posts issued.");
+//! posts.inc();
+//! posts.add(2);
+//! let by_style = registry.register_counter_family(
+//!     "wsg_demo_sent_total",
+//!     "Messages sent by gossip style.",
+//!     &["style"],
+//! );
+//! by_style.with(&["eager_push"]).add(7);
+//! let text = registry.render();
+//! assert!(text.contains("wsg_demo_posts_total 3\n"));
+//! assert!(text.contains("wsg_demo_sent_total{style=\"eager_push\"} 7\n"));
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wsg_net::sync::Mutex;
+use wsg_net::Histogram;
+
+/// A monotonically increasing counter.
+///
+/// `set` exists for snapshot exporters that mirror an already-monotone
+/// source (e.g. `EngineStats` after a sim run); callers own the
+/// monotonicity guarantee in that case.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `n` — for exporters syncing from a monotone source.
+    pub fn set(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite with `n`.
+    pub fn set(&self, n: i64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`wsg_net::Histogram`] usable behind shared references.
+///
+/// Rendered as a Prometheus summary: `name{quantile="0.5"}` /
+/// `"0.9"` / `"0.99"` lines plus `name_sum` and `name_count`.
+#[derive(Debug, Default)]
+pub struct HistogramMetric {
+    inner: Mutex<Histogram>,
+}
+
+impl HistogramMetric {
+    /// An empty histogram metric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        self.inner.lock().record(value);
+    }
+
+    /// Replace the contents with a snapshot from an already-collected
+    /// histogram (exporters syncing sim-side stats).
+    pub fn set_snapshot(&self, histogram: &Histogram) {
+        *self.inner.lock() = histogram.clone();
+    }
+
+    /// A copy of the current contents.
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+}
+
+/// A labeled family of metrics: one child per label-value tuple,
+/// created on first use and kept in label-value order so rendering is
+/// deterministic.
+#[derive(Debug)]
+pub struct Family<M> {
+    label_names: Vec<&'static str>,
+    children: Mutex<BTreeMap<Vec<String>, Arc<M>>>,
+}
+
+impl<M: Default> Family<M> {
+    fn new(label_names: &[&'static str]) -> Self {
+        Family { label_names: label_names.to_vec(), children: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// The child for the given label values, created at zero on first
+    /// use.
+    ///
+    /// # Panics
+    /// If `values.len()` differs from the family's label-name count.
+    pub fn with(&self, values: &[&str]) -> Arc<M> {
+        assert_eq!(
+            values.len(),
+            self.label_names.len(),
+            "family expects {} label values, got {}",
+            self.label_names.len(),
+            values.len()
+        );
+        let key: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.children.lock().entry(key).or_insert_with(|| Arc::new(M::default())).clone()
+    }
+
+    /// Number of distinct label-value tuples seen.
+    pub fn len(&self) -> usize {
+        self.children.lock().len()
+    }
+
+    /// Whether no child has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.children.lock().is_empty()
+    }
+
+    fn snapshot_children(&self) -> Vec<(Vec<String>, Arc<M>)> {
+        self.children.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+#[derive(Debug)]
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<HistogramMetric>),
+    CounterFamily(Arc<Family<Counter>>),
+    GaugeFamily(Arc<Family<Gauge>>),
+    HistogramFamily(Arc<Family<HistogramMetric>>),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) | Entry::CounterFamily(_) => "counter",
+            Entry::Gauge(_) | Entry::GaugeFamily(_) => "gauge",
+            Entry::Histogram(_) | Entry::HistogramFamily(_) => "summary",
+        }
+    }
+}
+
+/// True when `name` matches the metric-name grammar `[a-z][a-z0-9_]*`
+/// (enforced at registration time and by `wsg_lint` rule O1 on string
+/// literals at call sites).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Holder of a metric set; renders the deterministic text exposition.
+///
+/// All `register_*` methods are get-or-register: a second call with the
+/// same name and kind returns the existing metric, so independent
+/// components can share one registry without coordinating registration
+/// order. Name collisions across *kinds* and grammar-violating names
+/// panic — both are programmer errors caught by any test that touches
+/// the path.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, (String, Entry)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register_with(
+        &self,
+        name: &str,
+        help: &str,
+        make: impl FnOnce() -> Entry,
+        read: impl Fn(&Entry) -> Option<Entry>,
+    ) -> Entry {
+        assert!(valid_metric_name(name), "invalid metric name {name:?} (want [a-z][a-z0-9_]*)");
+        let mut entries = self.entries.lock();
+        if let Some((_, existing)) = entries.get(name) {
+            return read(existing).unwrap_or_else(|| {
+                panic!("metric {name:?} already registered as a {}", existing.kind())
+            });
+        }
+        let entry = make();
+        let clone = read(&entry).expect("freshly made entry must match its own kind");
+        entries.insert(name.to_string(), (help.to_string(), entry));
+        clone
+    }
+
+    /// Get or register a plain counter.
+    pub fn register_counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let entry = self.register_with(
+            name,
+            help,
+            || Entry::Counter(Arc::new(Counter::new())),
+            |e| match e {
+                Entry::Counter(c) => Some(Entry::Counter(c.clone())),
+                _ => None,
+            },
+        );
+        match entry {
+            Entry::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a plain gauge.
+    pub fn register_gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let entry = self.register_with(
+            name,
+            help,
+            || Entry::Gauge(Arc::new(Gauge::new())),
+            |e| match e {
+                Entry::Gauge(g) => Some(Entry::Gauge(g.clone())),
+                _ => None,
+            },
+        );
+        match entry {
+            Entry::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a plain histogram (rendered as a summary).
+    pub fn register_histogram(&self, name: &str, help: &str) -> Arc<HistogramMetric> {
+        let entry = self.register_with(
+            name,
+            help,
+            || Entry::Histogram(Arc::new(HistogramMetric::new())),
+            |e| match e {
+                Entry::Histogram(h) => Some(Entry::Histogram(h.clone())),
+                _ => None,
+            },
+        );
+        match entry {
+            Entry::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a labeled counter family.
+    pub fn register_counter_family(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[&'static str],
+    ) -> Arc<Family<Counter>> {
+        let entry = self.register_with(
+            name,
+            help,
+            || Entry::CounterFamily(Arc::new(Family::new(labels))),
+            |e| match e {
+                Entry::CounterFamily(f) => Some(Entry::CounterFamily(f.clone())),
+                _ => None,
+            },
+        );
+        match entry {
+            Entry::CounterFamily(f) => f,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a labeled gauge family.
+    pub fn register_gauge_family(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[&'static str],
+    ) -> Arc<Family<Gauge>> {
+        let entry = self.register_with(
+            name,
+            help,
+            || Entry::GaugeFamily(Arc::new(Family::new(labels))),
+            |e| match e {
+                Entry::GaugeFamily(f) => Some(Entry::GaugeFamily(f.clone())),
+                _ => None,
+            },
+        );
+        match entry {
+            Entry::GaugeFamily(f) => f,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register a labeled histogram family.
+    pub fn register_histogram_family(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[&'static str],
+    ) -> Arc<Family<HistogramMetric>> {
+        let entry = self.register_with(
+            name,
+            help,
+            || Entry::HistogramFamily(Arc::new(Family::new(labels))),
+            |e| match e {
+                Entry::HistogramFamily(f) => Some(Entry::HistogramFamily(f.clone())),
+                _ => None,
+            },
+        );
+        match entry {
+            Entry::HistogramFamily(f) => f,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Number of registered metric names.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Render the full exposition: `# HELP`/`# TYPE` headers and one
+    /// sample line per value, deterministically ordered (names sorted,
+    /// label tuples sorted within a family).
+    pub fn render(&self) -> String {
+        // Snapshot the entry list first so sample reads happen outside
+        // the registry lock (children hold their own state).
+        let snapshot: Vec<(String, String, Entry)> = {
+            let entries = self.entries.lock();
+            entries
+                .iter()
+                .map(|(name, (help, entry))| {
+                    let dup = match entry {
+                        Entry::Counter(c) => Entry::Counter(c.clone()),
+                        Entry::Gauge(g) => Entry::Gauge(g.clone()),
+                        Entry::Histogram(h) => Entry::Histogram(h.clone()),
+                        Entry::CounterFamily(f) => Entry::CounterFamily(f.clone()),
+                        Entry::GaugeFamily(f) => Entry::GaugeFamily(f.clone()),
+                        Entry::HistogramFamily(f) => Entry::HistogramFamily(f.clone()),
+                    };
+                    (name.clone(), help.clone(), dup)
+                })
+                .collect()
+        };
+        let mut out = String::new();
+        for (name, help, entry) in &snapshot {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&escape_help(help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(entry.kind());
+            out.push('\n');
+            match entry {
+                Entry::Counter(c) => sample_u64(&mut out, name, "", c.get()),
+                Entry::Gauge(g) => sample_i64(&mut out, name, "", g.get()),
+                Entry::Histogram(h) => summary(&mut out, name, "", &h.snapshot()),
+                Entry::CounterFamily(f) => {
+                    for (values, child) in f.snapshot_children() {
+                        let labels = fmt_labels(&f.label_names, &values);
+                        sample_u64(&mut out, name, &labels, child.get());
+                    }
+                }
+                Entry::GaugeFamily(f) => {
+                    for (values, child) in f.snapshot_children() {
+                        let labels = fmt_labels(&f.label_names, &values);
+                        sample_i64(&mut out, name, &labels, child.get());
+                    }
+                }
+                Entry::HistogramFamily(f) => {
+                    for (values, child) in f.snapshot_children() {
+                        let labels = fmt_labels(&f.label_names, &values);
+                        summary(&mut out, name, &labels, &child.snapshot());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+// "l1=\"v1\",l2=\"v2\"" (no surrounding braces — callers may append
+// more labels, e.g. the summary quantile).
+fn fmt_labels(names: &[&'static str], values: &[String]) -> String {
+    let mut out = String::new();
+    for (name, value) in names.iter().zip(values) {
+        if !out.is_empty() {
+            out.push(',');
+        }
+        out.push_str(name);
+        out.push_str("=\"");
+        out.push_str(&escape_label(value));
+        out.push('"');
+    }
+    out
+}
+
+fn sample_key(out: &mut String, name: &str, labels: &str) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+}
+
+fn sample_u64(out: &mut String, name: &str, labels: &str, value: u64) {
+    sample_key(out, name, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn sample_i64(out: &mut String, name: &str, labels: &str, value: i64) {
+    sample_key(out, name, labels);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn summary(out: &mut String, name: &str, labels: &str, histogram: &Histogram) {
+    for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+        let mut with_q = labels.to_string();
+        if !with_q.is_empty() {
+            with_q.push(',');
+        }
+        with_q.push_str("quantile=\"");
+        with_q.push_str(tag);
+        with_q.push('"');
+        sample_u64(out, name, &with_q, histogram.quantile(q));
+    }
+    sample_u64(out, &format!("{name}_sum"), labels, histogram.sum());
+    sample_u64(out, &format!("{name}_count"), labels, histogram.len());
+}
+
+/// Parse an exposition back into `(sample_key, value)` pairs, in file
+/// order. Comment (`#`) and blank lines are skipped; every other line
+/// must be `key value` with a grammar-valid metric name and a numeric
+/// value. Used by the CI smoke check and the live example to validate
+/// their own `/metrics` scrapes.
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = split_sample(line)
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let name = key.split('{').next().unwrap_or(key);
+        if !valid_metric_name(name) {
+            return Err(format!("line {}: invalid metric name {name:?}", lineno + 1));
+        }
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value {value:?}", lineno + 1))?;
+        out.push((key.to_string(), value));
+    }
+    Ok(out)
+}
+
+// Split "key value" at the first space outside quoted label values.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (idx, ch) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ' ' if !in_quotes => {
+                let value = line[idx..].trim_start();
+                if value.is_empty() {
+                    return None;
+                }
+                return Some((&line[..idx], value));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The keys in `samples` that the exposition convention marks as
+/// monotone: base name ending in `_total` or `_count`. The CI smoke
+/// check asserts these never decrease between two scrapes.
+pub fn monotone_keys(samples: &[(String, f64)]) -> Vec<&str> {
+    samples
+        .iter()
+        .filter(|(key, _)| {
+            let name = key.split('{').next().unwrap_or(key);
+            name.ends_with("_total") || name.ends_with("_count")
+        })
+        .map(|(key, _)| key.as_str())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.set(2);
+        assert_eq!(c.get(), 2);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+    }
+
+    #[test]
+    fn histogram_metric_observes_and_snapshots() {
+        let h = HistogramMetric::new();
+        for v in [10u64, 20, 30] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.max(), 30);
+
+        let mut seeded = Histogram::new();
+        seeded.record(7);
+        h.set_snapshot(&seeded);
+        assert_eq!(h.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn family_children_are_shared_per_label_tuple() {
+        let registry = Registry::new();
+        let family =
+            registry.register_counter_family("wsg_test_family_total", "Testing.", &["style"]);
+        family.with(&["push"]).add(2);
+        family.with(&["push"]).inc();
+        family.with(&["pull"]).inc();
+        assert_eq!(family.with(&["push"]).get(), 3);
+        assert_eq!(family.with(&["pull"]).get(), 1);
+        assert_eq!(family.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label values")]
+    fn family_rejects_wrong_arity() {
+        let registry = Registry::new();
+        let family = registry.register_counter_family("wsg_test_arity_total", "Testing.", &["a"]);
+        family.with(&["x", "y"]);
+    }
+
+    #[test]
+    fn register_is_get_or_register() {
+        let registry = Registry::new();
+        let a = registry.register_counter("wsg_test_shared_total", "Testing.");
+        let b = registry.register_counter("wsg_test_shared_total", "Testing.");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_collision_panics() {
+        let registry = Registry::new();
+        registry.register_counter("wsg_test_kind", "Testing.");
+        registry.register_gauge("wsg_test_kind", "Testing.");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        Registry::new().register_counter("Bad-Name", "Testing.");
+    }
+
+    #[test]
+    fn metric_name_grammar() {
+        assert!(valid_metric_name("wsg_gossip_payloads_sent_total"));
+        assert!(valid_metric_name("a"));
+        assert!(valid_metric_name("a0_b1"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("0abc"));
+        assert!(!valid_metric_name("_abc"));
+        assert!(!valid_metric_name("Abc"));
+        assert!(!valid_metric_name("abc-def"));
+        assert!(!valid_metric_name("abc.def"));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let build = || {
+            let registry = Registry::new();
+            // Register in one order...
+            registry.register_counter("wsg_test_zeta_total", "Last alphabetically.").add(1);
+            registry.register_gauge("wsg_test_alpha", "First alphabetically.").set(-4);
+            let fam = registry.register_counter_family(
+                "wsg_test_mid_total",
+                "Middle.",
+                &["style", "peer"],
+            );
+            fam.with(&["pull", "n2"]).add(2);
+            fam.with(&["eager", "n1"]).add(9);
+            registry
+        };
+        let one = build().render();
+        let registry = Registry::new();
+        // ...and in the reverse order: identical exposition.
+        let fam =
+            registry.register_counter_family("wsg_test_mid_total", "Middle.", &["style", "peer"]);
+        fam.with(&["eager", "n1"]).add(9);
+        fam.with(&["pull", "n2"]).add(2);
+        registry.register_gauge("wsg_test_alpha", "First alphabetically.").set(-4);
+        registry.register_counter("wsg_test_zeta_total", "Last alphabetically.").add(1);
+        let two = registry.render();
+        assert_eq!(one, two);
+
+        let alpha = one.find("wsg_test_alpha").unwrap();
+        let mid = one.find("wsg_test_mid_total").unwrap();
+        let zeta = one.find("wsg_test_zeta_total").unwrap();
+        assert!(alpha < mid && mid < zeta, "names must render sorted");
+        let eager = one.find("style=\"eager\"").unwrap();
+        let pull = one.find("style=\"pull\"").unwrap();
+        assert!(eager < pull, "label tuples must render sorted");
+        assert!(one.contains("wsg_test_alpha -4\n"));
+    }
+
+    #[test]
+    fn summaries_render_quantiles_sum_and_count() {
+        let registry = Registry::new();
+        let h = registry.register_histogram("wsg_test_latency_micros", "Testing.");
+        for v in [100u64, 200, 400] {
+            h.observe(v);
+        }
+        let text = registry.render();
+        assert!(text.contains("# TYPE wsg_test_latency_micros summary\n"));
+        assert!(text.contains("wsg_test_latency_micros{quantile=\"0.5\"}"));
+        assert!(text.contains("wsg_test_latency_micros{quantile=\"0.99\"}"));
+        assert!(text.contains("wsg_test_latency_micros_sum 700\n"));
+        assert!(text.contains("wsg_test_latency_micros_count 3\n"));
+
+        let fam = registry.register_histogram_family(
+            "wsg_test_rounds",
+            "Testing.",
+            &["style"],
+        );
+        fam.with(&["push"]).observe(3);
+        let text = registry.render();
+        assert!(text.contains("wsg_test_rounds{style=\"push\",quantile=\"0.5\"}"));
+        assert!(text.contains("wsg_test_rounds_count{style=\"push\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        let fam = registry.register_counter_family("wsg_test_escape_total", "Testing.", &["v"]);
+        fam.with(&["a\"b\\c\nd"]).inc();
+        let text = registry.render();
+        assert!(text.contains("v=\"a\\\"b\\\\c\\nd\""), "got: {text}");
+        // And it still round-trips through the parser.
+        let samples = parse_exposition(&text).unwrap();
+        assert!(samples.iter().any(|(k, v)| k.contains("wsg_test_escape_total") && *v == 1.0));
+    }
+
+    #[test]
+    fn parse_exposition_round_trips_a_render() {
+        let registry = Registry::new();
+        registry.register_counter("wsg_test_posts_total", "Testing.").add(11);
+        registry.register_gauge("wsg_test_pool", "Testing.").set(-2);
+        let h = registry.register_histogram("wsg_test_micros", "Testing.");
+        h.observe(50);
+        let samples = parse_exposition(&registry.render()).unwrap();
+        assert!(samples.contains(&("wsg_test_posts_total".to_string(), 11.0)));
+        assert!(samples.contains(&("wsg_test_pool".to_string(), -2.0)));
+        assert!(samples.iter().any(|(k, _)| k == "wsg_test_micros_count"));
+    }
+
+    #[test]
+    fn parse_exposition_rejects_garbage() {
+        assert!(parse_exposition("no_value_here\n").is_err());
+        assert!(parse_exposition("BadName 3\n").is_err());
+        assert!(parse_exposition("name notanumber\n").is_err());
+        assert_eq!(parse_exposition("# just a comment\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn monotone_keys_selects_totals_and_counts() {
+        let samples = vec![
+            ("wsg_a_total".to_string(), 1.0),
+            ("wsg_b_count{style=\"x\"}".to_string(), 2.0),
+            ("wsg_c_micros{quantile=\"0.5\"}".to_string(), 3.0),
+            ("wsg_d_pool".to_string(), 4.0),
+        ];
+        let keys = monotone_keys(&samples);
+        assert_eq!(keys, vec!["wsg_a_total", "wsg_b_count{style=\"x\"}"]);
+    }
+}

@@ -5,11 +5,19 @@
 //! socket refuses connections to show the client's retry/backoff path in
 //! the transport counters.
 //!
+//! While the fleet gossips, the example scrapes `GET /metrics` from the
+//! coordinator's own socket — twice — and validates the exposition:
+//! parseable samples, and `_total`/`_count` counters that never move
+//! backwards between scrapes. CI runs this binary, so the observability
+//! endpoint is smoke-tested on every push.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example live_http
 //! ```
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use ws_gossip::{Role, WsGossipNode};
@@ -18,7 +26,42 @@ use wsg_gossip::GossipParams;
 use wsg_http::client::HttpClientConfig;
 use wsg_http::runtime::{NetRuntime, NetRuntimeConfig, TransportStats};
 use wsg_net::{NodeId, SimDuration};
+use wsg_obs::{monotone_keys, parse_exposition};
 use wsg_xml::Element;
+
+/// Scrape `GET /metrics` from a live node socket; returns the body.
+fn scrape_metrics(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to node socket");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n")
+        .expect("send scrape request");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read scrape response");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("http head/body split");
+    assert!(head.starts_with("HTTP/1.1 200 "), "metrics scrape failed: {head}");
+    body.to_string()
+}
+
+/// Smoke-validate two consecutive scrapes: both parse, sample keys are
+/// deterministic where state overlaps, and no counter moves backwards.
+fn validate_scrapes(first: &str, second: &str) -> usize {
+    let before = parse_exposition(first).expect("first scrape parses");
+    let after = parse_exposition(second).expect("second scrape parses");
+    assert!(!before.is_empty(), "exposition must carry samples");
+    let counters = monotone_keys(&before);
+    for (key, old) in &before {
+        let new = after
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("sample {key} disappeared between scrapes"));
+        if counters.contains(&key.as_str()) {
+            assert!(new >= *old, "counter {key} went backwards: {old} -> {new}");
+        }
+    }
+    after.len()
+}
 
 fn main() {
     let coordinator = NodeId(0);
@@ -68,7 +111,24 @@ fn main() {
     }
     println!("\npublishing {total} ticks at 150ms intervals over HTTP\n");
 
-    let finished = net.shutdown_after(Duration::from_millis(3500));
+    // Scrape the coordinator's /metrics endpoint mid-flight, let more
+    // gossip traffic land, then scrape again and check the counters only
+    // ever go up. The exposition excerpt below is what a Prometheus
+    // scraper would ingest.
+    let metrics_addr = net.addr_of(coordinator);
+    std::thread::sleep(Duration::from_millis(1200));
+    let first = scrape_metrics(metrics_addr);
+    std::thread::sleep(Duration::from_millis(1200));
+    let second = scrape_metrics(metrics_addr);
+    let samples = validate_scrapes(&first, &second);
+    println!("scraped http://{metrics_addr}/metrics twice: {samples} samples, counters monotone");
+    println!("exposition excerpt:");
+    for line in second.lines().filter(|l| l.contains("wsg_http_server_")) {
+        println!("  {line}");
+    }
+    println!();
+
+    let finished = net.shutdown_after(Duration::from_millis(1100));
 
     let mut all_complete = true;
     for (i, node) in finished.iter().enumerate() {
