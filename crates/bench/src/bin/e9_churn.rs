@@ -1,0 +1,91 @@
+//! E9 — membership churn under load: convergence, crash detection and
+//! post-churn agreement latency for the live `wsg_cluster` plane, with a
+//! publication stream in flight the whole time.
+
+use wsg_bench::experiments::e9_churn::{churn, ChurnScenario};
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
+
+fn main() {
+    let fast = timing::fast_mode();
+    let mut report = Report::new("e9_churn");
+    println!("E9 — live membership churn over loopback sockets");
+    println!("claim: the heartbeat-gossip plane keeps dissemination complete while the fleet churns\n");
+
+    let scenarios: Vec<ChurnScenario> = if fast {
+        vec![ChurnScenario {
+            subscribers: 5,
+            crashes: 1,
+            joins: 1,
+            ticks: 4,
+            publish_interval_ms: 200,
+            heartbeat_interval_ms: 40,
+        }]
+    } else {
+        vec![
+            ChurnScenario {
+                subscribers: 8,
+                crashes: 2,
+                joins: 2,
+                ticks: 12,
+                publish_interval_ms: 200,
+                heartbeat_interval_ms: 50,
+            },
+            ChurnScenario {
+                subscribers: 14,
+                crashes: 4,
+                joins: 3,
+                ticks: 16,
+                publish_interval_ms: 250,
+                heartbeat_interval_ms: 50,
+            },
+        ]
+    };
+
+    let mut table = Table::new(&[
+        "fleet",
+        "crashes",
+        "joins",
+        "converge ms",
+        "detect ms",
+        "agree ms",
+        "complete",
+        "joiners caught up",
+    ]);
+    let mut all_complete = true;
+    for (i, scenario) in scenarios.iter().enumerate() {
+        let outcome = churn(*scenario, 40 + i as u64);
+        println!(
+            "  fleet {}: converged {} ms | {} crashes detected in {} ms | agreement {} ms | {}/{} complete, {}/{} joiners caught up",
+            outcome.fleet,
+            outcome.convergence_ms,
+            scenario.crashes,
+            outcome.detection_ms,
+            outcome.agreement_ms,
+            outcome.complete_survivors,
+            outcome.surviving_subscribers,
+            outcome.joiners_caught_up,
+            outcome.joiners,
+        );
+        table.row_owned(vec![
+            outcome.fleet.to_string(),
+            scenario.crashes.to_string(),
+            scenario.joins.to_string(),
+            outcome.convergence_ms.to_string(),
+            outcome.detection_ms.to_string(),
+            outcome.agreement_ms.to_string(),
+            format!("{}/{}", outcome.complete_survivors, outcome.surviving_subscribers),
+            format!("{}/{}", outcome.joiners_caught_up, outcome.joiners),
+        ]);
+        if outcome.complete_survivors != outcome.surviving_subscribers
+            || outcome.joiners_caught_up != outcome.joiners
+        {
+            all_complete = false;
+        }
+    }
+    println!();
+    print!("{}", table.render());
+    report.add_table("churn", &table);
+    report.write_if_requested();
+    assert!(all_complete, "dissemination must stay complete through churn");
+}

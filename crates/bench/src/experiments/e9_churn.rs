@@ -1,0 +1,244 @@
+//! E9 — membership churn under load: a live `wsg_cluster` fleet on
+//! loopback sockets absorbing crash-stops and late joins while a
+//! publication stream is in flight.
+//!
+//! Where E8 prices the socket transport for a *static* fleet, E9 measures
+//! the dynamic-membership machinery built on top of it: how long heartbeat
+//! gossip takes to converge a freshly-bootstrapped view, how fast φ
+//! accrual plus refused-connection evidence detects unannounced crashes,
+//! and whether dissemination keeps reaching every live member while the
+//! view shifts underneath it.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ws_gossip::WsGossipNode;
+use wsg_cluster::{ClusterConfig, ClusterRuntime, MembershipPlane};
+use wsg_coord::GossipPolicy;
+use wsg_gossip::GossipParams;
+use wsg_http::client::HttpClientConfig;
+use wsg_http::runtime::NetRuntimeConfig;
+use wsg_http::server::HttpServerConfig;
+use wsg_net::{NodeId, PeerLiveness, SimDuration};
+use wsg_xml::Element;
+
+/// Shape of one churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnScenario {
+    /// Subscribers deployed at the start (besides coordinator+initiator).
+    pub subscribers: usize,
+    /// Subscribers crash-stopped mid-stream (taken from the tail).
+    pub crashes: usize,
+    /// Consumers joining through the seed after the crashes.
+    pub joins: usize,
+    /// Payloads the initiator publishes.
+    pub ticks: usize,
+    /// Publish cadence in milliseconds.
+    pub publish_interval_ms: u64,
+    /// Membership heartbeat interval in milliseconds.
+    pub heartbeat_interval_ms: u64,
+}
+
+/// What one churn run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnOutcome {
+    /// Nodes deployed at the start.
+    pub fleet: usize,
+    /// Milliseconds for every starting member to see the full fleet.
+    pub convergence_ms: u64,
+    /// Milliseconds for every survivor to call all crashed members dead.
+    pub detection_ms: u64,
+    /// Milliseconds for the post-churn view to be agreed by all.
+    pub agreement_ms: u64,
+    /// Original subscribers that survived and delivered the full stream.
+    pub complete_survivors: usize,
+    /// Original subscribers that survived the crashes.
+    pub surviving_subscribers: usize,
+    /// Joiners that received the final tick of the stream.
+    pub joiners_caught_up: usize,
+    /// Joiners deployed.
+    pub joiners: usize,
+}
+
+fn poll_until(mut cond: impl FnMut() -> bool, what: &str) -> u64 {
+    let started = crate::timing::now();
+    for _ in 0..1200 {
+        if cond() {
+            return started.elapsed().as_millis() as u64;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("E9 timed out waiting for {what}");
+}
+
+fn live_set(plane: &Arc<MembershipPlane>) -> BTreeSet<NodeId> {
+    plane.live_members().into_iter().collect()
+}
+
+/// Run one churn scenario over real loopback sockets.
+pub fn churn(scenario: ChurnScenario, seed: u64) -> ChurnOutcome {
+    let ChurnScenario {
+        subscribers,
+        crashes,
+        joins,
+        ticks,
+        publish_interval_ms,
+        heartbeat_interval_ms,
+    } = scenario;
+    assert!(crashes < subscribers, "someone must survive");
+    let fleet_size = 2 + subscribers;
+
+    let payloads: Vec<Element> = (0..ticks)
+        .map(|i| Element::text_node("tick", format!("ACME {}", 100 + i)))
+        .collect();
+    // Saturating fanout: any delivery gap indicts the membership plane,
+    // not gossip's probabilistic tail.
+    let policy = GossipPolicy::new(GossipParams::new(fleet_size + joins, 6));
+    let config = NetRuntimeConfig {
+        client: HttpClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            retries: 1,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(20),
+            ..HttpClientConfig::default()
+        },
+        server: HttpServerConfig {
+            workers: 4,
+            read_slice: Duration::from_millis(2),
+            ..HttpServerConfig::default()
+        },
+        ..NetRuntimeConfig::default()
+    };
+
+    let mut fleet: ClusterRuntime<WsGossipNode> = ClusterRuntime::new(
+        seed,
+        config,
+        ClusterConfig::for_interval(SimDuration::from_millis(heartbeat_interval_ms)),
+    );
+    let coordinator = fleet.add_seed(|plane| {
+        WsGossipNode::coordinator(NodeId(0)).with_policy(policy.clone()).with_liveness(plane)
+    });
+    fleet
+        .add_node(coordinator, |plane| {
+            WsGossipNode::initiator(NodeId(1), coordinator)
+                .with_publish_schedule(
+                    "quotes",
+                    payloads,
+                    SimDuration::from_millis(publish_interval_ms),
+                )
+                .with_liveness(plane)
+        })
+        .expect("initiator joins");
+    for i in 2..fleet_size {
+        fleet
+            .add_node(coordinator, move |plane| {
+                WsGossipNode::disseminator(NodeId(i), coordinator)
+                    .with_auto_subscribe("quotes")
+                    .with_liveness(plane)
+            })
+            .expect("subscriber joins");
+    }
+
+    let everyone: BTreeSet<NodeId> = (0..fleet_size).map(NodeId).collect();
+    let convergence_ms = poll_until(
+        || everyone.iter().all(|id| live_set(&fleet.plane(*id)) == everyone),
+        "initial convergence",
+    );
+
+    let crashed: Vec<NodeId> = (fleet_size - crashes..fleet_size).map(NodeId).collect();
+    for id in &crashed {
+        fleet.crash(*id).expect("crash a live subscriber");
+    }
+    let survivors: BTreeSet<NodeId> = (0..fleet_size - crashes).map(NodeId).collect();
+    let detection_ms = poll_until(
+        || {
+            survivors
+                .iter()
+                .all(|id| crashed.iter().all(|dead| !fleet.plane(*id).is_live(*dead)))
+        },
+        "crash detection",
+    );
+
+    let mut joined = Vec::new();
+    for i in 0..joins {
+        let id = fleet
+            .add_node(coordinator, move |plane| {
+                WsGossipNode::consumer(NodeId(fleet_size + i), coordinator)
+                    .with_auto_subscribe("quotes")
+                    .with_liveness(plane)
+            })
+            .expect("late join");
+        joined.push(id);
+    }
+    let live: BTreeSet<NodeId> = survivors.iter().copied().chain(joined.clone()).collect();
+    let agreement_ms = poll_until(
+        || live.iter().all(|id| live_set(&fleet.plane(*id)) == live),
+        "post-churn agreement",
+    );
+
+    // Let the stream run out plus a grace period for the closing rounds.
+    std::thread::sleep(Duration::from_millis(publish_interval_ms * ticks as u64 + 1500));
+    let finished = fleet.shutdown();
+
+    let endpoint_of = ws_gossip::endpoint::endpoint_of;
+    let complete_survivors = (2..fleet_size - crashes)
+        .map(NodeId)
+        .filter(|id| {
+            finished
+                .iter()
+                .find(|n| n.protocol.endpoint() == endpoint_of(*id))
+                .is_some_and(|n| n.protocol.distinct_ops().len() == ticks)
+        })
+        .count();
+    let joiners_caught_up = joined
+        .iter()
+        .filter(|id| {
+            finished
+                .iter()
+                .find(|n| n.protocol.endpoint() == endpoint_of(**id))
+                .is_some_and(|n| {
+                    n.protocol.distinct_ops().iter().map(|op| op.seq).max()
+                        == Some(ticks as u64 - 1)
+                })
+        })
+        .count();
+
+    ChurnOutcome {
+        fleet: fleet_size,
+        convergence_ms,
+        detection_ms,
+        agreement_ms,
+        complete_survivors,
+        surviving_subscribers: subscribers - crashes,
+        joiners_caught_up,
+        joiners: joins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_churn_run_completes() {
+        let outcome = churn(
+            ChurnScenario {
+                subscribers: 4,
+                crashes: 1,
+                joins: 1,
+                ticks: 3,
+                publish_interval_ms: 200,
+                heartbeat_interval_ms: 40,
+            },
+            11,
+        );
+        assert_eq!(outcome.fleet, 6);
+        assert_eq!(outcome.surviving_subscribers, 3);
+        assert_eq!(
+            outcome.complete_survivors, outcome.surviving_subscribers,
+            "survivors must deliver the full stream: {outcome:?}"
+        );
+        assert_eq!(outcome.joiners, 1);
+    }
+}

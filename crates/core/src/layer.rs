@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use wsg_coord::{CoordinationContext, GossipGrant, RegistrationService, WSCOOR_NS, WSGOSSIP_NS};
 use wsg_net::sync::Mutex;
-use wsg_net::{Pcg32, RngExt};
+use wsg_net::{AllLive, Pcg32, PeerLiveness, RngExt};
 use wsg_soap::{
     Envelope, EndpointReference, Handler, HandlerOutcome, MessageContext, MessageHeaders, Uuid,
 };
@@ -54,6 +54,10 @@ struct LayerState {
     grants: BTreeMap<String, GossipGrant>,
     pending: BTreeMap<String, Vec<Envelope>>,
     registering: BTreeSet<String>,
+    // Liveness oracle consulted when sampling forward targets; grants can
+    // outlive their peers, so dead members are filtered out per round
+    // instead of waiting for the coordinator to re-issue the grant.
+    liveness: Arc<dyn PeerLiveness>,
     stats: GossipLayerStats,
 }
 
@@ -82,6 +86,11 @@ impl LayerState {
             .peers
             .iter()
             .filter(|p| p.as_str() != self.me)
+            .filter(|p| {
+                // Endpoints that don't map to a node id (external URIs)
+                // are not the liveness plane's to veto.
+                crate::endpoint::node_of(p).is_none_or(|id| self.liveness.is_live(id))
+            })
             .cloned()
             .collect();
         self.rng.shuffle(&mut pool);
@@ -111,9 +120,17 @@ impl GossipLayerHandle {
                 grants: BTreeMap::new(),
                 pending: BTreeMap::new(),
                 registering: BTreeSet::new(),
+                liveness: Arc::new(AllLive),
                 stats: GossipLayerStats::default(),
             })),
         }
+    }
+
+    /// Install a liveness oracle (e.g. a `wsg_cluster` membership plane):
+    /// per-round peer sampling skips members it reports dead, so gossip
+    /// stops dialing crashed nodes even while grants still name them.
+    pub fn set_liveness(&self, liveness: Arc<dyn PeerLiveness>) {
+        self.state.lock().liveness = liveness;
     }
 
     /// Build the chain handler sharing this state.
@@ -522,6 +539,44 @@ mod tests {
             "http://node2/gossip",
         );
         assert!(matches!(result.disposition, Disposition::Deliver(_)));
+    }
+
+    #[test]
+    fn dead_peers_are_excluded_from_sampling() {
+        #[derive(Debug)]
+        struct DeadNode3;
+        impl PeerLiveness for DeadNode3 {
+            fn is_live(&self, peer: wsg_net::NodeId) -> bool {
+                peer != wsg_net::NodeId(3)
+            }
+        }
+        let handle = GossipLayerHandle::new("http://node1/gossip", 11);
+        handle.set_liveness(Arc::new(DeadNode3));
+        handle.set_grant(
+            "ctx",
+            GossipGrant {
+                fanout: 5,
+                rounds: 4,
+                peers: vec![
+                    "http://node2/gossip".into(),
+                    "http://node3/gossip".into(),
+                    "http://node4/gossip".into(),
+                    "urn:external:endpoint".into(),
+                ],
+            },
+        );
+        let mut chain = chain_with(&handle);
+        let result = chain.process(
+            Direction::Outbound,
+            notification("ctx", "http://node1/gossip", 0, 0),
+            "http://node1/gossip",
+        );
+        // node3 is filtered; node2, node4 and the (unmapped, never vetoed)
+        // external endpoint remain.
+        assert_eq!(result.sends.len(), 3);
+        for copy in &result.sends {
+            assert_ne!(copy.addressing().to(), Some("http://node3/gossip"));
+        }
     }
 
     #[test]

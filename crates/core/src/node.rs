@@ -8,8 +8,11 @@ use wsg_coord::{
     ActivationService, CoordinationContext, CoordinatorSync, GossipPolicy, GossipProtocol,
     RegistrationService, SubscriptionList, WSGOSSIP_NS,
 };
+use std::sync::Arc;
+
 use wsg_net::{
-    Context, NodeId, Pcg32, Protocol, RngExt, SimDuration, SimTime, SplitMix64, TimerTag,
+    AllLive, Context, NodeId, Pcg32, PeerLiveness, Protocol, RngExt, SimDuration, SimTime,
+    SplitMix64, TimerTag,
 };
 use wsg_soap::handler::{Direction, Disposition};
 use wsg_soap::{EndpointReference, Envelope, HandlerChain, MessageHeaders, Uuid};
@@ -151,6 +154,9 @@ pub struct WsGossipNode {
     // Reusable serialisation buffer: every outbound envelope is written
     // into it, so steady-state transmits reuse one allocation per node.
     scratch: String,
+    // Liveness oracle: coordinator grants and layer peer sampling exclude
+    // members it reports dead. `AllLive` for static deployments.
+    liveness: Arc<dyn PeerLiveness>,
 }
 
 impl WsGossipNode {
@@ -198,6 +204,7 @@ impl WsGossipNode {
             drive: SelfDrive::default(),
             fifo: None,
             scratch: String::new(),
+            liveness: Arc::new(AllLive),
         }
     }
 
@@ -269,6 +276,20 @@ impl WsGossipNode {
         interval: SimDuration,
     ) -> Self {
         self.drive.publish = Some((topic.into(), payloads, interval));
+        self
+    }
+
+    /// Builder: consult a liveness oracle (a `wsg_cluster` membership
+    /// plane in live deployments) when building gossip grants and when
+    /// the gossip layer samples per-round forward targets — members the
+    /// oracle reports dead stop being gossip destinations immediately,
+    /// without waiting for their subscription lease to expire. Apply
+    /// *after* [`WsGossipNode::with_seed`] (which rebuilds the node).
+    pub fn with_liveness(mut self, liveness: Arc<dyn PeerLiveness>) -> Self {
+        if let Some(layer) = &self.layer {
+            layer.set_liveness(Arc::clone(&liveness));
+        }
+        self.liveness = liveness;
         self
     }
 
@@ -426,6 +447,12 @@ impl WsGossipNode {
     /// Initiator: the active context for `topic`, once activation completed.
     pub fn context_for(&self, topic: &str) -> Option<&CoordinationContext> {
         self.init.contexts.get(topic)
+    }
+
+    /// Whether `endpoint` is a usable gossip destination per the liveness
+    /// oracle (endpoints outside the node-id scheme are never vetoed).
+    fn live_peer(&self, endpoint: &str) -> bool {
+        node_of(endpoint).is_none_or(|id| self.liveness.is_live(id))
     }
 
     fn log(&mut self, now: SimTime, line: impl Into<String>) {
@@ -681,9 +708,11 @@ impl WsGossipNode {
         coord.topics.insert(context.identifier().to_string(), topic.clone());
         coord.registration.register(context.identifier(), requester.clone());
 
-        // Initial grant: the current subscribers.
+        // Initial grant: the current subscribers, minus dead members.
         let mut peers = coord.subscriptions.subscribers(&topic, now.as_millis());
         peers.retain(|p| p != &requester);
+        let liveness = Arc::clone(&self.liveness);
+        peers.retain(|p| node_of(p).is_none_or(|id| liveness.is_live(id)));
         let grant = wsg_coord::GossipGrant {
             fanout: policy.params().fanout(),
             rounds: policy.params().rounds(),
@@ -711,6 +740,7 @@ impl WsGossipNode {
             self.stats.faults += 1;
             return;
         };
+        let liveness = Arc::clone(&self.liveness);
         let Some(coord) = &mut self.coord else { return };
         coord.registration.register(&context_id, participant.clone());
         let Ok(context) = coord.activation.lookup(&context_id, now) else {
@@ -719,7 +749,8 @@ impl WsGossipNode {
         };
         let params = context.policy().params().clone();
         let topic = coord.topics.get(&context_id).cloned().unwrap_or_default();
-        // Peers: union of subscribers and registered participants.
+        // Peers: union of subscribers and registered participants, minus
+        // members the liveness oracle reports dead.
         let mut peers = coord.subscriptions.subscribers(&topic, now.as_millis());
         for p in coord.registration.participants(&context_id) {
             if !peers.contains(p) {
@@ -727,6 +758,7 @@ impl WsGossipNode {
             }
         }
         peers.retain(|p| p != &participant);
+        peers.retain(|p| node_of(p).is_none_or(|id| liveness.is_live(id)));
         let grant = wsg_coord::GossipGrant {
             fanout: params.fanout(),
             rounds: params.rounds(),
@@ -830,6 +862,7 @@ impl WsGossipNode {
                         }
                     }
                     peers.retain(|p| p != &participant);
+                    peers.retain(|p| self.live_peer(p));
                     let grant = wsg_coord::GossipGrant {
                         fanout: params.fanout(),
                         rounds: params.rounds(),

@@ -97,6 +97,7 @@ struct ClientMetrics {
     retries: Arc<Counter>,
     pool_hits: Arc<Counter>,
     pool_misses: Arc<Counter>,
+    pool_evictions: Arc<Counter>,
     backoff_micros: Arc<Counter>,
     responses: Arc<Family<Counter>>,
     post_micros: Arc<HistogramMetric>,
@@ -121,6 +122,10 @@ impl ClientMetrics {
             pool_misses: registry.register_counter(
                 "wsg_http_client_pool_misses_total",
                 "Posts that needed a fresh connection.",
+            ),
+            pool_evictions: registry.register_counter(
+                "wsg_http_client_pool_evictions_total",
+                "Idle pooled connections dropped because their peer failed or was declared dead.",
             ),
             backoff_micros: registry.register_counter(
                 "wsg_http_client_backoff_micros_total",
@@ -219,6 +224,10 @@ impl SoapHttpClient {
                     return Ok(self.finish(response, attempts, started));
                 }
                 Err(err) => {
+                    // A fresh connect failed, so any idle streams to this
+                    // peer are almost certainly dead too — drop them now
+                    // instead of burning a round-trip each on discovery.
+                    self.evict(addr);
                     if attempts > self.config.retries {
                         self.counters.post_failures.inc();
                         return Err(PostError { attempts, last: err });
@@ -263,6 +272,21 @@ impl SoapHttpClient {
 
     fn take_pooled(&self, addr: SocketAddr) -> Option<TcpStream> {
         self.pool.lock().get_mut(&addr)?.pop()
+    }
+
+    /// Drop every idle pooled connection to `addr`.
+    ///
+    /// Called internally whenever a fresh connect to `addr` fails, and by
+    /// membership-aware runtimes when a failure detector declares the
+    /// peer `Suspect`/`Dead` — keeping sockets to a dead peer only delays
+    /// discovering the failure on the next post. Returns how many idle
+    /// streams were dropped.
+    pub fn evict(&self, addr: SocketAddr) -> usize {
+        let dropped = self.pool.lock().remove(&addr).map_or(0, |idle| idle.len());
+        if dropped > 0 {
+            self.counters.pool_evictions.add(dropped as u64);
+        }
+        dropped
     }
 
     fn maybe_pool(&self, addr: SocketAddr, stream: TcpStream, response: &Response) {
@@ -338,6 +362,11 @@ impl SoapHttpClient {
     /// Idle pooled connections for `addr` right now (test visibility).
     pub fn pooled(&self, addr: SocketAddr) -> usize {
         self.pool.lock().get(&addr).map_or(0, Vec::len)
+    }
+
+    /// Idle pooled connections dropped by [`SoapHttpClient::evict`].
+    pub fn pool_evictions(&self) -> u64 {
+        self.counters.pool_evictions.get()
     }
 }
 
@@ -437,6 +466,51 @@ mod tests {
         assert_eq!(outcome.attempts, 1, "stale pool entry must not count as an attempt");
         assert_eq!(client.retries_performed(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn eviction_drops_idle_streams_and_counts_them() {
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", accept_service(), HttpServerConfig::default())
+                .unwrap();
+        let client = SoapHttpClient::new(21, HttpClientConfig::default());
+        let addr = server.local_addr();
+        let xml = sample_xml();
+        client.post(addr, "/gossip", None, &[], xml.as_bytes()).unwrap();
+        assert_eq!(client.pooled(addr), 1);
+        assert_eq!(client.evict(addr), 1, "one idle stream to drop");
+        assert_eq!(client.pooled(addr), 0);
+        assert_eq!(client.pool_evictions(), 1);
+        assert_eq!(client.evict(addr), 0, "eviction is idempotent");
+        assert_eq!(client.pool_evictions(), 1, "empty evictions are not counted");
+        server.shutdown();
+    }
+
+    #[test]
+    fn failed_connect_evicts_the_peers_pool() {
+        // Pool a live connection, kill the server, then post again: the
+        // fresh connect fails and must flush the now-dead pooled stream.
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", accept_service(), HttpServerConfig::default())
+                .unwrap();
+        let addr = server.local_addr();
+        let config = HttpClientConfig {
+            retries: 0,
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(300),
+            ..HttpClientConfig::default()
+        };
+        let client = SoapHttpClient::new(17, config);
+        let xml = sample_xml();
+        client.post(addr, "/gossip", None, &[], xml.as_bytes()).unwrap();
+        assert_eq!(client.pooled(addr), 1);
+        server.shutdown();
+        // The pooled stream fails first (without costing an attempt), then
+        // the fresh connect fails, which evicts whatever is left keyed on
+        // this address.
+        assert!(client.post(addr, "/gossip", None, &[], xml.as_bytes()).is_err());
+        assert_eq!(client.pooled(addr), 0, "dead peer must not retain pool entries");
     }
 
     #[test]

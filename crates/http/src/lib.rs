@@ -64,9 +64,11 @@ pub mod message;
 pub mod parser;
 pub mod runtime;
 pub mod server;
+pub mod time;
 
 pub use client::{HttpClientConfig, PostError, PostOutcome, SoapHttpClient};
 pub use message::{Headers, Request, Response};
 pub use parser::{ParseError, Parsed, RequestParser, ResponseParser};
-pub use runtime::{NetNode, NetRuntime, NetRuntimeConfig, TransportStats};
+pub use runtime::{NetNode, NetRuntime, NetRuntimeConfig, NodeDirectory, TransportStats};
 pub use server::{HttpServerConfig, SoapHttpServer, SoapReply, SoapRequest};
+pub use time::WallClock;

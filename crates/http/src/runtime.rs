@@ -1,7 +1,7 @@
 //! The networked node runtime: `wsg_net::threads::ThreadNet`'s twin with
 //! loopback sockets instead of channels.
 //!
-//! [`NetRuntime::spawn`] gives every `Protocol<Message = String>` node
+//! Every `Protocol<Message = String>` node added to a [`NetRuntime`] gets
 //! three things:
 //!
 //! * an HTTP **server** on `127.0.0.1:0` whose service parses each POSTed
@@ -16,6 +16,20 @@
 //! gossip protocols run here byte-for-byte unchanged from the simulator —
 //! only now a gossip round is real HTTP traffic that `tcpdump` would show.
 //!
+//! ## Dynamic membership
+//!
+//! The deployment is **live**: [`NetRuntime::add_node`] binds a socket and
+//! starts a node at any point after construction, and
+//! [`NetRuntime::remove_node`] / [`NetRuntime::crash`] take one away
+//! again. Routing goes through a shared [`NodeDirectory`] — the address
+//! table sender threads consult per envelope — so a removed node becomes
+//! unroutable immediately and a joined one routable before its first
+//! message. `crash` drops the node's listener *before* stopping its loop,
+//! so peers see `ECONNREFUSED` mid-conversation exactly like a process
+//! kill; their clients' connection pools evict the dead peer's sockets on
+//! the first failed connect. The membership plane in `wsg_cluster` builds
+//! its join/leave/failure-detection protocol directly on these primitives.
+//!
 //! ## Fault injection
 //!
 //! [`NetRuntimeConfig::refuse`] lists nodes that get an address but no
@@ -23,7 +37,9 @@
 //! them as gossip targets see `ECONNREFUSED` and walk the client's
 //! retry/backoff path, exactly like gossiping to a crashed process.
 
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -31,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use wsg_net::protocol::{Context, NodeId, Protocol, TimerTag};
 use wsg_net::rng::{Pcg32, Rng64, SplitMix64};
+use wsg_net::sync::Mutex;
 use wsg_net::time::{SimDuration, SimTime};
 use wsg_obs::{Counter, Registry};
 use wsg_soap::{Envelope, Fault, FaultCode};
@@ -68,7 +85,7 @@ pub struct TransportStats {
     pub posts_failed: u64,
     /// Connect attempts across all posts (≥ posts when retries happened).
     pub attempts: u64,
-    /// Sends to node ids outside the deployment (dropped).
+    /// Sends to node ids absent from the directory (dropped).
     pub unroutable: u64,
 }
 
@@ -79,6 +96,63 @@ pub struct NetNode<P> {
     pub protocol: P,
     /// What its sender thread saw at the transport level.
     pub transport: TransportStats,
+}
+
+/// The live routing table: which node ids are deployed right now, and
+/// where.
+///
+/// Shared (`Arc`) between the runtime and every sender thread. Entries
+/// appear when a node is added and vanish when it is removed or crashed,
+/// so routing decisions always reflect the current deployment — there is
+/// no rebuild-and-redistribute step. Node ids are dense and never reused;
+/// [`NodeDirectory::capacity`] is the all-time id ceiling (what
+/// [`Context::node_count`] reports), [`NodeDirectory::len`] the number
+/// currently routable.
+#[derive(Debug, Default)]
+pub struct NodeDirectory {
+    entries: Mutex<BTreeMap<NodeId, SocketAddr>>,
+    capacity: AtomicUsize,
+}
+
+impl NodeDirectory {
+    /// Where `id` is currently listening, if deployed.
+    pub fn addr_of(&self, id: NodeId) -> Option<SocketAddr> {
+        self.entries.lock().get(&id).copied()
+    }
+
+    /// Every currently-routable node id, ascending.
+    pub fn live(&self) -> Vec<NodeId> {
+        self.entries.lock().keys().copied().collect()
+    }
+
+    /// Whether `id` is currently routable.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.lock().contains_key(&id)
+    }
+
+    /// Number of currently-routable nodes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether no node is currently routable.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// One past the highest node id ever deployed (ids are never reused).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Acquire)
+    }
+
+    fn insert(&self, id: NodeId, addr: SocketAddr) {
+        self.entries.lock().insert(id, addr);
+        self.capacity.fetch_max(id.0 + 1, Ordering::AcqRel);
+    }
+
+    fn remove(&self, id: NodeId) -> Option<SocketAddr> {
+        self.entries.lock().remove(&id)
+    }
 }
 
 enum Inbox {
@@ -121,144 +195,222 @@ impl Context<String> for NetCtx<'_> {
     }
 }
 
+/// One deployed (or formerly deployed) node's runtime plumbing.
+struct NodeSlot<P> {
+    inbox: Sender<Inbox>,
+    node_handle: Option<JoinHandle<P>>,
+    sender_handle: Option<JoinHandle<TransportStats>>,
+    server: Option<SoapHttpServer>,
+    registry: Arc<Registry>,
+}
+
 /// A live network of protocol nodes on loopback HTTP sockets.
 pub struct NetRuntime<P: Protocol<Message = String>> {
+    directory: Arc<NodeDirectory>,
     addrs: Vec<SocketAddr>,
-    inbox_senders: Vec<Sender<Inbox>>,
-    node_handles: Vec<JoinHandle<P>>,
-    sender_handles: Vec<JoinHandle<TransportStats>>,
-    servers: Vec<Option<SoapHttpServer>>,
-    registries: Vec<Arc<Registry>>,
+    slots: Vec<NodeSlot<P>>,
     external: SoapHttpClient,
+    seeder: SplitMix64,
+    config: NetRuntimeConfig,
+    start: Instant,
 }
 
 impl<P> NetRuntime<P>
 where
     P: Protocol<Message = String> + Send + 'static,
 {
+    /// An empty runtime: no nodes yet, ready for [`NetRuntime::add_node`].
+    ///
+    /// `seed` drives every subsequent node's protocol RNG and client
+    /// backoff jitter through one `SplitMix64` chain, in add order (the
+    /// external client's jitter seed is drawn here, first).
+    pub fn new(seed: u64, config: NetRuntimeConfig) -> Self {
+        let mut seeder = SplitMix64::new(seed);
+        let external = SoapHttpClient::new(seeder.next(), config.client.clone());
+        NetRuntime {
+            directory: Arc::new(NodeDirectory::default()),
+            addrs: Vec::new(),
+            slots: Vec::new(),
+            external,
+            seeder,
+            config,
+            start: Instant::now(),
+        }
+    }
+
     /// Bind one loopback socket per protocol and start all nodes.
     ///
-    /// All listeners are bound before any node runs, so the address table
-    /// handed to the sender threads is complete from the first gossip
-    /// round. `seed` drives every node's protocol RNG and its client's
-    /// backoff jitter through one `SplitMix64` chain, in node order.
+    /// All listeners are bound (and entered into the directory) before
+    /// any node runs, so the routing table is complete from the first
+    /// gossip round — the static-fleet guarantee dynamic joins forgo.
     ///
     /// # Panics
     ///
     /// Panics if a loopback socket cannot be bound — a networked runtime
     /// without a network has no useful degraded mode.
     pub fn spawn(protocols: Vec<P>, seed: u64, config: NetRuntimeConfig) -> Self {
-        let node_count = protocols.len();
-        let start = Instant::now();
-        let mut seeder = SplitMix64::new(seed);
-
-        // Phase 1: bind everything so the address table is complete.
-        let mut addrs = Vec::with_capacity(node_count);
-        let mut listeners = Vec::with_capacity(node_count);
-        for index in 0..node_count {
-            let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
-            addrs.push(listener.local_addr().expect("listener local addr"));
-            if config.refuse.contains(&NodeId(index)) {
-                // Keep the address, drop the listener: ECONNREFUSED.
-                listeners.push(None);
-            } else {
-                listeners.push(Some(listener));
-            }
+        let mut net = Self::new(seed, config);
+        // Phase 1: bind everything so the directory is complete.
+        let bound: Vec<(NodeId, Option<TcpListener>)> =
+            protocols.iter().map(|_| net.bind_slot()).collect();
+        // Phase 2: start the nodes against the full table.
+        for (protocol, (id, listener)) in protocols.into_iter().zip(bound) {
+            net.start_slot(id, listener, protocol, Vec::new());
         }
+        net
+    }
 
-        // Phase 2: per-node plumbing. RNG draws happen in node order so a
-        // given seed always produces the same per-node streams.
-        let mut inbox_senders = Vec::with_capacity(node_count);
-        let mut inbox_receivers = Vec::with_capacity(node_count);
-        let mut rngs = Vec::with_capacity(node_count);
-        let mut client_seeds = Vec::with_capacity(node_count);
-        let mut registries = Vec::with_capacity(node_count);
-        for index in 0..node_count {
-            let (tx, rx): (Sender<Inbox>, Receiver<Inbox>) = channel();
-            inbox_senders.push(tx);
-            inbox_receivers.push(rx);
-            rngs.push(Pcg32::new(seeder.next(), index as u64));
-            client_seeds.push(seeder.next());
-            // One registry per node, shared by its server, its sender
-            // thread's client, and its transport counters — `GET
-            // /metrics` on the node's socket shows all of them.
-            registries.push(Arc::new(Registry::new()));
-        }
-        let external = SoapHttpClient::new(seeder.next(), config.client.clone());
+    /// Bind a socket, deploy `protocol` on it, and start its threads.
+    ///
+    /// The node is routable (directory entry present) before its
+    /// `on_start` runs. Returns the dense, never-reused id assigned to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a loopback socket cannot be bound.
+    pub fn add_node(&mut self, protocol: P) -> NodeId {
+        self.add_node_routed(protocol, Vec::new())
+    }
 
-        // Phase 3: servers. Each service just decodes and enqueues; all
-        // protocol work happens on the node's own thread.
-        let mut servers = Vec::with_capacity(node_count);
-        for (index, listener) in listeners.into_iter().enumerate() {
-            let Some(listener) = listener else {
-                servers.push(None);
-                continue;
-            };
-            let inbox = inbox_senders[index].clone();
+    /// Like [`NetRuntime::add_node`], but serve extra POST routes on the
+    /// node's socket: a request whose target path equals a route's target
+    /// is answered by that route's service instead of being enqueued on
+    /// the protocol inbox. `wsg_cluster` uses this to give every node a
+    /// `/membership` endpoint beside its `/gossip` one.
+    pub fn add_node_routed(&mut self, protocol: P, routes: Vec<(String, Service)>) -> NodeId {
+        let (id, listener) = self.bind_slot();
+        self.start_slot(id, listener, protocol, routes);
+        id
+    }
+
+    /// Assign the next id, bind its listener, and publish its address.
+    fn bind_slot(&mut self) -> (NodeId, Option<TcpListener>) {
+        let id = NodeId(self.addrs.len());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener local addr");
+        self.addrs.push(addr);
+        self.directory.insert(id, addr);
+        // Keep the address, drop the listener: ECONNREFUSED.
+        let listener = if self.config.refuse.contains(&id) { None } else { Some(listener) };
+        (id, listener)
+    }
+
+    /// Start server, sender and node-loop threads for a bound slot. RNG
+    /// draws happen here, in add order, so a given seed always produces
+    /// the same per-node streams for the same add sequence.
+    fn start_slot(
+        &mut self,
+        id: NodeId,
+        listener: Option<TcpListener>,
+        protocol: P,
+        routes: Vec<(String, Service)>,
+    ) {
+        let index = id.0;
+        let mut rng = Pcg32::new(self.seeder.next(), index as u64);
+        let client_seed = self.seeder.next();
+        // One registry per node, shared by its server, its sender
+        // thread's client, and its transport counters — `GET /metrics`
+        // on the node's socket shows all of them.
+        let registry = Arc::new(Registry::new());
+        let (inbox_tx, inbox_rx): (Sender<Inbox>, Receiver<Inbox>) = channel();
+
+        // Server: route-matched targets go to their service; everything
+        // else decodes and enqueues for the node's own thread.
+        let server = listener.map(|listener| {
+            let inbox = inbox_tx.clone();
             let service: Service = Arc::new(move |request: SoapRequest| {
+                for (target, route) in &routes {
+                    if request.target == *target {
+                        return route(request);
+                    }
+                }
                 let from = request.from_node.map(NodeId).unwrap_or(EXTERNAL_SENDER);
                 inbox
                     .send(Inbox::Message { from, xml: request.raw })
                     .map_err(|_| Fault::new(FaultCode::Receiver, "node is shut down"))?;
                 Ok(SoapReply::Accepted)
             });
-            servers.push(Some(
-                SoapHttpServer::serve_observed(
-                    listener,
-                    service,
-                    config.server.clone(),
-                    Arc::clone(&registries[index]),
-                )
-                .expect("start node http server"),
-            ));
-        }
+            SoapHttpServer::serve_observed(
+                listener,
+                service,
+                self.config.server.clone(),
+                Arc::clone(&registry),
+            )
+            .expect("start node http server")
+        });
 
-        // Phase 4: sender threads (one pooled client per node).
-        let mut out_senders = Vec::with_capacity(node_count);
-        let mut sender_handles = Vec::with_capacity(node_count);
-        for (index, seed) in client_seeds.iter().enumerate() {
-            let (out_tx, out_rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
-            out_senders.push(out_tx);
-            let client =
-                SoapHttpClient::new_observed(*seed, config.client.clone(), &registries[index]);
-            let transport = TransportMetrics::new(&registries[index]);
-            let addrs = addrs.clone();
-            sender_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("wsg-net-sender-{index}"))
-                    .spawn(move || sender_loop(index, out_rx, client, addrs, transport))
-                    .expect("spawn sender thread"),
-            );
-        }
+        // Sender thread: one pooled client per node, routing through the
+        // live directory so removed peers become unroutable immediately.
+        let (out_tx, out_rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
+        let client = SoapHttpClient::new_observed(client_seed, self.config.client.clone(), &registry);
+        let transport = TransportMetrics::new(&registry);
+        let directory = Arc::clone(&self.directory);
+        let sender_handle = std::thread::Builder::new()
+            .name(format!("wsg-net-sender-{index}"))
+            .spawn(move || sender_loop(index, out_rx, client, directory, transport))
+            .expect("spawn sender thread");
 
-        // Phase 5: node loops.
-        let mut node_handles = Vec::with_capacity(node_count);
-        for (index, (protocol, (rx, (mut rng, out_tx)))) in protocols
-            .into_iter()
-            .zip(inbox_receivers.into_iter().zip(rngs.into_iter().zip(out_senders)))
-            .enumerate()
-        {
-            let id = NodeId(index);
-            node_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("wsg-net-node-{index}"))
-                    .spawn(move || run_node(protocol, id, node_count, rx, out_tx, &mut rng, start))
-                    .expect("spawn node thread"),
-            );
-        }
+        // Node loop.
+        let directory = Arc::clone(&self.directory);
+        let start = self.start;
+        let node_handle = std::thread::Builder::new()
+            .name(format!("wsg-net-node-{index}"))
+            .spawn(move || run_node(protocol, id, directory, inbox_rx, out_tx, &mut rng, start))
+            .expect("spawn node thread");
 
-        NetRuntime {
-            addrs,
-            inbox_senders,
-            node_handles,
-            sender_handles,
-            servers,
-            registries,
-            external,
-        }
+        self.slots.push(NodeSlot {
+            inbox: inbox_tx,
+            node_handle: Some(node_handle),
+            sender_handle: Some(sender_handle),
+            server,
+            registry,
+        });
     }
 
-    /// The socket address node `id` serves (or would serve, if refused).
+    /// Gracefully stop node `id`: its loop drains, its queued envelopes
+    /// are sent, then its listener closes. Returns its final state, or
+    /// [`None`] if `id` was never deployed or is already stopped.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<NetNode<P>> {
+        self.stop_node(id, true)
+    }
+
+    /// Crash-stop node `id`: its listener closes **first**, so peers mid-
+    /// conversation see connection-refused (and their pools evict its
+    /// sockets), then the loop is killed with its outbound queue drained
+    /// best-effort. Returns the final state for post-mortem assertions.
+    pub fn crash(&mut self, id: NodeId) -> Option<NetNode<P>> {
+        self.stop_node(id, false)
+    }
+
+    fn stop_node(&mut self, id: NodeId, graceful: bool) -> Option<NetNode<P>> {
+        let slot = self.slots.get_mut(id.0)?;
+        let node_handle = slot.node_handle.take()?;
+        self.directory.remove(id);
+        if !graceful {
+            if let Some(mut server) = slot.server.take() {
+                server.shutdown();
+            }
+        }
+        let _ = slot.inbox.send(Inbox::Stop);
+        let protocol = node_handle.join().expect("node thread panicked");
+        let transport = slot
+            .sender_handle
+            .take()
+            .map(|h| h.join().expect("sender thread panicked"))
+            .unwrap_or_default();
+        if let Some(mut server) = slot.server.take() {
+            server.shutdown();
+        }
+        Some(NetNode { protocol, transport })
+    }
+
+    /// The shared routing table (what sender threads consult per send).
+    pub fn directory(&self) -> Arc<NodeDirectory> {
+        Arc::clone(&self.directory)
+    }
+
+    /// The socket address node `id` serves, served, or would serve (if
+    /// refused). Stable across removal so tests can probe dead ports.
     pub fn addr_of(&self, id: NodeId) -> SocketAddr {
         self.addrs[id.0]
     }
@@ -267,17 +419,23 @@ where
     /// Refused nodes have a registry too (their sender thread still
     /// accumulates transport counters); it just isn't scrapeable.
     pub fn registry_of(&self, id: NodeId) -> Arc<Registry> {
-        Arc::clone(&self.registries[id.0])
+        Arc::clone(&self.slots[id.0].registry)
     }
 
-    /// Number of nodes in the deployment.
+    /// Total nodes ever deployed (the id ceiling), including removed ones.
     pub fn node_count(&self) -> usize {
         self.addrs.len()
     }
 
+    /// Nodes currently deployed and routable.
+    pub fn live_count(&self) -> usize {
+        self.directory.len()
+    }
+
     /// POST an envelope to node `to` over a real socket, as an external
     /// client (no node-id header, so the protocol sees
-    /// [`EXTERNAL_SENDER`]).
+    /// [`EXTERNAL_SENDER`]). Targets `to`'s historical address, so posting
+    /// to a crashed node fails like any dead peer.
     ///
     /// # Errors
     ///
@@ -293,9 +451,12 @@ where
 
     /// Inject a message into node `to`'s inbox directly (no socket), as if
     /// sent by `from`. Useful for deterministic unit tests; integration
-    /// tests should prefer [`NetRuntime::post_external`].
+    /// tests should prefer [`NetRuntime::post_external`]. Silently dropped
+    /// if `to` was removed.
     pub fn send_local(&self, from: NodeId, to: NodeId, xml: String) {
-        let _ = self.inbox_senders[to.0].send(Inbox::Message { from, xml });
+        if let Some(slot) = self.slots.get(to.0) {
+            let _ = slot.inbox.send(Inbox::Message { from, xml });
+        }
     }
 
     /// Let the network run for `duration` of wall-clock time, then stop.
@@ -304,32 +465,44 @@ where
         self.shutdown()
     }
 
-    /// Stop all nodes and return their final states in id order.
+    /// Stop all still-deployed nodes and return their final states in id
+    /// order (nodes already removed or crashed are not re-reported).
     ///
     /// Ordering matters: node loops stop first (dropping their outbound
     /// queues), then sender threads drain what was already queued, then
     /// the servers close — so no in-flight envelope is lost to shutdown.
     pub fn shutdown(mut self) -> Vec<NetNode<P>> {
-        for sender in &self.inbox_senders {
-            let _ = sender.send(Inbox::Stop);
+        for slot in &self.slots {
+            if slot.node_handle.is_some() {
+                let _ = slot.inbox.send(Inbox::Stop);
+            }
         }
-        let protocols: Vec<P> = self
-            .node_handles
-            .drain(..)
-            .map(|h| h.join().expect("node thread panicked"))
+        let protocols: Vec<Option<P>> = self
+            .slots
+            .iter_mut()
+            .map(|slot| slot.node_handle.take().map(|h| h.join().expect("node thread panicked")))
             .collect();
-        let stats: Vec<TransportStats> = self
-            .sender_handles
-            .drain(..)
-            .map(|h| h.join().expect("sender thread panicked"))
+        let transports: Vec<TransportStats> = self
+            .slots
+            .iter_mut()
+            .map(|slot| {
+                slot.sender_handle
+                    .take()
+                    .map(|h| h.join().expect("sender thread panicked"))
+                    .unwrap_or_default()
+            })
             .collect();
-        for server in self.servers.iter_mut().flatten() {
-            server.shutdown();
+        for slot in &mut self.slots {
+            if let Some(mut server) = slot.server.take() {
+                server.shutdown();
+            }
         }
         protocols
             .into_iter()
-            .zip(stats)
-            .map(|(protocol, transport)| NetNode { protocol, transport })
+            .zip(transports)
+            .filter_map(|(protocol, transport)| {
+                protocol.map(|protocol| NetNode { protocol, transport })
+            })
             .collect()
     }
 }
@@ -360,7 +533,7 @@ impl TransportMetrics {
             ),
             unroutable: registry.register_counter(
                 "wsg_transport_unroutable_total",
-                "Outbound envelopes addressed to unknown node ids",
+                "Outbound envelopes addressed to node ids absent from the directory",
             ),
         }
     }
@@ -370,14 +543,16 @@ fn sender_loop(
     index: usize,
     out_rx: Receiver<Outbound>,
     client: SoapHttpClient,
-    addrs: Vec<SocketAddr>,
+    directory: Arc<NodeDirectory>,
     metrics: TransportMetrics,
 ) -> TransportStats {
     let mut stats = TransportStats::default();
     let node_header = [(NODE_HEADER.to_string(), index.to_string())];
     // Runs until every clone of the node's out_tx is gone (node stopped).
     while let Ok(Outbound { to, xml }) = out_rx.recv() {
-        let Some(addr) = addrs.get(to.0).copied() else {
+        // Route through the live directory: a peer removed after this
+        // envelope was queued is dropped here instead of dialed.
+        let Some(addr) = directory.addr_of(to) else {
             stats.unroutable += 1;
             metrics.unroutable.inc();
             continue;
@@ -406,7 +581,7 @@ fn sender_loop(
 fn run_node<P>(
     mut protocol: P,
     id: NodeId,
-    node_count: usize,
+    directory: Arc<NodeDirectory>,
     rx: Receiver<Inbox>,
     out_tx: Sender<Outbound>,
     rng: &mut Pcg32,
@@ -425,7 +600,7 @@ where
         let mut ctx = NetCtx {
             start,
             id,
-            node_count,
+            node_count: directory.capacity(),
             rng,
             outbox: Vec::new(),
             timer_requests: Vec::new(),
@@ -607,5 +782,71 @@ mod tests {
         let nodes = net.shutdown_after(Duration::from_millis(200));
         assert_eq!(nodes[0].transport.unroutable, 1);
         assert_eq!(nodes[0].transport.posts_ok, 0);
+    }
+
+    #[test]
+    fn nodes_join_a_running_deployment() {
+        let mut net = NetRuntime::new(51, quick_config());
+        let a = net.add_node(Ponger { seen: Vec::new() });
+        assert_eq!((net.node_count(), net.live_count()), (1, 1));
+        let b = net.add_node(Ponger { seen: Vec::new() });
+        assert_eq!((net.node_count(), net.live_count()), (2, 2));
+        assert_ne!(net.addr_of(a), net.addr_of(b));
+        // The late joiner is immediately routable: a ping to the founder
+        // comes back to it over a real socket.
+        net.send_local(b, a, envelope_xml("ping", "urn:test:Ping"));
+        let nodes = net.shutdown_after(Duration::from_millis(700));
+        assert!(
+            nodes[b.0].protocol.seen.iter().any(|(f, op)| *f == a && op == "pong"),
+            "joiner never got the pong: {:?}",
+            nodes[b.0].protocol.seen
+        );
+    }
+
+    #[test]
+    fn crashed_node_is_refused_and_unrouted() {
+        let mut net = NetRuntime::spawn(
+            vec![Ponger { seen: Vec::new() }, Ponger { seen: Vec::new() }],
+            29,
+            quick_config(),
+        );
+        let crashed = net.crash(NodeId(1)).expect("node 1 was deployed");
+        assert!(crashed.protocol.seen.is_empty());
+        assert_eq!(net.live_count(), 1);
+        assert!(net.crash(NodeId(1)).is_none(), "second crash is a no-op");
+        // Its port now refuses connections...
+        assert!(net.post_external(NodeId(1), None, &envelope_xml("x", "urn:test:X")).is_err());
+        // ...and envelopes queued for it are dropped as unroutable.
+        net.send_local(NodeId(1), NodeId(0), envelope_xml("ping", "urn:test:Ping"));
+        let nodes = net.shutdown_after(Duration::from_millis(700));
+        assert_eq!(nodes.len(), 1, "only the survivor reports");
+        assert_eq!(nodes[0].transport.unroutable, 1, "pong to the crashed peer dropped");
+        assert_eq!(nodes[0].transport.posts_failed, 0, "dropped before dialing");
+    }
+
+    #[test]
+    fn extra_routes_are_served_beside_the_inbox() {
+        let route: Service = Arc::new(|request: SoapRequest| {
+            assert_eq!(request.target, "/membership");
+            Ok(SoapReply::Accepted)
+        });
+        let mut net = NetRuntime::new(77, quick_config());
+        let id = net.add_node_routed(
+            Ponger { seen: Vec::new() },
+            vec![("/membership".to_string(), route)],
+        );
+        let client = SoapHttpClient::new(5, HttpClientConfig::default());
+        let xml = envelope_xml("probe", "urn:test:Probe");
+        let outcome = client
+            .post(net.addr_of(id), "/membership", None, &[], xml.as_bytes())
+            .unwrap();
+        assert_eq!(outcome.response.status, 202);
+        // The routed request must NOT have reached the protocol inbox.
+        let nodes = net.shutdown_after(Duration::from_millis(200));
+        assert!(
+            nodes[0].protocol.seen.is_empty(),
+            "routed request leaked into the inbox: {:?}",
+            nodes[0].protocol.seen
+        );
     }
 }

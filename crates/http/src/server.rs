@@ -57,6 +57,14 @@ pub struct HttpServerConfig {
     pub max_body_bytes: usize,
     /// Accepted-but-unserviced connections to queue before refusing.
     pub queue_depth: usize,
+    /// How long a worker blocks per read before re-queuing a quiet
+    /// connection and serving the next one. Workers multiplex over all
+    /// live connections in slices, so a request arriving on an idle
+    /// keep-alive connection waits on average `connections * read_slice
+    /// / (2 * workers)` for attention: shrink this (and/or raise
+    /// `workers`) for latency-sensitive fleets with many idle
+    /// connections, at the cost of more wakeups.
+    pub read_slice: Duration,
 }
 
 impl Default for HttpServerConfig {
@@ -67,6 +75,7 @@ impl Default for HttpServerConfig {
             max_head_bytes: crate::parser::MAX_HEAD_BYTES,
             max_body_bytes: crate::parser::MAX_BODY_BYTES,
             queue_depth: 64,
+            read_slice: READ_SLICE,
         }
     }
 }
@@ -74,6 +83,9 @@ impl Default for HttpServerConfig {
 /// A decoded SOAP request as handed to the [`Service`].
 #[derive(Debug, Clone)]
 pub struct SoapRequest {
+    /// Request target path with any query string stripped (`"/gossip"`,
+    /// `"/membership"`, ...) — services route multi-endpoint nodes on it.
+    pub target: String,
     /// `SOAPAction` header, quotes stripped.
     pub action: Option<String>,
     /// Sending node id from the [`NODE_HEADER`] header, when present.
@@ -365,7 +377,7 @@ fn accept_loop(
             // The wakeup connection (or a straggler during shutdown).
             return;
         }
-        if stream.set_read_timeout(Some(READ_SLICE)).is_err() {
+        if stream.set_read_timeout(Some(config.read_slice.max(Duration::from_millis(1)))).is_err() {
             continue;
         }
         let _ = stream.set_nodelay(true);
@@ -387,10 +399,11 @@ fn accept_loop(
     }
 }
 
-/// How long a worker blocks per read before re-queuing the connection and
-/// moving to the next one. Small, because a keep-alive peer may hold its
-/// pooled connection open for a long time: workers multiplex over all
-/// live connections in slices rather than parking on one each.
+/// Default for [`HttpServerConfig::read_slice`]: how long a worker blocks
+/// per read before re-queuing the connection and moving to the next one.
+/// Small, because a keep-alive peer may hold its pooled connection open
+/// for a long time: workers multiplex over all live connections in slices
+/// rather than parking on one each.
 const READ_SLICE: Duration = Duration::from_millis(10);
 
 fn worker_loop(
@@ -409,7 +422,7 @@ fn worker_loop(
         // worker never starves a busy one.
         let conn = {
             let rx = conn_rx.lock();
-            match rx.recv_timeout(READ_SLICE * 4) {
+            match rx.recv_timeout(config.read_slice * 4) {
                 Ok(conn) => Some(conn),
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
@@ -486,7 +499,7 @@ fn serve_slice(
                 if stop.load(Ordering::SeqCst) {
                     return None;
                 }
-                conn.idle += READ_SLICE;
+                conn.idle += config.read_slice;
                 if conn.idle >= config.keep_alive {
                     return None;
                 }
@@ -534,6 +547,12 @@ fn handle_request(
         }
     };
     let soap_request = SoapRequest {
+        target: request
+            .target
+            .split('?')
+            .next()
+            .unwrap_or(request.target.as_str())
+            .to_string(),
         action: request.soap_action().map(str::to_string),
         from_node: request.header(NODE_HEADER).and_then(|v| v.trim().parse().ok()),
         peer,
@@ -629,6 +648,24 @@ mod tests {
         assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "got: {reply}");
         assert!(reply.contains("ACME 101.25"));
         assert_eq!(server.requests_served(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn service_sees_the_request_target_query_stripped() {
+        let service: Service = Arc::new(|req: SoapRequest| {
+            assert_eq!(req.target, "/membership", "query must be stripped: {}", req.target);
+            Ok(SoapReply::Accepted)
+        });
+        let mut server =
+            SoapHttpServer::bind("127.0.0.1:0", service, HttpServerConfig::default()).unwrap();
+        let body = sample_envelope().to_xml();
+        let wire = format!(
+            "POST /membership?src=test HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let reply = raw_exchange(server.local_addr(), wire.as_bytes());
+        assert!(reply.starts_with("HTTP/1.1 202 "), "got: {reply}");
         server.shutdown();
     }
 
@@ -820,6 +857,7 @@ mod tests {
             },
         );
         let request = SoapRequest {
+            target: "/gossip".into(),
             action: Some("urn:svc:Notify".into()),
             from_node: Some(1),
             peer: "127.0.0.1:1".parse().unwrap(),

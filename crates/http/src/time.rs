@@ -1,0 +1,76 @@
+//! The wall-clock [`Clock`]: the bridge that lets clock-generic protocol
+//! layers (`wsg_membership`, `wsg_cluster`) run over real sockets.
+//!
+//! Everything below the transport is written against
+//! [`wsg_net::time::Clock`] and tested with `ManualClock`, which keeps the
+//! simulated runs bit-identical. `wsg_http` is one of the two crates the
+//! D2 lint rule permits to observe the wall clock (the other is
+//! `wsg_bench::timing` — see `wsg_net::time`'s module docs), so the
+//! `Instant`-backed implementation lives here.
+
+use std::time::Instant;
+
+use wsg_net::time::{Clock, SimDuration, SimTime};
+
+/// A [`Clock`] that reports wall-clock time elapsed since its creation
+/// (or a chosen epoch) as [`SimTime`].
+///
+/// Anchoring to a construction-time epoch rather than an absolute clock
+/// keeps the reported values small, monotone and comparable across every
+/// component sharing one `WallClock` — the same shape `MembershipView`
+/// timestamps have in simulation.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose `now()` starts at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+
+    /// A clock sharing `epoch` with other components (e.g. the runtime's
+    /// start instant, so membership timestamps line up with transport
+    /// metrics).
+    pub fn since(epoch: Instant) -> Self {
+        WallClock { epoch }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_std(self.epoch.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_anchored_at_zero() {
+        let clock = WallClock::new();
+        let first = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let second = clock.now();
+        assert!(second > first, "{second:?} must advance past {first:?}");
+        assert!(first < SimTime::ZERO + SimDuration::from_secs(5), "epoch anchors near zero");
+    }
+
+    #[test]
+    fn shared_epoch_clocks_agree() {
+        let epoch = Instant::now();
+        let a = WallClock::since(epoch);
+        let b = WallClock::since(epoch);
+        let (ta, tb) = (a.now(), b.now());
+        let gap = if ta > tb { ta.since(tb) } else { tb.since(ta) };
+        assert!(gap < SimDuration::from_millis(100), "clocks diverged by {gap:?}");
+    }
+}

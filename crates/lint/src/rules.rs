@@ -230,6 +230,7 @@ const D1_SCOPE_DIRS: &[&str] = &[
     "crates/gossip/src/",
     "crates/coord/src/",
     "crates/membership/src/",
+    "crates/cluster/src/",
     "crates/baselines/src/",
 ];
 

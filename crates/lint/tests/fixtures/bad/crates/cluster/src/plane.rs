@@ -1,0 +1,22 @@
+//! D1 fixture for the membership-plane crate: the live view is protocol
+//! state, so hash collections are banned here exactly as in `coord`.
+
+use std::collections::HashSet; // line 4: fires
+
+pub struct View {
+    pub suspects: HashSet<u64>, // line 7: fires
+}
+
+// Invisible to rules: HashMap in a comment, "HashSet" in a string.
+pub const DOC: &str = "HashMap of members";
+
+// wsg_lint: allow(hash-collections) — scratch set, order never escapes
+pub type Scratch = std::collections::HashSet<u64>; // line 14: suppressed
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::collections::HashMap::<u8, u8>::new(); // exempt
+    }
+}

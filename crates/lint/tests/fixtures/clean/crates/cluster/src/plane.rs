@@ -1,0 +1,16 @@
+//! Clean membership-plane fixture: ordered collections for the view,
+//! time through the `Clock` abstraction, no ambient randomness.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Plane {
+    pub heartbeats: BTreeMap<u64, u64>,
+    pub condemned: BTreeSet<u64>,
+}
+
+impl Plane {
+    pub fn tick(&mut self, member: u64) {
+        *self.heartbeats.entry(member).or_insert(0) += 1;
+        self.condemned.remove(&member);
+    }
+}

@@ -33,6 +33,12 @@ pub struct MemberInfo {
 /// heartbeat; the merge is commutative, associative and idempotent, which
 /// is what lets heartbeats spread by gossip.
 ///
+/// The view is **clock-generic**: every mutation takes the caller's
+/// `now: SimTime`, so the same code runs on the simulator's virtual
+/// clock and, via a [`wsg_net::time::Clock`], on wall-clock time in the
+/// live membership plane (`wsg_cluster`) — bit-identically for the same
+/// sequence of readings.
+///
 /// ```
 /// use wsg_membership::MembershipView;
 /// use wsg_net::{NodeId, SimTime};
@@ -75,6 +81,48 @@ impl MembershipView {
                 );
                 true
             }
+        }
+    }
+
+    /// Re-admit a member whose heartbeat counter may have **regressed** —
+    /// a process restart resets the counter to zero, which
+    /// [`MembershipView::record`] would treat as stale evidence forever.
+    /// The entry is replaced unconditionally (fresh heartbeat, `Alive`).
+    /// Only an explicit re-introduction (a cluster `Join`) may do this;
+    /// gossiped evidence must keep going through `record`/`merge` so the
+    /// merge stays monotone.
+    pub fn readmit(&mut self, member: NodeId, heartbeat: u64, now: SimTime) {
+        self.members.insert(
+            member,
+            MemberInfo { heartbeat, last_progress: now, status: MemberStatus::Alive },
+        );
+    }
+
+    /// Downgrade an `Alive` member to `Suspect` on out-of-band evidence
+    /// (e.g. a φ accrual detector exceeding its threshold before the
+    /// fixed suspect timeout does). Returns whether the status changed;
+    /// `Suspect`/`Dead` entries are left as the timeouts decided.
+    pub fn mark_suspect(&mut self, member: NodeId) -> bool {
+        match self.members.get_mut(&member) {
+            Some(info) if info.status == MemberStatus::Alive => {
+                info.status = MemberStatus::Suspect;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Declare a member `Dead` immediately (a graceful `Leave`, or a
+    /// connection refused by the member's socket). The entry remains as a
+    /// tombstone until `forget_after` elapses in
+    /// [`MembershipView::reassess`]; a fresh heartbeat resurrects it.
+    pub fn mark_dead(&mut self, member: NodeId) -> bool {
+        match self.members.get_mut(&member) {
+            Some(info) if info.status != MemberStatus::Dead => {
+                info.status = MemberStatus::Dead;
+                true
+            }
+            _ => false,
         }
     }
 
@@ -151,6 +199,20 @@ impl MembershipView {
     /// Number of alive members.
     pub fn alive_count(&self) -> usize {
         self.members.values().filter(|i| i.status == MemberStatus::Alive).count()
+    }
+
+    /// `(alive, suspect, dead)` entry counts — the triple the
+    /// `wsg_membership_{alive,suspect,dead}` gauges export.
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for info in self.members.values() {
+            match info.status {
+                MemberStatus::Alive => counts.0 += 1,
+                MemberStatus::Suspect => counts.1 += 1,
+                MemberStatus::Dead => counts.2 += 1,
+            }
+        }
+        counts
     }
 
     /// Total entries (any status).
@@ -232,6 +294,58 @@ mod tests {
         assert_eq!(v.status(NodeId(2)), Some(MemberStatus::Suspect));
         v.record(NodeId(2), 2, SimTime::from_millis(210));
         assert_eq!(v.status(NodeId(2)), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn readmit_accepts_a_regressed_heartbeat() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(3), 500, SimTime::ZERO);
+        // A restarted process starts its counter over; record() must keep
+        // rejecting that as stale...
+        assert!(!v.record(NodeId(3), 1, SimTime::from_millis(10)));
+        assert_eq!(v.heartbeat(NodeId(3)), Some(500));
+        // ...while an explicit re-introduction replaces the entry.
+        v.readmit(NodeId(3), 1, SimTime::from_millis(20));
+        assert_eq!(v.heartbeat(NodeId(3)), Some(1));
+        assert_eq!(v.status(NodeId(3)), Some(MemberStatus::Alive));
+        // Progress resumes from the fresh counter.
+        assert!(v.record(NodeId(3), 2, SimTime::from_millis(30)));
+    }
+
+    #[test]
+    fn mark_suspect_only_downgrades_alive() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(1), 1, SimTime::ZERO);
+        assert!(v.mark_suspect(NodeId(1)));
+        assert_eq!(v.status(NodeId(1)), Some(MemberStatus::Suspect));
+        assert!(!v.mark_suspect(NodeId(1)), "already suspect");
+        assert!(!v.mark_suspect(NodeId(9)), "unknown member");
+        v.mark_dead(NodeId(1));
+        assert!(!v.mark_suspect(NodeId(1)), "dead is worse than suspect");
+    }
+
+    #[test]
+    fn mark_dead_tombstones_until_fresh_evidence() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(4), 7, SimTime::ZERO);
+        assert!(v.mark_dead(NodeId(4)));
+        assert!(!v.mark_dead(NodeId(4)), "already dead");
+        assert!(v.alive().is_empty());
+        assert!(v.snapshot().is_empty(), "dead entries are not gossiped");
+        // Fresh heartbeat progress resurrects.
+        assert!(v.record(NodeId(4), 8, SimTime::from_millis(5)));
+        assert_eq!(v.status(NodeId(4)), Some(MemberStatus::Alive));
+    }
+
+    #[test]
+    fn status_counts_cover_all_states() {
+        let mut v = MembershipView::new();
+        v.record(NodeId(0), 1, SimTime::ZERO);
+        v.record(NodeId(1), 1, SimTime::ZERO);
+        v.record(NodeId(2), 1, SimTime::ZERO);
+        v.mark_suspect(NodeId(1));
+        v.mark_dead(NodeId(2));
+        assert_eq!(v.status_counts(), (1, 1, 1));
     }
 
     #[test]

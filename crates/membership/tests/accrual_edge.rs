@@ -1,0 +1,149 @@
+//! Edge cases of the φ accrual detector that the inline unit tests skirt
+//! around: cold starts with no history, pathologically regular heartbeat
+//! streams (zero sample variance), and the heartbeat regression a node
+//! restart produces.
+
+use wsg_membership::{MemberStatus, MembershipView, PhiAccrual};
+use wsg_net::{NodeId, SimDuration, SimTime};
+
+fn feed_regular(phi: &mut PhiAccrual, period_ms: u64, count: usize) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for _ in 0..count {
+        t += SimDuration::from_millis(period_ms);
+        phi.heartbeat(t);
+    }
+    t
+}
+
+// ---------------------------------------------------------- cold start
+
+#[test]
+fn first_heartbeat_yields_zero_suspicion_at_any_horizon() {
+    // One arrival is a point, not a distribution: the detector must stay
+    // optimistic however long it then waits, instead of inventing a rate.
+    let mut phi = PhiAccrual::new(16);
+    phi.heartbeat(SimTime::from_millis(100));
+    for silence_secs in [0u64, 1, 60, 3600, 86_400] {
+        let at = SimTime::from_millis(100) + SimDuration::from_secs(silence_secs);
+        assert_eq!(phi.phi(at), 0.0, "cold detector suspected after {silence_secs}s");
+        assert!(!phi.is_suspect(at, 0.5));
+    }
+    assert_eq!(phi.samples(), 0, "no interval can exist after one beat");
+    assert_eq!(phi.mean_interval(), None);
+}
+
+#[test]
+fn two_heartbeats_still_insufficient_history() {
+    // Two arrivals make one interval; phi() requires at least two so a
+    // single lucky gap cannot define the whole distribution.
+    let mut phi = PhiAccrual::new(16);
+    phi.heartbeat(SimTime::from_millis(0));
+    phi.heartbeat(SimTime::from_millis(100));
+    assert_eq!(phi.samples(), 1);
+    assert_eq!(phi.phi(SimTime::from_secs(50)), 0.0);
+    // The third arrival crosses the threshold into a usable history.
+    phi.heartbeat(SimTime::from_millis(200));
+    assert_eq!(phi.samples(), 2);
+    assert!(phi.phi(SimTime::from_secs(50)) > 8.0, "history present, silence overwhelming");
+}
+
+// ---------------------------------------------------- zero variance
+
+#[test]
+fn zero_variance_stream_produces_finite_monotone_phi() {
+    // A perfectly periodic stream has sample variance exactly 0; the
+    // sigma floor must keep phi finite (no division blow-up, no NaN) and
+    // monotone in elapsed silence.
+    let mut phi = PhiAccrual::new(32);
+    let t = feed_regular(&mut phi, 100, 40);
+    let mut last = -1.0f64;
+    for extra_ms in [0u64, 50, 100, 120, 150, 200, 400, 1000, 10_000] {
+        let value = phi.phi(t + SimDuration::from_millis(extra_ms));
+        assert!(value.is_finite(), "phi must stay finite at +{extra_ms}ms, got {value}");
+        assert!(value >= 0.0, "phi is a -log10 of a probability: {value}");
+        assert!(
+            value >= last,
+            "phi must be monotone in silence: {value} < {last} at +{extra_ms}ms"
+        );
+        last = value;
+    }
+    // Right on schedule the stream is unsuspicious...
+    assert!(phi.phi(t + SimDuration::from_millis(100)) < 2.0);
+    // ...and a clearly missed beat saturates quickly thanks to the
+    // floored (not zero) sigma.
+    assert!(phi.phi(t + SimDuration::from_millis(400)) > 8.0);
+}
+
+#[test]
+fn zero_interval_heartbeat_bursts_do_not_poison_the_estimator() {
+    // Several heartbeats at the same instant (gossip can batch them)
+    // contribute zero-length intervals; phi must remain finite and the
+    // detector usable afterwards.
+    let mut phi = PhiAccrual::new(8);
+    let t = SimTime::from_millis(500);
+    for _ in 0..5 {
+        phi.heartbeat(t);
+    }
+    assert!(phi.samples() >= 2);
+    let value = phi.phi(t + SimDuration::from_millis(1));
+    assert!(value.is_finite(), "burst of coincident beats gave phi={value}");
+}
+
+// ------------------------------------------------- restart regression
+
+#[test]
+fn detector_recovers_after_a_restart_gap() {
+    // A node restarts: long silence (suspicion saturates), then
+    // heartbeats resume. The resumed rhythm must pull phi back below any
+    // reasonable threshold, even though the giant gap entered the window.
+    let mut phi = PhiAccrual::new(8);
+    let t = feed_regular(&mut phi, 100, 20);
+    let down = t + SimDuration::from_secs(30);
+    assert!(phi.phi(down) > 8.0, "silence must saturate suspicion");
+
+    // The node comes back and beats regularly again.
+    let mut now = down;
+    phi.heartbeat(now); // the 30s outlier interval enters the window here
+    for _ in 0..8 {
+        now += SimDuration::from_millis(100);
+        phi.heartbeat(now);
+    }
+    // The sliding window has re-learned the 100ms rhythm (the outlier is
+    // evicted after `window` further samples), so fresh silence of one
+    // period is unsuspicious again.
+    assert!(
+        phi.phi(now + SimDuration::from_millis(100)) < 2.0,
+        "detector failed to re-learn the rhythm after restart: {}",
+        phi.phi(now + SimDuration::from_millis(100))
+    );
+    assert_eq!(phi.mean_interval().unwrap().as_millis(), 100);
+}
+
+#[test]
+fn view_restart_regression_needs_readmit_not_gossip() {
+    // The restarted node's heartbeat counter resets to 0. Gossiped
+    // evidence (record/merge) must never un-progress the view — only the
+    // explicit Join-path readmit may replace the entry.
+    let mut view = MembershipView::new();
+    let restarted = NodeId(6);
+    view.record(restarted, 941, SimTime::ZERO);
+    view.reassess(
+        SimTime::from_secs(10),
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(6),
+        SimDuration::from_secs(60),
+    );
+    assert_eq!(view.status(restarted), Some(MemberStatus::Dead));
+
+    // Post-restart heartbeats 1, 2, 3... all look stale against 941.
+    for hb in 1..=3 {
+        assert!(!view.record(restarted, hb, SimTime::from_secs(11)));
+    }
+    assert_eq!(view.status(restarted), Some(MemberStatus::Dead), "gossip cannot readmit");
+
+    view.readmit(restarted, 3, SimTime::from_secs(12));
+    assert_eq!(view.status(restarted), Some(MemberStatus::Alive));
+    assert_eq!(view.heartbeat(restarted), Some(3));
+    // From here normal gossip progression applies again.
+    assert!(view.record(restarted, 4, SimTime::from_secs(13)));
+}

@@ -51,9 +51,9 @@ pub mod trace;
 pub use faults::{FaultEvent, FaultSchedule};
 pub use histogram::Histogram;
 pub use latency::LatencyModel;
-pub use protocol::{Context, NodeId, Protocol, TimerTag};
+pub use protocol::{AllLive, Context, NodeId, PeerLiveness, Protocol, TimerTag};
 pub use rng::{Pcg32, Rng64, RngExt, SplitMix64};
 pub use sim::{SimConfig, SimNet};
 pub use stats::SimStats;
-pub use time::{SimDuration, SimTime};
+pub use time::{Clock, ManualClock, SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceKind};

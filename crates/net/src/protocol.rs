@@ -53,6 +53,29 @@ pub trait Context<M> {
     fn rng(&mut self) -> &mut dyn Rng64;
 }
 
+/// A read-only liveness oracle over node identities.
+///
+/// Live runtimes with a membership plane (`wsg_cluster`) implement this
+/// over their failure-detected view; consumers such as the WS-Gossip
+/// coordinator filter per-round peer lists through it so gossip stops
+/// targeting dead members. Static deployments use [`AllLive`].
+pub trait PeerLiveness: Send + Sync + std::fmt::Debug {
+    /// Whether `peer` is currently believed usable as a gossip target
+    /// (alive or merely suspect — erring towards availability is the
+    /// caller's policy choice when implementing this).
+    fn is_live(&self, peer: NodeId) -> bool;
+}
+
+/// The static-deployment [`PeerLiveness`]: everyone is always live.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllLive;
+
+impl PeerLiveness for AllLive {
+    fn is_live(&self, _peer: NodeId) -> bool {
+        true
+    }
+}
+
 /// A deterministic, event-driven protocol state machine.
 ///
 /// All interaction with the world goes through the [`Context`]; protocols

@@ -1,4 +1,32 @@
-//! Virtual time.
+//! Virtual time, and the [`Clock`] abstraction that lets time-keeping
+//! components run on either virtual or wall-clock time.
+//!
+//! ## Who may observe the wall clock
+//!
+//! `SimTime`/`SimDuration` are the *only* time types protocols and
+//! membership components touch; where the microseconds come from is the
+//! runtime's business. Lint rule **D2** pins the raw wall-clock reads
+//! (`Instant::now`/`SystemTime`) to exactly two layers:
+//!
+//! * `wsg_bench::timing` — the sanctioned measurement stopwatch;
+//! * `wsg_http` — the socket transport and its runtimes, which provide
+//!   [`wsg_http` `WallClock`](https://example.org) mapping process uptime
+//!   onto `SimTime`.
+//!
+//! Everything else — including the live membership plane in
+//! `wsg_cluster` — receives time through a [`Clock`], so the same
+//! `MembershipView`/`FailureDetectorConfig`/`PhiAccrual` code runs
+//! bit-identically in the simulator (driven by `SimNet`'s virtual clock)
+//! and on real sockets (driven by `wsg_http::WallClock`).
+//!
+//! ## Sim-vs-wall conversions
+//!
+//! [`SimDuration::to_std`] / [`SimDuration::from_std`] are the one pair
+//! of sanctioned conversion helpers between virtual durations and
+//! `std::time::Duration`. Both are exact at microsecond granularity
+//! (`from_std` truncates sub-microsecond precision and saturates at
+//! `u64::MAX` microseconds), so converting back and forth never drifts
+//! by more than a microsecond.
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
@@ -102,6 +130,93 @@ impl SimDuration {
     pub const fn saturating_mul(&self, factor: u64) -> Self {
         SimDuration(self.0.saturating_mul(factor))
     }
+
+    /// Divide by an integer factor (truncating); zero divisor yields zero
+    /// rather than panicking, keeping timer arithmetic total.
+    pub const fn div(&self, divisor: u64) -> Self {
+        match self.0.checked_div(divisor) {
+            Some(scaled) => SimDuration(scaled),
+            None => SimDuration(0),
+        }
+    }
+
+    /// The equivalent `std::time::Duration` — exact, since both count
+    /// microseconds. The sanctioned bridge for wall-clock runtimes
+    /// (`wsg_http`, `wsg_cluster`) that must sleep or set socket
+    /// timeouts for a virtual duration.
+    pub const fn to_std(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.0)
+    }
+
+    /// The virtual equivalent of a `std::time::Duration`, truncating to
+    /// microsecond granularity and saturating at `u64::MAX` microseconds.
+    pub const fn from_std(duration: std::time::Duration) -> Self {
+        let micros = duration.as_micros();
+        if micros > u64::MAX as u128 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(micros as u64)
+        }
+    }
+}
+
+/// A source of [`SimTime`] readings.
+///
+/// The simulator's event loop *is* a clock (virtual time advances from
+/// event to event); wall-clock runtimes implement this by measuring
+/// process uptime (`wsg_http::WallClock`). Components that take a
+/// `&dyn Clock` (or `Arc<dyn Clock>`) are thereby generic over both —
+/// the membership view and failure detectors run bit-identically in
+/// simulation and on real sockets.
+pub trait Clock: Send + Sync {
+    /// The current reading. Monotone non-decreasing per clock instance.
+    fn now(&self) -> SimTime;
+}
+
+/// A hand-cranked [`Clock`] for tests of wall-clock-generic components:
+/// time only moves when the test advances it.
+///
+/// ```
+/// use wsg_net::time::{Clock, ManualClock, SimDuration, SimTime};
+///
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now(), SimTime::ZERO);
+/// clock.advance(SimDuration::from_millis(250));
+/// assert_eq!(clock.now(), SimTime::from_millis(250));
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    micros: std::sync::atomic::AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `at`.
+    pub fn at(at: SimTime) -> Self {
+        let clock = Self::new();
+        clock.set(at);
+        clock
+    }
+
+    /// Move the clock forward by `delta`.
+    pub fn advance(&self, delta: SimDuration) {
+        self.micros.fetch_add(delta.as_micros(), std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute reading (monotonicity is the caller's duty).
+    pub fn set(&self, at: SimTime) {
+        self.micros.store(at.as_micros(), std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(std::sync::atomic::Ordering::SeqCst))
+    }
 }
 
 impl Add<SimDuration> for SimTime {
@@ -173,5 +288,35 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn std_conversions_are_exact_at_microsecond_granularity() {
+        let d = SimDuration::from_millis(1234);
+        assert_eq!(d.to_std(), std::time::Duration::from_millis(1234));
+        assert_eq!(SimDuration::from_std(d.to_std()), d);
+        // Sub-microsecond precision truncates rather than rounding up, so
+        // a sleep never overshoots its virtual duration by conversion.
+        let fine = std::time::Duration::from_nanos(1_500);
+        assert_eq!(SimDuration::from_std(fine), SimDuration::from_micros(1));
+        // Saturation instead of overflow for absurd durations.
+        let huge = std::time::Duration::from_secs(u64::MAX);
+        assert_eq!(SimDuration::from_std(huge), SimDuration::from_micros(u64::MAX));
+    }
+
+    #[test]
+    fn div_is_total() {
+        assert_eq!(SimDuration::from_millis(10).div(2), SimDuration::from_millis(5));
+        assert_eq!(SimDuration::from_millis(10).div(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let clock = ManualClock::at(SimTime::from_secs(1));
+        assert_eq!(clock.now(), SimTime::from_secs(1));
+        clock.advance(SimDuration::from_millis(500));
+        assert_eq!(clock.now(), SimTime::from_millis(1500));
+        clock.set(SimTime::from_secs(9));
+        assert_eq!(clock.now(), SimTime::from_secs(9));
     }
 }

@@ -172,6 +172,85 @@ fn live_metrics_endpoint_spans_gossip_coordinator_and_http_families() {
     server.shutdown();
 }
 
+/// The membership plane publishes its gauges into the same per-node
+/// registry the listener serves: scraping a live cluster node's socket
+/// yields the `wsg_membership_*` family, and the gauges track the view
+/// through a crash.
+#[test]
+fn live_cluster_node_exposes_membership_gauges() {
+    use wsg_cluster::{ClusterConfig, ClusterRuntime};
+    use wsg_net::{Context, PeerLiveness, Protocol};
+
+    #[derive(Debug, Default)]
+    struct Idle;
+    impl Protocol for Idle {
+        type Message = String;
+        fn on_message(&mut self, _from: NodeId, _msg: String, _ctx: &mut dyn Context<String>) {}
+    }
+
+    let mut fleet: ClusterRuntime<Idle> = ClusterRuntime::new(
+        7,
+        NetRuntimeConfig::default(),
+        ClusterConfig::for_interval(SimDuration::from_millis(20)),
+    );
+    let seed = fleet.add_seed(|_| Idle);
+    for _ in 0..2 {
+        fleet.add_node(seed, |_| Idle).expect("join via seed");
+    }
+
+    // Heartbeat gossip converges the 3-node view, and the gauges follow.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    loop {
+        let (alive, _, _) = fleet.plane(seed).status_counts();
+        if alive == 3 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "view never converged");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Joins alone converge the view, so the first scrape can land before
+    // any heartbeat envelope has arrived — poll until the counter moves.
+    let (head, mut body) = scrape(fleet.net().addr_of(seed));
+    assert!(head.starts_with("HTTP/1.1 200 "), "got: {head}");
+    let get = |body: &str, key: &str| {
+        parse_exposition(body)
+            .expect("cluster exposition parses")
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("{key} missing from: {body}"))
+    };
+    while get(&body, "wsg_membership_heartbeats_total") < 1.0 {
+        assert!(std::time::Instant::now() < deadline, "no heartbeat ever scraped: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+        body = scrape(fleet.net().addr_of(seed)).1;
+    }
+    assert_eq!(get(&body, "wsg_membership_alive"), 3.0, "{body}");
+    assert_eq!(get(&body, "wsg_membership_suspect"), 0.0, "{body}");
+    assert_eq!(get(&body, "wsg_membership_dead"), 0.0, "{body}");
+
+    // Crash a member: once the survivor's detector condemns it, the next
+    // scrape of the same socket shows the dead gauge move.
+    let victim = NodeId(2);
+    fleet.crash(victim).expect("crash a live member");
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while fleet.plane(seed).is_live(victim) {
+        assert!(std::time::Instant::now() < deadline, "crash never detected");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (_, body2) = scrape(fleet.net().addr_of(seed));
+    let after = parse_exposition(&body2).expect("second cluster scrape parses");
+    let dead = after
+        .iter()
+        .find(|(k, _)| k == "wsg_membership_dead")
+        .map(|(_, v)| *v)
+        .expect("dead gauge present");
+    assert!(dead >= 1.0, "crashed member should be counted dead: {body2}");
+
+    fleet.shutdown();
+}
+
 /// The node runtime wires one registry per node into its server and
 /// sender threads: scraping a live gossip node's socket works, and the
 /// transport counters it exposes move with real traffic.
