@@ -31,18 +31,30 @@ fn main() {
     println!("\nlive dissemination over sockets ({subscribers} subscribers, {ticks} ticks):");
     let outcome = e8_transport::dissemination(subscribers, ticks, 17, run_ms);
     println!(
-        "  {}/{} subscribers complete | {} envelopes delivered, {} failed | {} ms wall",
+        "  {}/{} subscribers complete | {} envelopes over {} POSTs ({} saved by batching), {} failed | {} ms wall",
         outcome.complete_subscribers,
         outcome.subscribers,
+        outcome.msgs_ok,
         outcome.posts_ok,
+        outcome.posts_saved,
         outcome.posts_failed,
         outcome.elapsed_ms,
     );
-    let mut dt = Table::new(&["subscribers", "complete", "posts ok", "posts failed", "wall ms"]);
+    let mut dt = Table::new(&[
+        "subscribers",
+        "complete",
+        "posts ok",
+        "msgs ok",
+        "posts saved",
+        "posts failed",
+        "wall ms",
+    ]);
     dt.row_owned(vec![
         outcome.subscribers.to_string(),
         outcome.complete_subscribers.to_string(),
         outcome.posts_ok.to_string(),
+        outcome.msgs_ok.to_string(),
+        outcome.posts_saved.to_string(),
         outcome.posts_failed.to_string(),
         outcome.elapsed_ms.to_string(),
     ]);

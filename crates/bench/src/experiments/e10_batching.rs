@@ -1,0 +1,166 @@
+//! E10 — the payoff of per-peer envelope batching: message throughput of
+//! the live socket transport as a function of the coalescing cap, plus an
+//! E8-style dissemination rerun showing the POST-count collapse.
+//!
+//! The flood scenario is the worst case batching was built for: one node
+//! bursts `messages` envelopes at a single peer faster than loopback
+//! round trips can drain them. With `max_batch_msgs = 1` every envelope
+//! pays its own POST round trip; with a larger cap the sender drains the
+//! backlog in wrapper envelopes (`urn:ws-gossip:batch`), so wall-clock
+//! per delivered message falls roughly with the mean batch size.
+
+use std::time::Duration;
+
+use wsg_http::client::HttpClientConfig;
+use wsg_http::runtime::{NetRuntime, NetRuntimeConfig};
+use wsg_http::BatchConfig;
+use wsg_net::protocol::{Context, NodeId, Protocol};
+use wsg_soap::{Envelope, MessageHeaders};
+use wsg_xml::Element;
+
+/// Outcome of one flood run at a fixed coalescing cap.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodOutcome {
+    /// The `max_batch_msgs` cap the sender ran with.
+    pub cap: usize,
+    /// Envelopes delivered (transport message accounting).
+    pub msgs_ok: u64,
+    /// HTTP POSTs that carried them.
+    pub posts_ok: u64,
+    /// POSTs avoided by coalescing.
+    pub posts_saved: u64,
+    /// Mean envelopes per POST.
+    pub mean_batch: f64,
+    /// Wall-clock milliseconds until the last envelope was accepted.
+    pub elapsed_ms: f64,
+    /// Delivered messages per second.
+    pub msgs_per_sec: f64,
+    /// Whether the sink's protocol saw every envelope.
+    pub complete: bool,
+}
+
+/// The two-node flood: node 0 bursts envelopes at node 1 on start.
+enum FloodRole {
+    Source { messages: usize },
+    Sink { received: u64 },
+}
+
+impl Protocol for FloodRole {
+    type Message = String;
+
+    fn on_start(&mut self, ctx: &mut dyn Context<String>) {
+        if let FloodRole::Source { messages } = self {
+            for n in 0..*messages {
+                ctx.send(NodeId(1), flood_envelope(n));
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: NodeId, _msg: String, _ctx: &mut dyn Context<String>) {
+        if let FloodRole::Sink { received } = self {
+            *received += 1;
+        }
+    }
+}
+
+fn flood_envelope(n: usize) -> String {
+    Envelope::request(
+        MessageHeaders::request("http://bench/flood", "urn:bench:Flood"),
+        Element::text_node("tick", format!("flood {n}")),
+    )
+    .to_xml()
+}
+
+/// Burst `messages` envelopes from one node to another with the sender's
+/// coalescing cap pinned to `cap`, and measure wall-clock time until the
+/// transport has delivered all of them (scraped live from the sender's
+/// `wsg_transport_batch_msgs` histogram, exactly as an operator would).
+pub fn flood(messages: usize, cap: usize, seed: u64) -> FloodOutcome {
+    let config = NetRuntimeConfig {
+        client: HttpClientConfig {
+            connect_timeout: Duration::from_millis(300),
+            retries: 1,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(40),
+            ..HttpClientConfig::default()
+        },
+        batch: BatchConfig { max_batch_msgs: cap, ..BatchConfig::default() },
+        ..NetRuntimeConfig::default()
+    };
+
+    let net = NetRuntime::spawn(
+        vec![FloodRole::Source { messages }, FloodRole::Sink { received: 0 }],
+        seed,
+        config,
+    );
+    let registry = net.registry_of(NodeId(0));
+    let started = crate::timing::now();
+    let deadline = Duration::from_millis(5_000 + messages as u64 * 20);
+    loop {
+        let delivered = wsg_obs::parse_exposition(&registry.render())
+            .expect("registry renders a parseable exposition")
+            .into_iter()
+            .find(|(key, _)| key == "wsg_transport_batch_msgs_sum")
+            .map(|(_, value)| value)
+            .unwrap_or(0.0);
+        if delivered >= messages as f64 || started.elapsed() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed = started.elapsed();
+    crate::sweep::record_cell(elapsed.as_nanos() as u64);
+
+    let nodes = net.shutdown_after(Duration::from_millis(40));
+    let transport = nodes[0].transport;
+    let received = match &nodes[1].protocol {
+        FloodRole::Sink { received } => *received,
+        FloodRole::Source { .. } => 0,
+    };
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    FloodOutcome {
+        cap,
+        msgs_ok: transport.msgs_ok,
+        posts_ok: transport.posts_ok,
+        posts_saved: transport.posts_saved,
+        mean_batch: if transport.posts_ok > 0 {
+            transport.msgs_ok as f64 / transport.posts_ok as f64
+        } else {
+            0.0
+        },
+        elapsed_ms,
+        msgs_per_sec: if elapsed_ms > 0.0 {
+            transport.msgs_ok as f64 / (elapsed_ms / 1e3)
+        } else {
+            0.0
+        },
+        complete: received == messages as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_one_means_one_post_per_envelope() {
+        let outcome = flood(20, 1, 7);
+        assert!(outcome.complete, "{outcome:?}");
+        assert_eq!(outcome.msgs_ok, 20);
+        assert_eq!(outcome.posts_ok, 20, "{outcome:?}");
+        assert_eq!(outcome.posts_saved, 0);
+    }
+
+    #[test]
+    fn larger_caps_coalesce_the_backlog() {
+        let outcome = flood(64, 8, 9);
+        assert!(outcome.complete, "{outcome:?}");
+        assert_eq!(outcome.msgs_ok, 64);
+        assert!(
+            outcome.posts_ok < outcome.msgs_ok,
+            "a 64-message burst must coalesce at least once: {outcome:?}"
+        );
+        assert_eq!(outcome.posts_saved, outcome.msgs_ok - outcome.posts_ok);
+        assert!(outcome.mean_batch > 1.0);
+    }
+}

@@ -54,6 +54,7 @@ pub fn roundtrips(payload_sizes: &[usize]) -> Vec<RoundtripRow> {
                 Element::text_node("blob", payload),
             )
             .to_xml();
+            let cell_started = crate::timing::now();
             let measurement = bench_with_param("http_roundtrip_bytes", size, || {
                 client
                     .post(addr, "/gossip", Some("urn:bench:Notify"), &[], xml.as_bytes())
@@ -61,6 +62,7 @@ pub fn roundtrips(payload_sizes: &[usize]) -> Vec<RoundtripRow> {
                     .response
                     .status
             });
+            crate::sweep::record_cell(cell_started.elapsed().as_nanos() as u64);
             RoundtripRow { payload_bytes: size, wire_bytes: xml.len(), measurement }
         })
         .collect();
@@ -77,18 +79,37 @@ pub struct DisseminationOutcome {
     pub complete_subscribers: usize,
     /// Subscribers deployed.
     pub subscribers: usize,
-    /// Envelopes delivered at the transport level.
+    /// HTTP POSTs that got a success status (batches count once).
     pub posts_ok: u64,
-    /// Envelopes abandoned after retries.
+    /// HTTP POSTs abandoned after retries.
     pub posts_failed: u64,
+    /// Envelopes delivered (each batched message counts individually).
+    pub msgs_ok: u64,
+    /// POSTs avoided by coalescing (`msgs_ok - posts_ok`).
+    pub posts_saved: u64,
     /// Wall-clock milliseconds the network ran.
     pub elapsed_ms: u64,
 }
 
 /// Run a full WS-Gossip deployment (`subscribers` + coordinator +
 /// initiator) over real sockets: the initiator publishes `ticks` payloads
-/// and the network runs for `run_ms` of wall time.
+/// and the network runs for `run_ms` of wall time. Uses the default
+/// per-peer envelope batching cap ([`wsg_http::BatchConfig::default`]).
 pub fn dissemination(subscribers: usize, ticks: usize, seed: u64, run_ms: u64) -> DisseminationOutcome {
+    let default_cap = wsg_http::BatchConfig::default().max_batch_msgs;
+    dissemination_with_cap(subscribers, ticks, seed, run_ms, default_cap)
+}
+
+/// [`dissemination`] with an explicit `max_batch_msgs` coalescing cap —
+/// `1` disables wire batching entirely (every envelope is its own POST),
+/// which is the pre-batching baseline E10 sweeps against.
+pub fn dissemination_with_cap(
+    subscribers: usize,
+    ticks: usize,
+    seed: u64,
+    run_ms: u64,
+    max_batch_msgs: usize,
+) -> DisseminationOutcome {
     let coordinator = NodeId(0);
     let payloads: Vec<Element> = (0..ticks)
         .map(|i| Element::text_node("tick", format!("ACME {}", 100 + i)))
@@ -118,6 +139,7 @@ pub fn dissemination(subscribers: usize, ticks: usize, seed: u64, run_ms: u64) -
             backoff_cap: Duration::from_millis(40),
             ..HttpClientConfig::default()
         },
+        batch: wsg_http::BatchConfig { max_batch_msgs, ..wsg_http::BatchConfig::default() },
         ..NetRuntimeConfig::default()
     };
 
@@ -125,6 +147,7 @@ pub fn dissemination(subscribers: usize, ticks: usize, seed: u64, run_ms: u64) -
     let net = NetRuntime::spawn(nodes, seed, config);
     let finished = net.shutdown_after(Duration::from_millis(run_ms));
     let elapsed_ms = started.elapsed().as_millis() as u64;
+    crate::sweep::record_cell(started.elapsed().as_nanos() as u64);
 
     let complete_subscribers = finished
         .iter()
@@ -139,6 +162,8 @@ pub fn dissemination(subscribers: usize, ticks: usize, seed: u64, run_ms: u64) -
         subscribers,
         posts_ok: finished.iter().map(|n| n.transport.posts_ok).sum(),
         posts_failed: finished.iter().map(|n| n.transport.posts_failed).sum(),
+        msgs_ok: finished.iter().map(|n| n.transport.msgs_ok).sum(),
+        posts_saved: finished.iter().map(|n| n.transport.posts_saved).sum(),
         elapsed_ms,
     }
 }
@@ -168,5 +193,15 @@ mod tests {
         );
         assert!(outcome.posts_ok > 0);
         assert_eq!(outcome.posts_failed, 0);
+        assert!(outcome.msgs_ok >= outcome.posts_ok, "batching never inflates POSTs");
+        assert_eq!(outcome.posts_saved, outcome.msgs_ok - outcome.posts_ok);
+    }
+
+    #[test]
+    fn cap_of_one_disables_coalescing() {
+        let outcome = dissemination_with_cap(3, 2, 11, 1500, 1);
+        assert_eq!(outcome.complete_subscribers, outcome.subscribers, "{outcome:?}");
+        assert_eq!(outcome.posts_saved, 0, "cap 1 means one POST per envelope");
+        assert_eq!(outcome.msgs_ok, outcome.posts_ok);
     }
 }

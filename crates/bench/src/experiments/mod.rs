@@ -9,6 +9,7 @@ pub mod e6_coordinator;
 pub mod e7_overhead;
 pub mod e8_transport;
 pub mod e9_churn;
+pub mod e10_batching;
 
 use wsg_gossip::{GossipConfig, GossipEngine, GossipParams, GossipStyle};
 use wsg_net::sim::{SimConfig, SimNet};

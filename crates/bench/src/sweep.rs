@@ -48,6 +48,15 @@ pub fn cell_nanos() -> Vec<u64> {
     CELL_NANOS.lock().expect("cell timing lock").clone()
 }
 
+/// Record one externally-timed cell. Experiments that measure work
+/// outside [`map`] (e.g. live-socket runs that cannot be expressed as a
+/// `(config, seed)` sweep) use this so their `--json` reports still carry
+/// honest `cells`/`cells_per_sec` numbers instead of zeros.
+pub fn record_cell(nanos: u64) {
+    CELLS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    CELL_NANOS.lock().expect("cell timing lock").push(nanos);
+}
+
 /// The worker count: `WSG_SWEEP_THREADS` when set, else the machine's
 /// available parallelism.
 pub fn threads() -> usize {

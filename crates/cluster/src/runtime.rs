@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use wsg_http::{
-    NetNode, NetRuntime, NetRuntimeConfig, PostError, SoapHttpClient, WallClock,
+    NetNode, NetRuntime, NetRuntimeConfig, OutboundHandle, PostError, SoapHttpClient, WallClock,
 };
 use wsg_http::server::{Service, SoapReply};
 use wsg_net::time::Clock;
@@ -160,6 +160,15 @@ where
         plane.register_self(self.net.addr_of(id));
         plane.attach_registry(&self.net.registry_of(id));
 
+        // Gossip traffic feeds the failure detector too: a peer whose
+        // batch was connection-refused after retries is condemned exactly
+        // like one that refused a heartbeat.
+        let outbound = self.net.outbound_of(id);
+        let hook_plane = Arc::clone(&plane);
+        outbound.set_unreachable_hook(Arc::new(move |addr| {
+            hook_plane.note_unreachable(addr);
+        }));
+
         let stop = Arc::new(AtomicBool::new(false));
         let pump = spawn_pump(
             Arc::clone(&plane),
@@ -169,6 +178,7 @@ where
                 self.net_client_config(),
                 &self.net.registry_of(id),
             ),
+            outbound,
         );
         self.slots.push(ClusterSlot { plane, stop, pump: Some(pump) });
         id
@@ -278,13 +288,17 @@ fn stop_pump(slot: &mut ClusterSlot) {
 }
 
 /// The heartbeat pump: every `interval`, advance the plane one round and
-/// push the heartbeat to its chosen targets. Refused targets are reported
-/// back ([`MembershipPlane::note_unreachable`]) and their pooled
-/// connections evicted, as are all currently-dead members' addresses.
+/// push the heartbeat to its chosen targets — piggybacked onto an
+/// outbound gossip batch already forming for that peer when there is one
+/// (no extra request at all), POSTed directly otherwise. Refused direct
+/// targets are reported back ([`MembershipPlane::note_unreachable`]) and
+/// their pooled connections evicted, as are all currently-dead members'
+/// addresses.
 fn spawn_pump(
     plane: Arc<MembershipPlane>,
     stop: Arc<AtomicBool>,
     client: SoapHttpClient,
+    outbound: OutboundHandle,
 ) -> JoinHandle<()> {
     let interval = plane.config().interval.to_std();
     std::thread::Builder::new()
@@ -297,8 +311,16 @@ fn spawn_pump(
                 }
                 let (message, targets) = plane.tick();
                 let action = message.action();
-                for (_, addr) in targets {
+                for (member, addr) in targets {
                     let xml = message.to_envelope(membership_uri(addr)).to_xml();
+                    // A batch already headed to this peer carries the
+                    // heartbeat for free. Only the direct path below can
+                    // observe a refusal, but batch failures reach the
+                    // plane through the sender's unreachable hook, so no
+                    // detection signal is lost.
+                    if outbound.piggyback(member, MEMBERSHIP_TARGET, &xml) {
+                        continue;
+                    }
                     match client.post(addr, MEMBERSHIP_TARGET, Some(&action), &[], xml.as_bytes()) {
                         Ok(_) => {}
                         // Refused means nobody is listening — condemn. A

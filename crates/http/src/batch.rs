@@ -1,0 +1,269 @@
+//! Per-destination outbound queues and the drain policy behind wire-level
+//! envelope coalescing (see DESIGN.md §12).
+//!
+//! A node's `ctx.send` calls land in a `SenderQueues` — one FIFO per
+//! destination — and the sender thread drains *everything* queued for a
+//! peer into a single `urn:ws-gossip:batch` POST (capped by
+//! [`BatchConfig`]). Because the queues are shared, other producers can
+//! ride along: `wsg_cluster` heartbeats use [`OutboundHandle::piggyback`]
+//! to append to a queue that already has traffic instead of opening their
+//! own request.
+//!
+//! Flush-on-idle is implicit in the wakeup protocol: every push sends a
+//! wake token, and the sender drains on each one, so under light load a
+//! message is posted alone immediately (batch of one, byte-identical to
+//! the unbatched wire format). Batches only form while the sender is busy
+//! posting — exactly when coalescing pays.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+
+use wsg_net::protocol::NodeId;
+use wsg_net::sync::Mutex;
+
+/// Drain-policy knobs for the sender thread's per-peer batches.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Most messages coalesced into one POST. `1` disables wrapping
+    /// entirely (every message posts alone); `0` is treated as `1`.
+    pub max_batch_msgs: usize,
+    /// Soft cap on summed inner-envelope bytes per POST: a batch stops
+    /// growing before the message that would cross it. The first message
+    /// always goes, whatever its size.
+    pub max_batch_bytes: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { max_batch_msgs: 16, max_batch_bytes: 256 * 1024 }
+    }
+}
+
+/// One queued outbound message: serialised envelope XML plus the route it
+/// dispatches to on the receiver (`None` = the gossip inbox).
+#[derive(Debug)]
+pub(crate) struct QueuedMsg {
+    pub(crate) target: Option<String>,
+    pub(crate) xml: String,
+}
+
+/// Tokens on the sender thread's wakeup channel.
+pub(crate) enum SenderCmd {
+    /// Something was queued; drain.
+    Wake,
+    /// The node loop ended: drain what is queued, then exit.
+    Stop,
+}
+
+/// Callback invoked with the address of a peer whose POST was
+/// connection-refused after all retries.
+type UnreachableHook = Arc<dyn Fn(SocketAddr) + Send + Sync>;
+
+/// The shared per-destination FIFO queues one sender thread drains.
+///
+/// Shared between the node loop (its `ctx.send`s), the sender thread, and
+/// any piggybacking producer holding an [`OutboundHandle`].
+#[derive(Default)]
+pub(crate) struct SenderQueues {
+    queues: Mutex<BTreeMap<NodeId, VecDeque<QueuedMsg>>>,
+    /// Called by the sender thread on exhausted connection-refused POSTs —
+    /// `wsg_cluster` wires this to `MembershipPlane::note_unreachable` so
+    /// gossip traffic feeds the failure detector too.
+    unreachable_hook: Mutex<Option<UnreachableHook>>,
+}
+
+impl SenderQueues {
+    /// Append for `to`, unconditionally.
+    pub(crate) fn push(&self, to: NodeId, target: Option<String>, xml: String) {
+        self.queues.lock().entry(to).or_default().push_back(QueuedMsg { target, xml });
+    }
+
+    /// Append for `to` only if traffic is already queued there (the clone
+    /// happens only on success). Returns whether the message was queued.
+    pub(crate) fn piggyback(&self, to: NodeId, target: &str, xml: &str) -> bool {
+        let mut queues = self.queues.lock();
+        match queues.get_mut(&to) {
+            Some(queue) if !queue.is_empty() => {
+                queue.push_back(QueuedMsg {
+                    target: Some(target.to_string()),
+                    xml: xml.to_string(),
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Take the next batch: the first (ascending id) non-empty peer's
+    /// queue, drained FIFO up to the caps. [`None`] when everything is
+    /// empty. Emptied queues are dropped so the map stays bounded by the
+    /// live fan-out, not fleet history.
+    pub(crate) fn pop_batch(&self, config: &BatchConfig) -> Option<(NodeId, Vec<QueuedMsg>)> {
+        let mut queues = self.queues.lock();
+        let to = queues.iter().find(|(_, q)| !q.is_empty()).map(|(id, _)| *id)?;
+        let mut batch = Vec::new();
+        let mut bytes = 0usize;
+        if let Some(queue) = queues.get_mut(&to) {
+            while let Some(front) = queue.front() {
+                if !batch.is_empty()
+                    && (batch.len() >= config.max_batch_msgs.max(1)
+                        || bytes + front.xml.len() > config.max_batch_bytes)
+                {
+                    break;
+                }
+                bytes += front.xml.len();
+                match queue.pop_front() {
+                    Some(msg) => batch.push(msg),
+                    None => break,
+                }
+            }
+            if queue.is_empty() {
+                queues.remove(&to);
+            }
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some((to, batch))
+        }
+    }
+
+    pub(crate) fn set_unreachable_hook(&self, hook: Arc<dyn Fn(SocketAddr) + Send + Sync>) {
+        *self.unreachable_hook.lock() = Some(hook);
+    }
+
+    pub(crate) fn notify_unreachable(&self, addr: SocketAddr) {
+        let hook = self.unreachable_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(addr);
+        }
+    }
+}
+
+/// A producer-side handle on one node's outbound path: shared queues plus
+/// the sender thread's wakeup channel.
+///
+/// Cloneable and cheap; obtained from `NetRuntime::outbound_of`. Dropping
+/// handles never blocks shutdown — the sender thread exits on an explicit
+/// stop token from the node loop, not on channel disconnect.
+#[derive(Clone)]
+pub struct OutboundHandle {
+    queues: Arc<SenderQueues>,
+    wake: Sender<SenderCmd>,
+}
+
+impl OutboundHandle {
+    pub(crate) fn new(queues: Arc<SenderQueues>, wake: Sender<SenderCmd>) -> Self {
+        OutboundHandle { queues, wake }
+    }
+
+    /// Queue a gossip envelope for `to` and wake the sender.
+    pub(crate) fn send(&self, to: NodeId, xml: String) {
+        self.queues.push(to, None, xml);
+        let _ = self.wake.send(SenderCmd::Wake);
+    }
+
+    /// Append `xml` behind traffic already queued for `to`, to be
+    /// dispatched at route `target` on the receiver. Returns `false` (and
+    /// queues nothing) when no batch is forming for that peer — the caller
+    /// should fall back to its own POST. Never strands a message: a
+    /// successful piggyback wakes the sender like any other push.
+    pub fn piggyback(&self, to: NodeId, target: &str, xml: &str) -> bool {
+        if self.queues.piggyback(to, target, xml) {
+            let _ = self.wake.send(SenderCmd::Wake);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Report connection-refused peers (after retries) to `hook`. One hook
+    /// per node; setting replaces the previous one.
+    pub fn set_unreachable_hook(&self, hook: Arc<dyn Fn(SocketAddr) + Send + Sync>) {
+        self.queues.set_unreachable_hook(hook);
+    }
+
+    /// Tell the sender thread to drain what is queued and exit.
+    pub(crate) fn stop(&self) {
+        let _ = self.wake.send(SenderCmd::Stop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(n: usize) -> String {
+        format!("<m>{n}</m>")
+    }
+
+    #[test]
+    fn drains_fifo_per_peer_in_ascending_id_order() {
+        let queues = SenderQueues::default();
+        queues.push(NodeId(7), None, msg(1));
+        queues.push(NodeId(2), None, msg(2));
+        queues.push(NodeId(7), None, msg(3));
+        let config = BatchConfig::default();
+        let (to, batch) = queues.pop_batch(&config).unwrap();
+        assert_eq!(to, NodeId(2));
+        assert_eq!(batch.len(), 1);
+        let (to, batch) = queues.pop_batch(&config).unwrap();
+        assert_eq!(to, NodeId(7));
+        assert_eq!(
+            batch.iter().map(|m| m.xml.as_str()).collect::<Vec<_>>(),
+            vec![msg(1), msg(3)]
+        );
+        assert!(queues.pop_batch(&config).is_none());
+    }
+
+    #[test]
+    fn msg_cap_splits_batches_and_zero_means_one() {
+        let queues = SenderQueues::default();
+        for n in 0..5 {
+            queues.push(NodeId(0), None, msg(n));
+        }
+        let config = BatchConfig { max_batch_msgs: 2, ..BatchConfig::default() };
+        let sizes: Vec<usize> = std::iter::from_fn(|| queues.pop_batch(&config))
+            .map(|(_, b)| b.len())
+            .collect();
+        assert_eq!(sizes, vec![2, 2, 1]);
+
+        let queues = SenderQueues::default();
+        queues.push(NodeId(0), None, msg(0));
+        queues.push(NodeId(0), None, msg(1));
+        let config = BatchConfig { max_batch_msgs: 0, ..BatchConfig::default() };
+        let sizes: Vec<usize> = std::iter::from_fn(|| queues.pop_batch(&config))
+            .map(|(_, b)| b.len())
+            .collect();
+        assert_eq!(sizes, vec![1, 1], "cap 0 degrades to one message per post");
+    }
+
+    #[test]
+    fn byte_cap_is_soft_and_first_message_always_goes() {
+        let queues = SenderQueues::default();
+        let big = "x".repeat(100);
+        queues.push(NodeId(0), None, big.clone());
+        queues.push(NodeId(0), None, big.clone());
+        queues.push(NodeId(0), None, big);
+        let config = BatchConfig { max_batch_msgs: 16, max_batch_bytes: 150 };
+        let sizes: Vec<usize> = std::iter::from_fn(|| queues.pop_batch(&config))
+            .map(|(_, b)| b.len())
+            .collect();
+        assert_eq!(sizes, vec![1, 1, 1], "each 100-byte message exceeds the next slot");
+    }
+
+    #[test]
+    fn piggyback_requires_a_forming_batch() {
+        let queues = SenderQueues::default();
+        assert!(!queues.piggyback(NodeId(3), "/membership", "<hb/>"), "empty queue");
+        queues.push(NodeId(3), None, msg(1));
+        assert!(queues.piggyback(NodeId(3), "/membership", "<hb/>"));
+        let (_, batch) = queues.pop_batch(&BatchConfig::default()).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[1].target.as_deref(), Some("/membership"));
+        // Fully drained: the next piggyback attempt fails again.
+        assert!(!queues.piggyback(NodeId(3), "/membership", "<hb/>"));
+    }
+}

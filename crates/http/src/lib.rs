@@ -59,6 +59,7 @@
 // so boxing them would buy nothing but allocation noise in every handler.
 #![allow(clippy::result_large_err, clippy::large_enum_variant)]
 
+pub mod batch;
 pub mod client;
 pub mod message;
 pub mod parser;
@@ -66,6 +67,7 @@ pub mod runtime;
 pub mod server;
 pub mod time;
 
+pub use batch::{BatchConfig, OutboundHandle};
 pub use client::{HttpClientConfig, PostError, PostOutcome, SoapHttpClient};
 pub use message::{Headers, Request, Response};
 pub use parser::{ParseError, Parsed, RequestParser, ResponseParser};

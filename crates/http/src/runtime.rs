@@ -10,7 +10,10 @@
 //!   runtime's (timers on wall-clock, deterministic per-node RNG), whose
 //!   outgoing `ctx.send(to, xml)` calls go to...
 //! * a **sender** thread owning a pooled, retrying [`SoapHttpClient`]
-//!   that POSTs each serialized envelope to the destination node's socket.
+//!   that drains everything queued per destination into one POST — a
+//!   `urn:ws-gossip:batch` wrapper when more than one envelope is
+//!   waiting, the bare envelope (byte-identical to the unbatched wire
+//!   format) when only one is (see [`crate::batch`] and DESIGN.md §12).
 //!
 //! Because the node's view of the world is still just [`Context`], the
 //! gossip protocols run here byte-for-byte unchanged from the simulator —
@@ -49,9 +52,11 @@ use wsg_net::protocol::{Context, NodeId, Protocol, TimerTag};
 use wsg_net::rng::{Pcg32, Rng64, SplitMix64};
 use wsg_net::sync::Mutex;
 use wsg_net::time::{SimDuration, SimTime};
-use wsg_obs::{Counter, Registry};
+use wsg_obs::{Counter, HistogramMetric, Registry};
+use wsg_soap::batch::{write_batch, BatchItem, BATCH_ACTION};
 use wsg_soap::{Envelope, Fault, FaultCode};
 
+use crate::batch::{BatchConfig, OutboundHandle, SenderCmd, SenderQueues};
 use crate::client::{HttpClientConfig, PostError, PostOutcome, SoapHttpClient};
 use crate::server::{
     HttpServerConfig, SoapHttpServer, SoapReply, SoapRequest, Service, NODE_HEADER,
@@ -74,15 +79,24 @@ pub struct NetRuntimeConfig {
     /// Nodes that get an address but no listener: connections to them are
     /// refused, exercising peers' retry/backoff paths.
     pub refuse: Vec<NodeId>,
+    /// Sender-side envelope-coalescing caps, per node.
+    pub batch: BatchConfig,
 }
 
 /// Transport-level counters a node's sender thread accumulated.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
-    /// Envelopes that reached their destination (any HTTP status).
+    /// HTTP POSTs that reached their destination (any HTTP status). With
+    /// batching one POST can carry many envelopes — see `msgs_ok`.
     pub posts_ok: u64,
-    /// Envelopes abandoned after exhausting retries.
+    /// HTTP POSTs abandoned after exhausting retries.
     pub posts_failed: u64,
+    /// Envelopes delivered across all successful POSTs (≥ `posts_ok`).
+    pub msgs_ok: u64,
+    /// Envelopes lost in failed POSTs.
+    pub msgs_failed: u64,
+    /// POSTs avoided by coalescing: `msgs_ok - posts_ok`.
+    pub posts_saved: u64,
     /// Connect attempts across all posts (≥ posts when retries happened).
     pub attempts: u64,
     /// Sends to node ids absent from the directory (dropped).
@@ -160,11 +174,6 @@ enum Inbox {
     Stop,
 }
 
-struct Outbound {
-    to: NodeId,
-    xml: String,
-}
-
 struct NetCtx<'a> {
     start: Instant,
     id: NodeId,
@@ -202,6 +211,7 @@ struct NodeSlot<P> {
     sender_handle: Option<JoinHandle<TransportStats>>,
     server: Option<SoapHttpServer>,
     registry: Arc<Registry>,
+    outbound: OutboundHandle,
 }
 
 /// A live network of protocol nodes on loopback HTTP sockets.
@@ -339,23 +349,30 @@ where
             .expect("start node http server")
         });
 
-        // Sender thread: one pooled client per node, routing through the
+        // Sender thread: one pooled client per node draining the shared
+        // per-destination queues into batched POSTs, routing through the
         // live directory so removed peers become unroutable immediately.
-        let (out_tx, out_rx): (Sender<Outbound>, Receiver<Outbound>) = channel();
+        let queues = Arc::new(SenderQueues::default());
+        let (wake_tx, wake_rx): (Sender<SenderCmd>, Receiver<SenderCmd>) = channel();
+        let outbound = OutboundHandle::new(Arc::clone(&queues), wake_tx);
         let client = SoapHttpClient::new_observed(client_seed, self.config.client.clone(), &registry);
         let transport = TransportMetrics::new(&registry);
         let directory = Arc::clone(&self.directory);
+        let batch_config = self.config.batch.clone();
         let sender_handle = std::thread::Builder::new()
             .name(format!("wsg-net-sender-{index}"))
-            .spawn(move || sender_loop(index, out_rx, client, directory, transport))
+            .spawn(move || {
+                sender_loop(index, wake_rx, queues, batch_config, client, directory, transport)
+            })
             .expect("spawn sender thread");
 
         // Node loop.
         let directory = Arc::clone(&self.directory);
         let start = self.start;
+        let out = outbound.clone();
         let node_handle = std::thread::Builder::new()
             .name(format!("wsg-net-node-{index}"))
-            .spawn(move || run_node(protocol, id, directory, inbox_rx, out_tx, &mut rng, start))
+            .spawn(move || run_node(protocol, id, directory, inbox_rx, out, &mut rng, start))
             .expect("spawn node thread");
 
         self.slots.push(NodeSlot {
@@ -364,6 +381,7 @@ where
             sender_handle: Some(sender_handle),
             server,
             registry,
+            outbound,
         });
     }
 
@@ -420,6 +438,15 @@ where
     /// accumulates transport counters); it just isn't scrapeable.
     pub fn registry_of(&self, id: NodeId) -> Arc<Registry> {
         Arc::clone(&self.slots[id.0].registry)
+    }
+
+    /// A handle on node `id`'s outbound path: lets other producers (the
+    /// `wsg_cluster` heartbeat pump) piggyback messages onto batches the
+    /// node's sender is already forming, and hook connection-refused
+    /// notifications. Valid even after the node stops — piggybacks then
+    /// simply find no forming batch.
+    pub fn outbound_of(&self, id: NodeId) -> OutboundHandle {
+        self.slots[id.0].outbound.clone()
     }
 
     /// Total nodes ever deployed (the id ceiling), including removed ones.
@@ -512,6 +539,8 @@ where
 struct TransportMetrics {
     posts_ok: Arc<Counter>,
     posts_failed: Arc<Counter>,
+    batch_msgs: Arc<HistogramMetric>,
+    posts_saved: Arc<Counter>,
     attempts: Arc<Counter>,
     unroutable: Arc<Counter>,
 }
@@ -521,11 +550,19 @@ impl TransportMetrics {
         TransportMetrics {
             posts_ok: registry.register_counter(
                 "wsg_transport_posts_ok_total",
-                "Gossip envelopes this node posted successfully",
+                "HTTP POSTs this node's sender completed successfully",
             ),
             posts_failed: registry.register_counter(
                 "wsg_transport_posts_failed_total",
-                "Gossip envelope posts that failed after all retries",
+                "HTTP POSTs that failed after all retries",
+            ),
+            batch_msgs: registry.register_histogram(
+                "wsg_transport_batch_msgs",
+                "Envelopes coalesced into each successful POST",
+            ),
+            posts_saved: registry.register_counter(
+                "wsg_transport_posts_saved_total",
+                "POSTs avoided by coalescing queued envelopes into batches",
             ),
             attempts: registry.register_counter(
                 "wsg_transport_attempts_total",
@@ -541,41 +578,96 @@ impl TransportMetrics {
 
 fn sender_loop(
     index: usize,
-    out_rx: Receiver<Outbound>,
+    wake_rx: Receiver<SenderCmd>,
+    queues: Arc<SenderQueues>,
+    config: BatchConfig,
     client: SoapHttpClient,
     directory: Arc<NodeDirectory>,
     metrics: TransportMetrics,
 ) -> TransportStats {
     let mut stats = TransportStats::default();
     let node_header = [(NODE_HEADER.to_string(), index.to_string())];
-    // Runs until every clone of the node's out_tx is gone (node stopped).
-    while let Ok(Outbound { to, xml }) = out_rx.recv() {
-        // Route through the live directory: a peer removed after this
-        // envelope was queued is dropped here instead of dialed.
+    let mut scratch = String::new();
+    loop {
+        // Block for work; a closed channel counts as a stop (it can only
+        // mean the runtime is being torn down without a node loop).
+        let mut stopping = !matches!(wake_rx.recv(), Ok(SenderCmd::Wake));
+        // Coalesce every wake already pending: while we were busy posting
+        // the last drain, producers kept queueing — one pass covers them
+        // all, and that backlog is exactly what forms multi-message
+        // batches. Under light load the queue holds a single envelope and
+        // it is flushed immediately (flush-on-idle).
+        while let Ok(extra) = wake_rx.try_recv() {
+            stopping |= matches!(extra, SenderCmd::Stop);
+        }
+        drain_queues(&queues, &config, &client, &directory, &metrics, &mut stats, &node_header, &mut scratch);
+        if stopping {
+            return stats;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; a struct would just rename the argument list
+fn drain_queues(
+    queues: &SenderQueues,
+    config: &BatchConfig,
+    client: &SoapHttpClient,
+    directory: &NodeDirectory,
+    metrics: &TransportMetrics,
+    stats: &mut TransportStats,
+    node_header: &[(String, String)],
+    scratch: &mut String,
+) {
+    while let Some((to, batch)) = queues.pop_batch(config) {
+        let count = batch.len() as u64;
+        // Route through the live directory: a peer removed after these
+        // envelopes were queued is dropped here instead of dialed.
         let Some(addr) = directory.addr_of(to) else {
-            stats.unroutable += 1;
-            metrics.unroutable.inc();
+            stats.unroutable += count;
+            metrics.unroutable.add(count);
             continue;
         };
-        let action = Envelope::parse(&xml).ok().and_then(|e| {
-            e.addressing().action().map(str::to_string)
-        });
-        match client.post(addr, GOSSIP_TARGET, action.as_deref(), &node_header, xml.as_bytes()) {
+        let outcome = if let [only] = batch.as_slice() {
+            // A lone message is posted bare — byte-identical to the
+            // unbatched wire format (no wrapper, same target and action).
+            let target = only.target.as_deref().unwrap_or(GOSSIP_TARGET);
+            let action = Envelope::parse(&only.xml)
+                .ok()
+                .and_then(|e| e.addressing().action().map(str::to_string));
+            client.post(addr, target, action.as_deref(), node_header, only.xml.as_bytes())
+        } else {
+            let items: Vec<BatchItem<'_>> = batch
+                .iter()
+                .map(|m| BatchItem { target: m.target.as_deref(), xml: &m.xml })
+                .collect();
+            write_batch(&items, scratch);
+            client.post(addr, GOSSIP_TARGET, Some(BATCH_ACTION), node_header, scratch.as_bytes())
+        };
+        match outcome {
             Ok(outcome) => {
                 stats.posts_ok += 1;
+                stats.msgs_ok += count;
+                stats.posts_saved += count - 1;
                 stats.attempts += u64::from(outcome.attempts);
                 metrics.posts_ok.inc();
+                metrics.batch_msgs.observe(count);
+                metrics.posts_saved.add(count - 1);
                 metrics.attempts.add(u64::from(outcome.attempts));
             }
             Err(err) => {
                 stats.posts_failed += 1;
+                stats.msgs_failed += count;
                 stats.attempts += u64::from(err.attempts);
                 metrics.posts_failed.inc();
                 metrics.attempts.add(u64::from(err.attempts));
+                // Refused means nobody is listening on that socket; let
+                // whoever registered a hook (the membership plane) know.
+                if err.last.kind() == std::io::ErrorKind::ConnectionRefused {
+                    queues.notify_unreachable(addr);
+                }
             }
         }
     }
-    stats
 }
 
 fn run_node<P>(
@@ -583,7 +675,7 @@ fn run_node<P>(
     id: NodeId,
     directory: Arc<NodeDirectory>,
     rx: Receiver<Inbox>,
-    out_tx: Sender<Outbound>,
+    out: OutboundHandle,
     rng: &mut Pcg32,
     start: Instant,
 ) -> P
@@ -612,7 +704,7 @@ where
         }
         let NetCtx { outbox, timer_requests, .. } = ctx;
         for (to, xml) in outbox {
-            let _ = out_tx.send(Outbound { to, xml });
+            out.send(to, xml);
         }
         for (delay, tag) in timer_requests {
             let fire_at = Instant::now() + Duration::from_micros(delay.as_micros());
@@ -640,10 +732,15 @@ where
             Ok(Inbox::Message { from, xml }) => {
                 dispatch(&mut protocol, &mut timers, rng, Some((from, xml)), None);
             }
-            Ok(Inbox::Stop) | Err(RecvTimeoutError::Disconnected) => return protocol,
+            Ok(Inbox::Stop) | Err(RecvTimeoutError::Disconnected) => break,
             Err(RecvTimeoutError::Timeout) => {}
         }
     }
+    // The sender drains what is queued, then exits — an explicit token,
+    // not channel disconnect, so outstanding OutboundHandle clones (e.g.
+    // a cluster pump's) can never wedge shutdown.
+    out.stop();
+    protocol
 }
 
 #[cfg(test)]
@@ -822,6 +919,88 @@ mod tests {
         assert_eq!(nodes.len(), 1, "only the survivor reports");
         assert_eq!(nodes[0].transport.unroutable, 1, "pong to the crashed peer dropped");
         assert_eq!(nodes[0].transport.posts_failed, 0, "dropped before dialing");
+    }
+
+    #[test]
+    fn batched_posts_unbundle_into_individual_dispatches() {
+        let route_hits: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let hits = Arc::clone(&route_hits);
+        let route: Service = Arc::new(move |request: SoapRequest| {
+            hits.lock().push(request.envelope.body().map(|b| b.text()).unwrap_or_default());
+            Ok(SoapReply::Accepted)
+        });
+        let mut net = NetRuntime::new(99, quick_config());
+        let id = net.add_node_routed(
+            Ponger { seen: Vec::new() },
+            vec![("/membership".to_string(), route)],
+        );
+        let xmls = [
+            envelope_xml("a", "urn:test:A"),
+            envelope_xml("b", "urn:test:B"),
+            envelope_xml("hb", "urn:test:HB"),
+        ];
+        let items = vec![
+            BatchItem { target: None, xml: &xmls[0] },
+            BatchItem { target: None, xml: &xmls[1] },
+            BatchItem { target: Some("/membership"), xml: &xmls[2] },
+        ];
+        let mut wire = String::new();
+        write_batch(&items, &mut wire);
+        let outcome = net.post_external(id, Some(BATCH_ACTION), &wire).unwrap();
+        assert_eq!(outcome.response.status, 202, "one 202 for the whole batch");
+        let nodes = net.shutdown_after(Duration::from_millis(300));
+        // The two untargeted envelopes reached the inbox in order; the
+        // piggybacked one was routed to /membership instead.
+        let ops: Vec<&str> = nodes[0].protocol.seen.iter().map(|(_, op)| op.as_str()).collect();
+        assert_eq!(ops, vec!["a", "b"]);
+        assert_eq!(*route_hits.lock(), vec!["hb".to_string()]);
+    }
+
+    #[test]
+    fn burst_sends_coalesce_with_exact_message_accounting() {
+        enum Role {
+            Burst,
+            Sink(Vec<String>),
+        }
+        impl Protocol for Role {
+            type Message = String;
+            fn on_start(&mut self, ctx: &mut dyn Context<String>) {
+                if matches!(self, Role::Burst) {
+                    for n in 0..8 {
+                        ctx.send(NodeId(1), envelope_xml(&format!("burst-{n}"), "urn:test:Burst"));
+                    }
+                }
+            }
+            fn on_message(&mut self, _from: NodeId, msg: String, _ctx: &mut dyn Context<String>) {
+                if let Role::Sink(seen) = self {
+                    let op = Envelope::parse(&msg)
+                        .ok()
+                        .and_then(|e| e.body().map(|b| b.text()))
+                        .unwrap_or_default();
+                    seen.push(op);
+                }
+            }
+        }
+        let net = NetRuntime::spawn(vec![Role::Burst, Role::Sink(Vec::new())], 11, quick_config());
+        let registry = net.registry_of(NodeId(0));
+        let nodes = net.shutdown_after(Duration::from_millis(700));
+        let transport = nodes[0].transport;
+        assert_eq!(transport.msgs_ok, 8, "every envelope delivered: {transport:?}");
+        assert!(
+            (1..=8).contains(&transport.posts_ok),
+            "posts bounded by message count: {transport:?}"
+        );
+        assert_eq!(transport.posts_saved, transport.msgs_ok - transport.posts_ok);
+        let Role::Sink(seen) = &nodes[1].protocol else {
+            panic!("node 1 is the sink");
+        };
+        // FIFO per peer survives coalescing: delivery order == send order,
+        // whatever batch boundaries the drain produced.
+        let want: Vec<String> = (0..8).map(|n| format!("burst-{n}")).collect();
+        assert_eq!(*seen, want);
+        let rendered = registry.render();
+        assert!(rendered.contains("wsg_transport_batch_msgs_count"), "{rendered}");
+        assert!(rendered.contains("wsg_transport_posts_saved_total"), "{rendered}");
     }
 
     #[test]

@@ -512,7 +512,7 @@ fn serve_slice(
 }
 
 fn handle_request(
-    request: crate::message::Request,
+    mut request: crate::message::Request,
     peer: SocketAddr,
     service: &Service,
     counters: &ServerMetrics,
@@ -532,11 +532,52 @@ fn handle_request(
     if request.method != "POST" {
         return Response::new(405, "Method Not Allowed").with_header("Allow", allowed_methods());
     }
-    let Ok(raw) = String::from_utf8(request.body.clone()) else {
+    let Ok(raw) = String::from_utf8(std::mem::take(&mut request.body)) else {
         counters.faults.inc();
         return fault_response(400, Fault::new(FaultCode::Sender, "body is not valid UTF-8"));
     };
-    let envelope = match Envelope::parse(&raw) {
+    let post_target =
+        request.target.split('?').next().unwrap_or(request.target.as_str()).to_string();
+    let from_node = request.header(NODE_HEADER).and_then(|v| v.trim().parse().ok());
+
+    // A `urn:ws-gossip:batch` wrapper carries N envelopes in one POST:
+    // each is dispatched through the service exactly as if it had arrived
+    // alone (inner `target` attributes override the POST target for
+    // piggybacked routes), and the whole batch is answered once — 202 on
+    // success, the first fault otherwise. Inner reply envelopes are
+    // dropped: a batch is a one-way transport frame. `parse_wire` streams
+    // the document once, slicing each inner envelope's `raw` bytes back
+    // out of the request body instead of re-serialising trees.
+    let root = match wsg_soap::batch::parse_wire(&raw) {
+        Ok(wsg_soap::batch::Unbundled::Batch(messages)) => {
+            for message in messages {
+                let action = message.envelope.addressing().action().map(str::to_string);
+                let soap_request = SoapRequest {
+                    target: message.target.unwrap_or_else(|| post_target.clone()),
+                    action,
+                    from_node,
+                    peer,
+                    envelope: message.envelope,
+                    raw: message.raw,
+                };
+                if let Err(fault) = service(soap_request) {
+                    counters.faults.inc();
+                    return fault_response(500, fault);
+                }
+            }
+            return Response::new(202, "Accepted");
+        }
+        Ok(wsg_soap::batch::Unbundled::Single(root)) => root,
+        Err(err) => {
+            counters.faults.inc();
+            return fault_response(
+                400,
+                Fault::new(FaultCode::Sender, format!("body is not a SOAP envelope: {err}")),
+            );
+        }
+    };
+
+    let envelope = match Envelope::from_element(&root) {
         Ok(envelope) => envelope,
         Err(err) => {
             counters.faults.inc();
@@ -547,14 +588,9 @@ fn handle_request(
         }
     };
     let soap_request = SoapRequest {
-        target: request
-            .target
-            .split('?')
-            .next()
-            .unwrap_or(request.target.as_str())
-            .to_string(),
+        target: post_target,
         action: request.soap_action().map(str::to_string),
-        from_node: request.header(NODE_HEADER).and_then(|v| v.trim().parse().ok()),
+        from_node,
         peer,
         envelope,
         raw,

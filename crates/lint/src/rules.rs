@@ -235,8 +235,15 @@ const D1_SCOPE_DIRS: &[&str] = &[
 ];
 
 /// Simulation-side files of `wsg_net` (the rest of the crate hosts the
-/// real-time thread runtime, which D1 does not constrain).
-const D1_SCOPE_FILES: &[&str] = &["crates/net/src/sim.rs", "crates/net/src/faults.rs"];
+/// real-time thread runtime, which D1 does not constrain), plus the wire
+/// batching modules: per-peer FIFO drain order is part of the batch
+/// format's contract, so its queues must iterate deterministically.
+const D1_SCOPE_FILES: &[&str] = &[
+    "crates/net/src/sim.rs",
+    "crates/net/src/faults.rs",
+    "crates/soap/src/batch.rs",
+    "crates/http/src/batch.rs",
+];
 
 fn in_d1_scope(path: &str) -> bool {
     D1_SCOPE_DIRS.iter().any(|d| path.starts_with(d)) || D1_SCOPE_FILES.contains(&path)
@@ -254,6 +261,8 @@ const P1_FILES: &[&str] = &[
     "crates/http/src/server.rs",
     "crates/http/src/client.rs",
     "crates/http/src/parser.rs",
+    "crates/http/src/batch.rs",
+    "crates/soap/src/batch.rs",
 ];
 
 // ---------------------------------------------------------------- rules

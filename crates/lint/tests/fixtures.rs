@@ -41,6 +41,11 @@ fn bad_tree_yields_exactly_the_planted_violations() {
         "P1:crates/gossip/src/engine.rs:19",
         "P1:crates/gossip/src/engine.rs:20",
         "P1:crates/gossip/src/engine.rs:26",
+        // D1 + P1 by file scope in the wire-batching queue module; the
+        // test module's HashMap and unwrap are silent.
+        "D1:crates/http/src/batch.rs:4",
+        "D1:crates/http/src/batch.rs:7",
+        "P1:crates/http/src/batch.rs:11",
         // P1 by file scope in the HTTP hot path; line 11 is allow-listed.
         "P1:crates/http/src/server.rs:5",
         "P1:crates/http/src/server.rs:6",
@@ -80,7 +85,7 @@ fn clean_tree_is_clean() {
     let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
     assert!(msgs.is_empty(), "clean fixture tree produced diagnostics:\n{}", msgs.join("\n"));
     assert!(report.stale_allows.is_empty());
-    assert_eq!((report.sources, report.manifests), (4, 1));
+    assert_eq!((report.sources, report.manifests), (5, 1));
 }
 
 // ------------------------------------------------------------- binary

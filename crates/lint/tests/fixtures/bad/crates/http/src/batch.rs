@@ -1,0 +1,22 @@
+//! D1+P1 fixture: the wire-batching queue module is both D1 file-scoped
+//! (per-peer FIFO drain order is part of the batch format's contract)
+//! and P1 file-scoped (a panic here kills the sender thread mid-batch).
+use std::collections::HashMap; // line 4: D1 fires
+
+pub struct Queues {
+    by_peer: HashMap<u64, Vec<String>>, // line 7: D1 fires
+}
+
+pub fn pop(queues: &mut Queues, peer: u64) -> Vec<String> {
+    queues.by_peer.remove(&peer).unwrap() // line 11: P1 fires
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_hash() {
+        let mut q = super::Queues { by_peer: std::collections::HashMap::new() };
+        q.by_peer.insert(1, Vec::new());
+        super::pop(&mut q, 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Clean twin of the batching fixture: ordered queues and typed error
+//! handling keep both the D1 and P1 file scopes quiet.
+use std::collections::BTreeMap;
+
+pub struct Queues {
+    by_peer: BTreeMap<u64, Vec<String>>,
+}
+
+pub fn pop(queues: &mut Queues, peer: u64) -> Option<Vec<String>> {
+    queues.by_peer.remove(&peer)
+}

@@ -1,0 +1,454 @@
+//! Wire-level envelope coalescing: the `urn:ws-gossip:batch` wrapper.
+//!
+//! The live transport amortises per-POST SOAP/HTTP overhead by draining
+//! everything queued for one peer into a single document:
+//!
+//! ```xml
+//! <?xml version="1.0" encoding="UTF-8"?>
+//! <wsgb:Batch xmlns:wsgb="urn:ws-gossip:batch">
+//!   <wsgb:Msg>…env:Envelope…</wsgb:Msg>
+//!   <wsgb:Msg target="/membership">…env:Envelope…</wsgb:Msg>
+//! </wsgb:Batch>
+//! ```
+//!
+//! Each `Msg` carries exactly one inner envelope, in FIFO queue order. An
+//! optional `target` attribute routes a piggybacked message to a different
+//! service route than the POST's own target (heartbeats riding a gossip
+//! batch); absent, the message dispatches to the POST target itself.
+//!
+//! Building a batch never re-parses: the sender already holds each inner
+//! envelope as serialised XML, so [`write_batch`] splices the strings
+//! (declarations stripped) into a caller-owned scratch buffer. A batch of
+//! one message is **never** wrapped by the transport — it posts the inner
+//! XML verbatim, byte-identical to the pre-batching wire format (see
+//! `wsg_http::runtime`).
+
+use wsg_xml::escape::escape_attr_into;
+use wsg_xml::{Element, QName, XmlEvent, XmlReader};
+
+use crate::{Envelope, SoapError};
+
+/// Namespace of the batch wrapper vocabulary.
+pub const BATCH_NS: &str = "urn:ws-gossip:batch";
+
+/// SOAPAction carried by a multi-message batch POST.
+pub const BATCH_ACTION: &str = "urn:ws-gossip:batch/Batch";
+
+/// `wsgb:Batch` (document root).
+pub static BATCH: QName = QName::interned(BATCH_NS, "wsgb", "Batch");
+
+/// `wsgb:Msg` (one wrapped envelope).
+pub static MSG: QName = QName::interned(BATCH_NS, "wsgb", "Msg");
+
+const XML_DECL: &str = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+
+/// One message to be wrapped: already-serialised envelope XML plus the
+/// route it should dispatch to (`None` = the POST's own target).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// Dispatch route override, e.g. `"/membership"` for a piggybacked
+    /// heartbeat riding a gossip batch.
+    pub target: Option<&'a str>,
+    /// The serialised inner envelope (with or without XML declaration).
+    pub xml: &'a str,
+}
+
+/// One message unwrapped from a batch on the receiving side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedEnvelope {
+    /// Dispatch route override (the `target` attribute), if any.
+    pub target: Option<String>,
+    /// The parsed inner envelope.
+    pub envelope: Envelope,
+    /// The inner envelope re-serialised standalone (declaration + compact
+    /// XML), so downstream services see the same shape as a lone POST.
+    pub raw: String,
+}
+
+/// Serialise `items` into `out` (cleared first, allocation reused) as one
+/// batch document. The inner XML strings are spliced verbatim minus their
+/// declarations; order is preserved.
+pub fn write_batch(items: &[BatchItem<'_>], out: &mut String) {
+    out.clear();
+    let body: usize = items.iter().map(|i| i.xml.len() + 24).sum();
+    out.reserve(XML_DECL.len() + 64 + body);
+    out.push_str(XML_DECL);
+    out.push_str("<wsgb:Batch xmlns:wsgb=\"");
+    out.push_str(BATCH_NS);
+    out.push_str("\">");
+    for item in items {
+        match item.target {
+            None => out.push_str("<wsgb:Msg>"),
+            Some(target) => {
+                out.push_str("<wsgb:Msg target=\"");
+                escape_attr_into(out, target);
+                out.push_str("\">");
+            }
+        }
+        out.push_str(strip_declaration(item.xml));
+        out.push_str("</wsgb:Msg>");
+    }
+    out.push_str("</wsgb:Batch>");
+}
+
+/// Drop a leading `<?xml …?>` declaration (and surrounding whitespace) so
+/// the envelope can be embedded inside the batch document.
+fn strip_declaration(xml: &str) -> &str {
+    let rest = xml.trim_start();
+    if let Some(after) = rest.strip_prefix("<?xml") {
+        if let Some(end) = after.find("?>") {
+            return after[end + 2..].trim_start();
+        }
+    }
+    rest
+}
+
+/// Whether a parsed document root is a batch wrapper.
+pub fn is_batch(root: &Element) -> bool {
+    root.name().matches(Some(BATCH_NS), "Batch")
+}
+
+/// A wire document classified by [`parse_wire`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unbundled {
+    /// The document was a `wsgb:Batch`: its messages, in wire order.
+    Batch(Vec<BatchedEnvelope>),
+    /// Not a batch: the fully parsed document root, for the caller's
+    /// ordinary single-envelope path.
+    Single(Element),
+}
+
+/// Parse a wire document, unwrapping it when it is a batch.
+///
+/// This is the receive hot path: instead of building the whole batch tree
+/// and re-serialising every inner envelope (as [`unbundle`] must, given
+/// only a tree), it streams the document once and recovers each message's
+/// `raw` form by slicing the sender's exact bytes back out of `wire` —
+/// one exact-capacity allocation per message, no re-serialisation. Inner
+/// trees are built (and dropped) one message at a time, so a large batch
+/// never holds more than one envelope's tree live.
+///
+/// # Errors
+///
+/// [`SoapError::Xml`] for malformed XML (including trailing content after
+/// the root, matching [`Element::parse`]), and the same [`SoapError::Batch`]
+/// / envelope errors as [`unbundle`] for structural violations. Never
+/// panics, whatever the input looks like.
+pub fn parse_wire(wire: &str) -> Result<Unbundled, SoapError> {
+    let mut reader = XmlReader::new(wire);
+    let (name, attributes, root_empty) = loop {
+        match reader.next_event()? {
+            XmlEvent::StartElement { name, attributes, empty } => break (name, attributes, empty),
+            XmlEvent::Eof => {
+                return Err(SoapError::Batch("document has no root element".into()))
+            }
+            _ => {}
+        }
+    };
+
+    if !name.matches(Some(BATCH_NS), "Batch") {
+        let root = Element::from_start_event(&mut reader, name, attributes)?;
+        drain_epilogue(&mut reader)?;
+        return Ok(Unbundled::Single(root));
+    }
+
+    let mut out = Vec::new();
+    if !root_empty {
+        loop {
+            match reader.next_event()? {
+                XmlEvent::StartElement { name, attributes, empty } => {
+                    if !name.matches(Some(BATCH_NS), "Msg") {
+                        return Err(SoapError::Batch(format!("batch carries a {name}")));
+                    }
+                    let target = attributes
+                        .iter()
+                        .find(|a| a.name.namespace().is_none() && a.name.local() == "target")
+                        .map(|a| a.value.clone());
+                    out.push(read_msg(&mut reader, wire, target, empty)?);
+                }
+                // `</wsgb:Batch>` — the reader itself balances tags, so an
+                // EndElement at this depth can only be the wrapper's.
+                XmlEvent::EndElement { .. } => break,
+                XmlEvent::Eof => return Err(SoapError::Batch("truncated batch".into())),
+                // Text and comments between messages are ignored, exactly
+                // as the tree walk in `unbundle` ignores non-element nodes.
+                _ => {}
+            }
+        }
+    } else {
+        // Consume the synthetic EndElement of `<wsgb:Batch/>`.
+        reader.next_event()?;
+    }
+    drain_epilogue(&mut reader)?;
+    if out.is_empty() {
+        return Err(SoapError::Batch("batch carries no messages".into()));
+    }
+    Ok(Unbundled::Batch(out))
+}
+
+/// Read one `wsgb:Msg`'s content — exactly one inner element — building
+/// its tree and slicing its byte span out of `wire` for the `raw` form.
+fn read_msg(
+    reader: &mut XmlReader<'_>,
+    wire: &str,
+    target: Option<String>,
+    empty: bool,
+) -> Result<BatchedEnvelope, SoapError> {
+    let mut inner: Option<(Envelope, String)> = None;
+    if !empty {
+        loop {
+            // After the previous event is consumed the cursor sits exactly
+            // on the next construct, so for a start tag this is the byte
+            // offset of its `<`.
+            let start = reader.position();
+            match reader.next_event()? {
+                XmlEvent::StartElement { name, attributes, .. } => {
+                    if inner.is_some() {
+                        return Err(SoapError::Batch(
+                            "Msg wraps more than one element (want exactly 1)".into(),
+                        ));
+                    }
+                    let element = Element::from_start_event(reader, name, attributes)?;
+                    let envelope = Envelope::from_element(&element)?;
+                    let slice = &wire[start..reader.position()];
+                    let mut raw = String::with_capacity(XML_DECL.len() + slice.len());
+                    raw.push_str(XML_DECL);
+                    raw.push_str(slice);
+                    inner = Some((envelope, raw));
+                }
+                XmlEvent::EndElement { .. } => break, // `</wsgb:Msg>`
+                XmlEvent::Eof => return Err(SoapError::Batch("truncated batch".into())),
+                _ => {} // text/comments alongside the envelope are ignored
+            }
+        }
+    } else {
+        reader.next_event()?; // synthetic EndElement of `<wsgb:Msg/>`
+    }
+    match inner {
+        Some((envelope, raw)) => Ok(BatchedEnvelope { target, envelope, raw }),
+        None => Err(SoapError::Batch("Msg wraps 0 elements (want exactly 1)".into())),
+    }
+}
+
+/// Reject trailing junk after the root element, as [`Element::parse`] does.
+fn drain_epilogue(reader: &mut XmlReader<'_>) -> Result<(), SoapError> {
+    loop {
+        match reader.next_event()? {
+            XmlEvent::Eof => return Ok(()),
+            XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
+            other => {
+                return Err(SoapError::Batch(format!("content after root element: {other:?}")))
+            }
+        }
+    }
+}
+
+/// Unwrap a batch document into its messages, in wire order.
+///
+/// # Errors
+///
+/// [`SoapError::Batch`] when the root is not a `wsgb:Batch`, a child is
+/// not a `wsgb:Msg`, a `Msg` does not carry exactly one child element, or
+/// the batch is empty; inner envelope violations surface as the usual
+/// [`Envelope::from_element`] errors. Never panics, whatever the input
+/// tree looks like.
+pub fn unbundle(root: &Element) -> Result<Vec<BatchedEnvelope>, SoapError> {
+    if !is_batch(root) {
+        return Err(SoapError::Batch(format!("root element is {}", root.name())));
+    }
+    let children = root.children();
+    if children.is_empty() {
+        return Err(SoapError::Batch("batch carries no messages".into()));
+    }
+    let mut out = Vec::with_capacity(children.len());
+    for child in children {
+        if !child.name().matches(Some(BATCH_NS), "Msg") {
+            return Err(SoapError::Batch(format!("batch carries a {}", child.name())));
+        }
+        let wrapped = child.children();
+        let inner = match wrapped.as_slice() {
+            [only] => *only,
+            _ => {
+                return Err(SoapError::Batch(format!(
+                    "Msg wraps {} elements (want exactly 1)",
+                    wrapped.len()
+                )))
+            }
+        };
+        let envelope = Envelope::from_element(inner)?;
+        let serialised = inner.to_xml_string();
+        let mut raw = String::with_capacity(XML_DECL.len() + serialised.len());
+        raw.push_str(XML_DECL);
+        raw.push_str(&serialised);
+        out.push(BatchedEnvelope {
+            target: child.attr("target").map(str::to_string),
+            envelope,
+            raw,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addressing::MessageHeaders;
+
+    fn sample(n: usize) -> Envelope {
+        Envelope::request(
+            MessageHeaders::request(format!("http://dest/{n}"), format!("urn:app:Op{n}"))
+                .with_message_id(format!("urn:uuid:{n}")),
+            Element::text_node("tick", format!("payload-{n}")),
+        )
+    }
+
+    #[test]
+    fn round_trips_order_targets_and_content() {
+        let envelopes: Vec<Envelope> = (0..4).map(sample).collect();
+        let xmls: Vec<String> = envelopes.iter().map(Envelope::to_xml).collect();
+        let items: Vec<BatchItem<'_>> = xmls
+            .iter()
+            .enumerate()
+            .map(|(i, xml)| BatchItem {
+                target: if i == 2 { Some("/membership") } else { None },
+                xml,
+            })
+            .collect();
+        let mut wire = String::new();
+        write_batch(&items, &mut wire);
+
+        let root = Element::parse(&wire).unwrap();
+        assert!(is_batch(&root));
+        let unpacked = unbundle(&root).unwrap();
+        assert_eq!(unpacked.len(), 4);
+        for (i, msg) in unpacked.iter().enumerate() {
+            assert_eq!(msg.envelope, envelopes[i], "message {i} round-trips");
+            assert_eq!(
+                msg.target.as_deref(),
+                if i == 2 { Some("/membership") } else { None }
+            );
+            // The reconstructed raw is itself a parseable standalone doc
+            // describing the same envelope.
+            assert_eq!(Envelope::parse(&msg.raw).unwrap(), envelopes[i]);
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_is_reused_and_cleared() {
+        let xml = sample(1).to_xml();
+        let items = [BatchItem { target: None, xml: &xml }];
+        let mut buf = String::from("stale contents from the previous batch");
+        write_batch(&items, &mut buf);
+        let first = buf.clone();
+        write_batch(&items, &mut buf);
+        assert_eq!(buf, first);
+    }
+
+    #[test]
+    fn declaration_is_stripped_once_regardless_of_form() {
+        assert_eq!(strip_declaration("<a/>"), "<a/>");
+        assert_eq!(
+            strip_declaration("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>"),
+            "<a/>"
+        );
+        assert_eq!(strip_declaration("  <?xml version=\"1.0\"?>\n  <a/>"), "<a/>");
+        // A truncated declaration is left alone (the parse will reject it).
+        assert_eq!(strip_declaration("<?xml version"), "<?xml version");
+    }
+
+    #[test]
+    fn parse_wire_matches_unbundle_and_slices_sender_bytes() {
+        let envelopes: Vec<Envelope> = (0..4).map(sample).collect();
+        let xmls: Vec<String> = envelopes.iter().map(Envelope::to_xml).collect();
+        let items: Vec<BatchItem<'_>> = xmls
+            .iter()
+            .enumerate()
+            .map(|(i, xml)| BatchItem {
+                target: if i == 1 { Some("/membership") } else { None },
+                xml,
+            })
+            .collect();
+        let mut wire = String::new();
+        write_batch(&items, &mut wire);
+
+        let via_tree = unbundle(&Element::parse(&wire).unwrap()).unwrap();
+        let streamed = match parse_wire(&wire).unwrap() {
+            Unbundled::Batch(messages) => messages,
+            other => panic!("batch wire classified as {other:?}"),
+        };
+        assert_eq!(streamed.len(), via_tree.len());
+        for (i, (s, t)) in streamed.iter().zip(&via_tree).enumerate() {
+            assert_eq!(s.envelope, t.envelope, "message {i} envelope");
+            assert_eq!(s.target, t.target, "message {i} target");
+            // The streamed raw is the sender's own serialisation, byte for
+            // byte — not a re-serialisation of the parsed tree.
+            assert_eq!(s.raw, xmls[i], "message {i} raw");
+        }
+    }
+
+    #[test]
+    fn parse_wire_hands_back_non_batch_documents() {
+        let xml = sample(3).to_xml();
+        match parse_wire(&xml).unwrap() {
+            Unbundled::Single(root) => {
+                assert_eq!(Envelope::from_element(&root).unwrap(), sample(3));
+            }
+            other => panic!("lone envelope classified as {other:?}"),
+        }
+        // Trailing junk is rejected just as Element::parse rejects it.
+        let trailing = format!("{xml}<extra/>");
+        assert!(parse_wire(&trailing).is_err());
+        assert!(parse_wire("").is_err());
+    }
+
+    #[test]
+    fn parse_wire_rejects_what_unbundle_rejects() {
+        for bad in [
+            "<x/>",
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"/>",
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"><other/></wsgb:Batch>",
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"><wsgb:Msg/></wsgb:Batch>",
+        ] {
+            match parse_wire(bad) {
+                Ok(Unbundled::Single(_)) => assert_eq!(bad, "<x/>", "only <x/> is a document"),
+                Ok(Unbundled::Batch(_)) => panic!("{bad} accepted as a batch"),
+                Err(SoapError::Batch(_)) => {}
+                Err(other) => panic!("{bad} failed with {other}"),
+            }
+        }
+        let not_envelope =
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"><wsgb:Msg><x/></wsgb:Msg></wsgb:Batch>";
+        assert!(matches!(parse_wire(not_envelope), Err(SoapError::NotAnEnvelope(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_wrappers() {
+        let not_batch = Element::parse("<x/>").unwrap();
+        assert!(matches!(unbundle(&not_batch), Err(SoapError::Batch(_))));
+
+        let empty =
+            Element::parse("<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"/>").unwrap();
+        assert!(matches!(unbundle(&empty), Err(SoapError::Batch(_))));
+
+        let wrong_child = Element::parse(
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"><other/></wsgb:Batch>",
+        )
+        .unwrap();
+        assert!(matches!(unbundle(&wrong_child), Err(SoapError::Batch(_))));
+
+        let empty_msg = Element::parse(
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"><wsgb:Msg/></wsgb:Batch>",
+        )
+        .unwrap();
+        assert!(matches!(unbundle(&empty_msg), Err(SoapError::Batch(_))));
+
+        let not_envelope = Element::parse(
+            "<wsgb:Batch xmlns:wsgb=\"urn:ws-gossip:batch\"><wsgb:Msg><x/></wsgb:Msg></wsgb:Batch>",
+        )
+        .unwrap();
+        assert!(matches!(
+            unbundle(&not_envelope),
+            Err(SoapError::NotAnEnvelope(_))
+        ));
+    }
+}

@@ -16,6 +16,8 @@ pub enum SoapError {
     NotUnderstood(String),
     /// A WS-Addressing property was missing or malformed.
     Addressing(String),
+    /// A `urn:ws-gossip:batch` wrapper was malformed.
+    Batch(String),
 }
 
 impl fmt::Display for SoapError {
@@ -28,6 +30,7 @@ impl fmt::Display for SoapError {
                 write!(f, "mustUnderstand header '{h}' was not understood")
             }
             SoapError::Addressing(w) => write!(f, "ws-addressing violation: {w}"),
+            SoapError::Batch(w) => write!(f, "invalid batch: {w}"),
         }
     }
 }

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod addressing;
+pub mod batch;
 pub mod envelope;
 pub mod fault;
 pub mod handler;

@@ -423,11 +423,16 @@ impl<'a> XmlReader<'a> {
         let value_start = self.pos + 1;
         self.pos += 1 + close + 1;
         let value = unescape(raw, value_start)?;
-        // Attribute-value normalisation: whitespace characters become spaces.
-        let normalised: String = value
-            .chars()
-            .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
-            .collect();
+        // Attribute-value normalisation: whitespace characters become
+        // spaces. Almost no value needs it, so only rebuild when one does.
+        let normalised: String = if value.contains(['\t', '\n', '\r']) {
+            value
+                .chars()
+                .map(|c| if matches!(c, '\t' | '\n' | '\r') { ' ' } else { c })
+                .collect()
+        } else {
+            value.into_owned()
+        };
         Ok((name, normalised))
     }
 

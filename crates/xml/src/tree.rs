@@ -287,6 +287,24 @@ impl Element {
         }
     }
 
+    /// Build the subtree for a [`XmlEvent::StartElement`] the caller has
+    /// already pulled from `reader`, consuming events through the matching
+    /// end tag. Paired with [`XmlReader::position`] this lets streaming
+    /// consumers (e.g. the SOAP batch unwrapper) recover each subtree's
+    /// exact byte span in the source document instead of re-serialising
+    /// the finished tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`XmlError`] for malformed content.
+    pub fn from_start_event(
+        reader: &mut XmlReader<'_>,
+        name: QName,
+        attributes: Vec<crate::event::Attribute>,
+    ) -> Result<Element, XmlError> {
+        Self::from_reader(reader, name, attributes)
+    }
+
     fn from_reader(
         reader: &mut XmlReader<'_>,
         name: QName,

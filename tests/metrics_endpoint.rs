@@ -296,6 +296,19 @@ fn live_runtime_node_serves_its_own_metrics() {
     assert!(get("wsg_http_server_requests_total") >= 1.0, "subscribe traffic arrived");
     assert!(get("wsg_transport_posts_ok_total") >= 1.0, "grant responses went out");
 
+    // The wire-batching histogram is scraped live from the same socket:
+    // one observation per successful POST, its sum counting envelopes,
+    // so sum >= count and the POSTs-saved counter is their difference.
+    let batch_count = get("wsg_transport_batch_msgs_count");
+    let batch_sum = get("wsg_transport_batch_msgs_sum");
+    assert!(batch_count >= 1.0, "every successful POST observes a batch size: {body}");
+    assert!(batch_sum >= batch_count, "batches carry at least one envelope each: {body}");
+    assert_eq!(
+        get("wsg_transport_posts_saved_total"),
+        batch_sum - batch_count,
+        "saved POSTs are exactly envelopes minus POSTs: {body}"
+    );
+
     // After shutdown, the finished protocol enriches the same registry
     // with node/coordinator families — the full per-node picture.
     let registry = net.registry_of(coordinator);
