@@ -250,6 +250,7 @@ where
                 let xml = leave.to_envelope(membership_uri(addr)).to_xml();
                 // Best-effort: a peer that misses the announcement will
                 // time the leaver out like any silent member.
+                // wsg_lint: allow(error-swallowing) — the accrual detector is the backstop for a lost Leave
                 let _ = self.external.post(
                     addr,
                     MEMBERSHIP_TARGET,
@@ -283,6 +284,7 @@ where
 fn stop_pump(slot: &mut ClusterSlot) {
     slot.stop.store(true, Ordering::SeqCst);
     if let Some(handle) = slot.pump.take() {
+        // wsg_lint: allow(E2) — a panicked pump already showed up as missing heartbeats; shutdown must still proceed
         let _ = handle.join();
     }
 }

@@ -1,0 +1,147 @@
+//! Exhaustive model-checking of [`MembershipPlane`] under concurrent
+//! heartbeat handling, `note_unreachable` condemnation, and view reads
+//! (ISSUE 9): condemnation must be monotone — a *stale* heartbeat (one
+//! whose counter has not progressed) can never resurrect a condemned
+//! member, in any interleaving — and view/tombstone state must stay
+//! mutually consistent when a fresh heartbeat races a condemnation.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg wsg_model"`; see DESIGN.md §13.
+#![cfg(wsg_model)]
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use wsg_cluster::{ClusterConfig, ClusterMessage, MemberEntry, MembershipPlane};
+use wsg_membership::MemberStatus;
+use wsg_net::time::ManualClock;
+use wsg_net::NodeId;
+use wsg_model::{thread, Explorer};
+
+fn addr(port: u16) -> SocketAddr {
+    format!("127.0.0.1:{port}").parse().unwrap()
+}
+
+fn plane_with_peer(peer_heartbeat: u64) -> Arc<MembershipPlane> {
+    let clock = Arc::new(ManualClock::new());
+    let plane = Arc::new(MembershipPlane::new(
+        NodeId(0),
+        clock,
+        ClusterConfig::default(),
+        7,
+    ));
+    plane.register_self(addr(9000));
+    plane.bootstrap(&[MemberEntry { id: NodeId(1), addr: addr(9001), heartbeat: peer_heartbeat }]);
+    plane
+}
+
+#[test]
+fn stale_heartbeat_never_resurrects_a_condemned_member() {
+    // Peer 1 was admitted at heartbeat 5. One thread folds in a *stale*
+    // heartbeat (still 5); another condemns the peer's address. In every
+    // interleaving the condemnation must win: the stale counter carries
+    // no fresh evidence, so the member stays dead — including across a
+    // subsequent tick (which re-applies standing condemnations).
+    let outcome = Explorer::new()
+        .preemption_bound(3)
+        .max_schedules(500_000)
+        .samples(16)
+        .explore(|| {
+            let plane = plane_with_peer(5);
+            let gossip = {
+                let plane = Arc::clone(&plane);
+                thread::spawn(move || {
+                    let stale = ClusterMessage::Heartbeat(vec![MemberEntry {
+                        id: NodeId(1),
+                        addr: addr(9001),
+                        heartbeat: 5,
+                    }]);
+                    plane.handle(&stale);
+                })
+            };
+            let detector = {
+                let plane = Arc::clone(&plane);
+                thread::spawn(move || plane.note_unreachable(addr(9001)))
+            };
+            gossip.join().unwrap();
+            let condemned = detector.join().unwrap();
+            assert_eq!(condemned, Some(NodeId(1)), "the address is known, so it must condemn");
+            assert_eq!(
+                plane.status_of(NodeId(1)),
+                Some(MemberStatus::Dead),
+                "a stale heartbeat resurrected a condemned member"
+            );
+            let _ = plane.tick();
+            assert_eq!(
+                plane.status_of(NodeId(1)),
+                Some(MemberStatus::Dead),
+                "condemnation must be sticky across ticks until the counter progresses"
+            );
+            assert_eq!(plane.dead_addrs(), vec![addr(9001)]);
+        });
+    assert!(
+        outcome.failure.is_none(),
+        "condemnation raced a stale heartbeat:\n{}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    assert!(outcome.exhausted, "({} schedules run)", outcome.schedules);
+}
+
+#[test]
+fn fresh_heartbeat_racing_condemnation_stays_consistent() {
+    // Here the heartbeat *has* progressed (6 > 5), so both final states
+    // are legal — condemned-then-refreshed (alive) or refreshed-then-
+    // condemned (dead) — but whichever wins, the view and the tombstone
+    // bookkeeping must agree, in every interleaving: a dead member's
+    // address is evictable, an alive member's is not, and concurrent
+    // view reads never observe anything else.
+    let outcome = Explorer::new()
+        .preemption_bound(2)
+        .max_schedules(500_000)
+        .samples(16)
+        .explore(|| {
+            let plane = plane_with_peer(5);
+            let gossip = {
+                let plane = Arc::clone(&plane);
+                thread::spawn(move || {
+                    let fresh = ClusterMessage::Heartbeat(vec![MemberEntry {
+                        id: NodeId(1),
+                        addr: addr(9001),
+                        heartbeat: 6,
+                    }]);
+                    plane.handle(&fresh);
+                })
+            };
+            let detector = {
+                let plane = Arc::clone(&plane);
+                thread::spawn(move || plane.note_unreachable(addr(9001)))
+            };
+            // A concurrent reader: any status it sees must be a valid
+            // member status (never a torn or forgotten entry).
+            let seen = plane.status_of(NodeId(1));
+            assert!(seen.is_some(), "member 1 must never vanish mid-race: {seen:?}");
+            gossip.join().unwrap();
+            detector.join().unwrap();
+            match plane.status_of(NodeId(1)) {
+                Some(MemberStatus::Dead) => {
+                    assert_eq!(
+                        plane.dead_addrs(),
+                        vec![addr(9001)],
+                        "dead member's address must be evictable"
+                    );
+                }
+                Some(MemberStatus::Alive) => {
+                    assert!(
+                        plane.dead_addrs().is_empty(),
+                        "alive member's address must not be evicted"
+                    );
+                }
+                other => panic!("member 1 must end the race alive or dead, got {other:?}"),
+            }
+        });
+    assert!(
+        outcome.failure.is_none(),
+        "fresh-heartbeat race broke view/tombstone consistency:\n{}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    assert!(outcome.exhausted, "({} schedules run)", outcome.schedules);
+}

@@ -17,11 +17,10 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::net::SocketAddr;
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 use wsg_net::protocol::NodeId;
-use wsg_net::sync::Mutex;
+use wsg_net::sync::{AtomicBool, Mutex, Notify, Ordering};
 
 /// Drain-policy knobs for the sender thread's per-peer batches.
 #[derive(Debug, Clone)]
@@ -49,12 +48,51 @@ pub(crate) struct QueuedMsg {
     pub(crate) xml: String,
 }
 
-/// Tokens on the sender thread's wakeup channel.
-pub(crate) enum SenderCmd {
-    /// Something was queued; drain.
-    Wake,
-    /// The node loop ended: drain what is queued, then exit.
-    Stop,
+/// The sender thread's wakeup latch: a coalescing wake token plus a
+/// sticky stopping flag, replacing a counted command channel. Any number
+/// of pushes while the sender is busy posting collapse into one token —
+/// the sender drains *queues*, not wake messages, so tokens carry no
+/// payload and need no buffering.
+///
+/// Protocol (model-checked exhaustively under `--cfg wsg_model`, see the
+/// `model_tests` module): producers push *then* wake; `stop` sets the
+/// flag *then* wakes. The sender reads the flag *before* draining, so
+/// every message queued before `stop()` is covered by the final drain —
+/// no envelope is stranded and no wakeup lost.
+#[derive(Default)]
+pub(crate) struct WakeSignal {
+    notify: Notify,
+    stopping: AtomicBool,
+}
+
+impl WakeSignal {
+    pub(crate) fn new() -> Self {
+        WakeSignal { notify: Notify::new(), stopping: AtomicBool::new(false) }
+    }
+
+    /// Producer side: there may be work — wake the sender (idempotent).
+    pub(crate) fn wake(&self) {
+        self.notify.notify_one();
+    }
+
+    /// The node loop ended: have the sender drain what is queued, then
+    /// exit. Sticky; the ordering pairs with [`WakeSignal::stopping`].
+    pub(crate) fn stop(&self) {
+        self.stopping.store(true, Ordering::Release);
+        self.notify.notify_one();
+    }
+
+    /// Sender side: park until a wake token arrives.
+    pub(crate) fn wait(&self) {
+        self.notify.wait();
+    }
+
+    /// Sender side: whether `stop` was requested. Read *before* the
+    /// drain that follows a [`WakeSignal::wait`] so the final drain sees
+    /// everything queued before the stop.
+    pub(crate) fn stopping(&self) -> bool {
+        self.stopping.load(Ordering::Acquire)
+    }
 }
 
 /// Callback invoked with the address of a peer whose POST was
@@ -143,26 +181,26 @@ impl SenderQueues {
 }
 
 /// A producer-side handle on one node's outbound path: shared queues plus
-/// the sender thread's wakeup channel.
+/// the sender thread's wakeup latch.
 ///
 /// Cloneable and cheap; obtained from `NetRuntime::outbound_of`. Dropping
 /// handles never blocks shutdown — the sender thread exits on an explicit
-/// stop token from the node loop, not on channel disconnect.
+/// stop flag from the node loop, never on handle count.
 #[derive(Clone)]
 pub struct OutboundHandle {
     queues: Arc<SenderQueues>,
-    wake: Sender<SenderCmd>,
+    wake: Arc<WakeSignal>,
 }
 
 impl OutboundHandle {
-    pub(crate) fn new(queues: Arc<SenderQueues>, wake: Sender<SenderCmd>) -> Self {
+    pub(crate) fn new(queues: Arc<SenderQueues>, wake: Arc<WakeSignal>) -> Self {
         OutboundHandle { queues, wake }
     }
 
     /// Queue a gossip envelope for `to` and wake the sender.
     pub(crate) fn send(&self, to: NodeId, xml: String) {
         self.queues.push(to, None, xml);
-        let _ = self.wake.send(SenderCmd::Wake);
+        self.wake.wake();
     }
 
     /// Append `xml` behind traffic already queued for `to`, to be
@@ -172,7 +210,7 @@ impl OutboundHandle {
     /// successful piggyback wakes the sender like any other push.
     pub fn piggyback(&self, to: NodeId, target: &str, xml: &str) -> bool {
         if self.queues.piggyback(to, target, xml) {
-            let _ = self.wake.send(SenderCmd::Wake);
+            self.wake.wake();
             true
         } else {
             false
@@ -187,7 +225,117 @@ impl OutboundHandle {
 
     /// Tell the sender thread to drain what is queued and exit.
     pub(crate) fn stop(&self) {
-        let _ = self.wake.send(SenderCmd::Stop);
+        self.wake.stop();
+    }
+}
+
+/// Exhaustive model checks of the wake-token protocol (ISSUE 9): under
+/// `RUSTFLAGS="--cfg wsg_model"` the explorer drives every interleaving
+/// of producers, the sender loop, and `stop()` within the preemption
+/// bound. A lost wakeup surfaces as a model deadlock (the sender parked
+/// with no token left to come); a stranded envelope fails the final
+/// drain assertion.
+#[cfg(all(test, wsg_model))]
+mod model_tests {
+    use super::*;
+    use wsg_model::{thread, Explorer};
+
+    /// The sender thread's protocol, exactly as `runtime::sender_loop`
+    /// performs it (wait → read stop → drain → exit-if-stopping), minus
+    /// the HTTP posting: drained envelopes are collected instead.
+    fn spawn_sender(
+        queues: Arc<SenderQueues>,
+        signal: Arc<WakeSignal>,
+    ) -> thread::JoinHandle<Vec<String>> {
+        thread::spawn(move || {
+            let config = BatchConfig::default();
+            let mut drained = Vec::new();
+            loop {
+                signal.wait();
+                let stopping = signal.stopping();
+                while let Some((_, batch)) = queues.pop_batch(&config) {
+                    drained.extend(batch.into_iter().map(|m| m.xml));
+                }
+                if stopping {
+                    return drained;
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn wake_token_protocol_loses_no_envelope() {
+        let outcome = Explorer::new()
+            .preemption_bound(3)
+            .max_schedules(500_000)
+            .samples(16)
+            .explore(|| {
+                let queues = Arc::new(SenderQueues::default());
+                let signal = Arc::new(WakeSignal::new());
+                let out = OutboundHandle::new(Arc::clone(&queues), Arc::clone(&signal));
+                let sender = spawn_sender(Arc::clone(&queues), Arc::clone(&signal));
+                out.send(NodeId(1), "<m>0</m>".to_string());
+                out.send(NodeId(2), "<m>1</m>".to_string());
+                out.stop();
+                let drained = sender.join().unwrap();
+                assert_eq!(
+                    drained.len(),
+                    2,
+                    "an envelope was stranded or duplicated: {drained:?}"
+                );
+                assert!(
+                    queues.pop_batch(&BatchConfig::default()).is_none(),
+                    "queues must be empty once the sender exits"
+                );
+            });
+        assert!(
+            outcome.failure.is_none(),
+            "lost wakeup or stranded envelope:\n{}",
+            outcome.failure.map(|f| f.report()).unwrap_or_default()
+        );
+        assert!(
+            outcome.exhausted,
+            "the wake-token fixture must be explored exhaustively at bound 3 \
+             ({} schedules run)",
+            outcome.schedules
+        );
+    }
+
+    #[test]
+    fn piggyback_never_strands_behind_a_concurrent_drain() {
+        // A piggybacking producer races the sender's drain: whenever
+        // `piggyback` reports true, its message must come out of the
+        // final drain — under every interleaving within the bound.
+        let outcome = Explorer::new()
+            .preemption_bound(2)
+            .max_schedules(500_000)
+            .samples(16)
+            .explore(|| {
+                let queues = Arc::new(SenderQueues::default());
+                let signal = Arc::new(WakeSignal::new());
+                let out = OutboundHandle::new(Arc::clone(&queues), Arc::clone(&signal));
+                let sender = spawn_sender(Arc::clone(&queues), Arc::clone(&signal));
+                let rider = {
+                    let out = out.clone();
+                    thread::spawn(move || out.piggyback(NodeId(1), "/membership", "<hb/>"))
+                };
+                out.send(NodeId(1), "<m>0</m>".to_string());
+                let rode_along = rider.join().unwrap();
+                out.stop();
+                let drained = sender.join().unwrap();
+                assert_eq!(
+                    drained.len(),
+                    1 + usize::from(rode_along),
+                    "a successful piggyback must never be stranded: {drained:?}"
+                );
+                assert!(queues.pop_batch(&BatchConfig::default()).is_none());
+            });
+        assert!(
+            outcome.failure.is_none(),
+            "piggyback raced the drain into a lost message:\n{}",
+            outcome.failure.map(|f| f.report()).unwrap_or_default()
+        );
+        assert!(outcome.exhausted, "({} schedules run)", outcome.schedules);
     }
 }
 

@@ -205,8 +205,10 @@ impl SoapHttpClient {
         wire.extend_from_slice(b"POST ");
         wire.extend_from_slice(target.as_bytes());
         wire.extend_from_slice(b" HTTP/1.1\r\nContent-Length: ");
+        // wsg_lint: allow(E2) — io::Write to a Vec is infallible
         let _ = write!(wire, "{}", body.len());
         wire.extend_from_slice(b"\r\nHost: ");
+        // wsg_lint: allow(E2) — io::Write to a Vec is infallible
         let _ = write!(wire, "{addr}");
         wire.extend_from_slice(b"\r\nContent-Type: ");
         wire.extend_from_slice(SOAP_CONTENT_TYPE.as_bytes());
@@ -342,6 +344,7 @@ impl SoapHttpClient {
         wire: &[u8],
     ) -> std::io::Result<(TcpStream, Response)> {
         let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        // wsg_lint: allow(E2) — Nagle is a latency tuning; a socket that rejects it still serves
         let _ = stream.set_nodelay(true);
         let response = self.exchange(&stream, wire)?;
         Ok((stream, response))

@@ -120,8 +120,10 @@ impl Request {
     /// Serialise to wire bytes (head + body).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = String::new();
+        // wsg_lint: allow(E2) — fmt::Write to a String is infallible
         let _ = write!(head, "{} {} {}\r\n", self.method, self.target, self.version);
         for (name, value) in self.headers.iter() {
+            // wsg_lint: allow(E2) — fmt::Write to a String is infallible
             let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");
@@ -200,8 +202,10 @@ impl Response {
     /// Serialise to wire bytes (head + body).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = String::new();
+        // wsg_lint: allow(E2) — fmt::Write to a String is infallible
         let _ = write!(head, "{} {} {}\r\n", self.version, self.status, self.reason);
         for (name, value) in self.headers.iter() {
+            // wsg_lint: allow(E2) — fmt::Write to a String is infallible
             let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");

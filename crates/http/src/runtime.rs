@@ -42,9 +42,10 @@
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+
+use wsg_net::sync::{AtomicUsize, Ordering};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -56,7 +57,7 @@ use wsg_obs::{Counter, HistogramMetric, Registry};
 use wsg_soap::batch::{write_batch, BatchItem, BATCH_ACTION};
 use wsg_soap::{Envelope, Fault, FaultCode};
 
-use crate::batch::{BatchConfig, OutboundHandle, SenderCmd, SenderQueues};
+use crate::batch::{BatchConfig, OutboundHandle, SenderQueues, WakeSignal};
 use crate::client::{HttpClientConfig, PostError, PostOutcome, SoapHttpClient};
 use crate::server::{
     HttpServerConfig, SoapHttpServer, SoapReply, SoapRequest, Service, NODE_HEADER,
@@ -353,8 +354,8 @@ where
         // per-destination queues into batched POSTs, routing through the
         // live directory so removed peers become unroutable immediately.
         let queues = Arc::new(SenderQueues::default());
-        let (wake_tx, wake_rx): (Sender<SenderCmd>, Receiver<SenderCmd>) = channel();
-        let outbound = OutboundHandle::new(Arc::clone(&queues), wake_tx);
+        let signal = Arc::new(WakeSignal::new());
+        let outbound = OutboundHandle::new(Arc::clone(&queues), Arc::clone(&signal));
         let client = SoapHttpClient::new_observed(client_seed, self.config.client.clone(), &registry);
         let transport = TransportMetrics::new(&registry);
         let directory = Arc::clone(&self.directory);
@@ -362,7 +363,7 @@ where
         let sender_handle = std::thread::Builder::new()
             .name(format!("wsg-net-sender-{index}"))
             .spawn(move || {
-                sender_loop(index, wake_rx, queues, batch_config, client, directory, transport)
+                sender_loop(index, signal, queues, batch_config, client, directory, transport)
             })
             .expect("spawn sender thread");
 
@@ -409,6 +410,7 @@ where
                 server.shutdown();
             }
         }
+        // wsg_lint: allow(E2) — a closed inbox means the node loop already exited; Stop is advisory
         let _ = slot.inbox.send(Inbox::Stop);
         let protocol = node_handle.join().expect("node thread panicked");
         let transport = slot
@@ -482,6 +484,7 @@ where
     /// if `to` was removed.
     pub fn send_local(&self, from: NodeId, to: NodeId, xml: String) {
         if let Some(slot) = self.slots.get(to.0) {
+            // wsg_lint: allow(E2) — documented above: messages to removed nodes are silently dropped
             let _ = slot.inbox.send(Inbox::Message { from, xml });
         }
     }
@@ -501,6 +504,7 @@ where
     pub fn shutdown(mut self) -> Vec<NetNode<P>> {
         for slot in &self.slots {
             if slot.node_handle.is_some() {
+                // wsg_lint: allow(E2) — a closed inbox means the node loop already exited; Stop is advisory
                 let _ = slot.inbox.send(Inbox::Stop);
             }
         }
@@ -578,7 +582,7 @@ impl TransportMetrics {
 
 fn sender_loop(
     index: usize,
-    wake_rx: Receiver<SenderCmd>,
+    signal: Arc<WakeSignal>,
     queues: Arc<SenderQueues>,
     config: BatchConfig,
     client: SoapHttpClient,
@@ -589,17 +593,18 @@ fn sender_loop(
     let node_header = [(NODE_HEADER.to_string(), index.to_string())];
     let mut scratch = String::new();
     loop {
-        // Block for work; a closed channel counts as a stop (it can only
-        // mean the runtime is being torn down without a node loop).
-        let mut stopping = !matches!(wake_rx.recv(), Ok(SenderCmd::Wake));
-        // Coalesce every wake already pending: while we were busy posting
-        // the last drain, producers kept queueing — one pass covers them
-        // all, and that backlog is exactly what forms multi-message
-        // batches. Under light load the queue holds a single envelope and
-        // it is flushed immediately (flush-on-idle).
-        while let Ok(extra) = wake_rx.try_recv() {
-            stopping |= matches!(extra, SenderCmd::Stop);
-        }
+        // Park until there may be work. Wakes coalesce in the signal's
+        // single token: while we were busy posting the last drain,
+        // producers kept queueing — one pass covers them all, and that
+        // backlog is exactly what forms multi-message batches. Under
+        // light load the queue holds a single envelope and it is flushed
+        // immediately (flush-on-idle).
+        signal.wait();
+        // Read the stop flag *before* draining (not after): everything
+        // queued before `stop()` is then covered by this drain, so no
+        // envelope is stranded. This ordering is model-checked — see
+        // `batch::model_tests`.
+        let stopping = signal.stopping();
         drain_queues(&queues, &config, &client, &directory, &metrics, &mut stats, &node_header, &mut scratch);
         if stopping {
             return stats;

@@ -65,6 +65,11 @@ pub struct HttpServerConfig {
     /// `workers`) for latency-sensitive fleets with many idle
     /// connections, at the cost of more wakeups.
     pub read_slice: Duration,
+    /// Upper bound on any single blocking write to a peer. A peer that
+    /// accepts a connection but stops reading (zero receive window)
+    /// would otherwise park a worker in `write_all` forever; with the
+    /// timeout the write errors out and the connection is shed.
+    pub write_timeout: Duration,
 }
 
 impl Default for HttpServerConfig {
@@ -76,6 +81,7 @@ impl Default for HttpServerConfig {
             max_body_bytes: crate::parser::MAX_BODY_BYTES,
             queue_depth: 64,
             read_slice: READ_SLICE,
+            write_timeout: WRITE_TIMEOUT,
         }
     }
 }
@@ -138,6 +144,8 @@ struct ServerMetrics {
     request_micros: Arc<HistogramMetric>,
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
+    write_errors: Arc<Counter>,
+    connections_shed: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -165,6 +173,14 @@ impl ServerMetrics {
             .register_counter("wsg_http_server_bytes_in_total", "Bytes read from sockets.");
         let bytes_out = registry
             .register_counter("wsg_http_server_bytes_out_total", "Bytes written to sockets.");
+        let write_errors = registry.register_counter(
+            "wsg_http_server_write_errors_total",
+            "Responses lost to a failed or timed-out socket write.",
+        );
+        let connections_shed = registry.register_counter(
+            "wsg_http_server_connections_shed_total",
+            "Live connections dropped because the re-queue backlog was full.",
+        );
         ServerMetrics {
             registry,
             requests,
@@ -174,6 +190,8 @@ impl ServerMetrics {
             request_micros,
             bytes_in,
             bytes_out,
+            write_errors,
+            connections_shed,
         }
     }
 
@@ -332,11 +350,14 @@ impl SoapHttpServer {
         }
         // The accept thread blocks in accept(); poke it awake with a
         // throwaway connection so it can observe the stop flag.
+        // wsg_lint: allow(E2) — the poke is the side effect; a refused connect means the accept thread is already gone
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
         if let Some(handle) = self.accept_handle.take() {
+            // wsg_lint: allow(E2) — a panicked accept thread already tore the server down; join carries nothing further
             let _ = handle.join();
         }
         for handle in self.worker_handles.drain(..) {
+            // wsg_lint: allow(E2) — worker panics surface as dropped connections; shutdown must still join the rest
             let _ = handle.join();
         }
     }
@@ -377,10 +398,9 @@ fn accept_loop(
             // The wakeup connection (or a straggler during shutdown).
             return;
         }
-        if stream.set_read_timeout(Some(config.read_slice.max(Duration::from_millis(1)))).is_err() {
+        if !arm_stream_timeouts(&stream, &config) {
             continue;
         }
-        let _ = stream.set_nodelay(true);
         let conn = Conn {
             stream,
             peer,
@@ -405,6 +425,28 @@ fn accept_loop(
 /// for a long time: workers multiplex over all live connections in slices
 /// rather than parking on one each.
 const READ_SLICE: Duration = Duration::from_millis(10);
+
+/// Default for [`HttpServerConfig::write_timeout`]: generous, because a
+/// healthy peer drains a response in microseconds — only a stalled or
+/// malicious one ever gets near it.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Arm an accepted socket with the server's deadlines: the read-slice
+/// read timeout (workers multiplex over connections in slices) and the
+/// configured write timeout, so a peer that stops reading errors the
+/// write out instead of parking a worker in `write_all` forever. False
+/// when the socket refuses (already dead) — the caller sheds it.
+fn arm_stream_timeouts(stream: &TcpStream, config: &HttpServerConfig) -> bool {
+    if stream.set_read_timeout(Some(config.read_slice.max(Duration::from_millis(1)))).is_err() {
+        return false;
+    }
+    if stream.set_write_timeout(Some(config.write_timeout.max(Duration::from_millis(1)))).is_err() {
+        return false;
+    }
+    // wsg_lint: allow(E2) — Nagle is a latency tuning; a socket that rejects it still serves
+    let _ = stream.set_nodelay(true);
+    true
+}
 
 fn worker_loop(
     conn_rx: Arc<Mutex<Receiver<Conn>>>,
@@ -432,7 +474,9 @@ fn worker_loop(
         if let Some(conn) = serve_slice(conn, &service, &config, &stop, &counters) {
             // Still alive: back in the rotation. A full queue here means
             // the server is drowning in connections; shed this one.
-            let _ = conn_tx.try_send(conn);
+            if conn_tx.try_send(conn).is_err() {
+                counters.connections_shed.inc();
+            }
         }
     }
 }
@@ -464,7 +508,9 @@ fn serve_slice(
                     counters.count_response(response.status);
                     let wire = response.to_bytes();
                     counters.bytes_out.add(wire.len() as u64);
+                    // wsg_lint: allow(T1) — write timeout armed at accept time (arm_stream_timeouts)
                     if conn.stream.write_all(&wire).is_err() {
+                        counters.write_errors.inc();
                         return None;
                     }
                     if !keep {
@@ -480,7 +526,10 @@ fn serve_slice(
                     counters.count_response(response.status);
                     let wire = response.to_bytes();
                     counters.bytes_out.add(wire.len() as u64);
-                    let _ = conn.stream.write_all(&wire);
+                    // wsg_lint: allow(T1) — write timeout armed at accept time (arm_stream_timeouts)
+                    if conn.stream.write_all(&wire).is_err() {
+                        counters.write_errors.inc();
+                    }
                     return None;
                 }
             }
@@ -649,6 +698,27 @@ pub fn chain_service(
 mod tests {
     use super::*;
     use std::time::Instant;
+
+    #[test]
+    fn accepted_sockets_are_armed_with_read_and_write_timeouts() {
+        // Regression: the accept path used to set only the read timeout,
+        // so a peer that accepted a response but stopped reading could
+        // park a worker in write_all forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (accepted, _peer) = listener.accept().unwrap();
+        let config = HttpServerConfig::default();
+        assert!(arm_stream_timeouts(&accepted, &config));
+        // The OS may round a timeout up to its timer granularity, so
+        // assert "armed, and no shorter than configured" rather than
+        // exact equality.
+        let read = accepted.read_timeout().unwrap().expect("read timeout armed");
+        assert!(read >= config.read_slice.max(Duration::from_millis(1)), "{read:?}");
+        let write = accepted.write_timeout().unwrap().expect("write timeout armed");
+        assert!(write >= config.write_timeout, "{write:?}");
+        assert!(config.write_timeout > Duration::ZERO, "default must actually bound writes");
+    }
 
     fn echo_service() -> Service {
         Arc::new(|req: SoapRequest| Ok(SoapReply::Envelope(req.envelope)))

@@ -386,6 +386,33 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_hide_comment_markers_and_orderings() {
+        // Regression guard for the A2/E2/T1 generation: `//` and
+        // `Ordering::Relaxed` inside a raw string are literal text, not
+        // a comment and not idents the rules could fire on.
+        let src = r##"let doc = r#"uses Ordering::Relaxed // not a comment"#; let x = 1;"##;
+        let toks = kinds(src);
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment), "{toks:?}");
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident
+            && (*t == "Ordering" || *t == "Relaxed")));
+        let raw: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::RawStr).collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].1.contains("Ordering::Relaxed") && raw[0].1.contains("//"));
+        // Lexing resumed correctly after the fence.
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && *t == "x"));
+    }
+
+    #[test]
+    fn multiline_raw_string_with_inner_fences_stays_one_token() {
+        let src = "let s = r##\"line one // slash\nr#\"inner\"# Ordering::Relaxed\n\"##;\nlet after = 2;";
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::RawStr).count(), 1);
+        assert!(!toks.iter().any(|t| t.is_ident("Ordering")));
+        let after = toks.iter().find(|t| t.is_ident("after")).expect("after token");
+        assert_eq!(after.line, 4, "line counting must survive the multiline raw string");
+    }
+
+    #[test]
     fn byte_and_raw_byte_strings() {
         let toks = kinds(r##"let a = b"bytes"; let b = br#"raw bytes"#;"##);
         assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);

@@ -27,6 +27,21 @@
 //!   `wsg_obs::Registry` register methods must match the exposition
 //!   grammar `[a-z][a-z0-9_]*`, so a misnamed metric fails the build
 //!   instead of panicking at first registration in production.
+//! * **A2 `atomic-ordering`** — `Ordering::Relaxed` only in the audited
+//!   stats-counter modules ([`A2_RELAXED_FILES`]). Relaxed provides no
+//!   inter-thread synchronization; anywhere data is published across
+//!   threads it silently reorders, so every other use must carry an
+//!   audit note in an allow comment.
+//! * **E2 `error-swallowing`** — no silently discarded fallible results
+//!   (`let _ = …;` or a statement-terminated `.ok();`) outside tests.
+//!   A swallowed `Err` on a send/write/join path hides partitions and
+//!   shutdown races; discards must be logged, counted, or justified
+//!   with an allow comment *that states a reason*.
+//! * **T1 `socket-timeout`** — blocking socket calls (`accept`,
+//!   `connect`, `read_exact`, `write_all`, …) in the live-transport
+//!   crates (`wsg_http`, `wsg_cluster`) must share their enclosing `fn`
+//!   with a `set_*_timeout` call or another timeout-named identifier,
+//!   so a hung peer cannot park a worker thread forever.
 //!
 //! Rules run on the [`crate::lexer`] token stream, never on raw text, so
 //! occurrences inside strings, raw strings, char literals and comments
@@ -91,6 +106,21 @@ pub const RULES: &[Rule] = &[
         id: "O1",
         name: "metric-name",
         summary: "registered metric names must match [a-z][a-z0-9_]*",
+    },
+    Rule {
+        id: "A2",
+        name: "atomic-ordering",
+        summary: "Ordering::Relaxed only in audited stats-counter modules",
+    },
+    Rule {
+        id: "E2",
+        name: "error-swallowing",
+        summary: "no silently discarded Results (let _ = / .ok();) outside tests",
+    },
+    Rule {
+        id: "T1",
+        name: "socket-timeout",
+        summary: "socket I/O in live-transport crates must pair with a timeout",
     },
 ];
 
@@ -157,6 +187,9 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
     let d2 = in_src && in_d2_scope(rel_path);
     let d3 = in_src && rel_path != "crates/net/src/rng.rs";
     let p1_file = in_src && P1_FILES.contains(&rel_path);
+    let a2 = in_src && !A2_RELAXED_FILES.contains(&rel_path);
+    let t1 = in_src && in_t1_scope(rel_path);
+    let fn_ranges = if t1 { fn_regions(&code) } else { Vec::new() };
 
     let in_range = |ranges: &[(usize, usize)], i: usize| {
         ranges.iter().any(|&(lo, hi)| i >= lo && i <= hi)
@@ -189,6 +222,21 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
         }
         if in_src {
             if let Some(d) = check_o1(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if a2 {
+            if let Some(d) = check_a2(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if in_src {
+            if let Some(d) = check_e2(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if t1 {
+            if let Some(d) = check_t1(rel_path, &code, i, &fn_ranges) {
                 raw.push(d);
             }
         }
@@ -264,6 +312,23 @@ const P1_FILES: &[&str] = &[
     "crates/http/src/batch.rs",
     "crates/soap/src/batch.rs",
 ];
+
+/// Audited stats-counter modules where `Ordering::Relaxed` is the point:
+/// monotone counters read for human display, never used to publish other
+/// data across threads. Everywhere else Relaxed needs an audit note.
+pub const A2_RELAXED_FILES: &[&str] = &[
+    "crates/obs/src/lib.rs",
+    "crates/bench/src/timing.rs",
+    "crates/bench/src/sweep.rs",
+    "crates/soap/src/handlers.rs",
+];
+
+/// Live-transport crates whose blocking socket calls must carry
+/// timeouts: everything else either runs on the simulated network or
+/// never touches a socket.
+fn in_t1_scope(path: &str) -> bool {
+    path.starts_with("crates/http/src/") || path.starts_with("crates/cluster/src/")
+}
 
 // ---------------------------------------------------------------- rules
 
@@ -421,6 +486,92 @@ fn check_o1(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
     })
 }
 
+fn check_a2(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    if !seq_path_call(code, i, "Ordering", "Relaxed") {
+        return None;
+    }
+    Some(Diagnostic {
+        file: file.to_string(),
+        line: code[i].line,
+        rule: rule("A2").unwrap(),
+        message: "Ordering::Relaxed provides no inter-thread synchronization; outside the \
+                  audited stats-counter modules use Acquire/Release (or record the audit with \
+                  `// wsg_lint: allow(atomic-ordering)`)"
+            .to_string(),
+    })
+}
+
+fn check_e2(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    let let_discard = tok.is_ident("let")
+        && code.get(i + 1).is_some_and(|t| t.is_ident("_"))
+        && code.get(i + 2).is_some_and(|t| t.is_punct('='))
+        && !code.get(i + 3).is_some_and(|t| t.is_punct('='));
+    // Only the statement-terminated form discards: `.ok()?` and
+    // `.ok().map(..)` consume the Option and are fine.
+    let ok_discard = tok.is_ident("ok")
+        && i > 0
+        && code[i - 1].is_punct('.')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        && code.get(i + 3).is_some_and(|t| t.is_punct(';'));
+    if !(let_discard || ok_discard) {
+        return None;
+    }
+    let what = if let_discard { "`let _ = …;`" } else { "`.ok();`" };
+    Some(Diagnostic {
+        file: file.to_string(),
+        line: tok.line,
+        rule: rule("E2").unwrap(),
+        message: format!(
+            "{what} swallows a fallible result silently; log it, count it, or justify it \
+             with `// wsg_lint: allow(error-swallowing) — <reason>` (the reason is required)"
+        ),
+    })
+}
+
+/// Blocking socket entry points whose callers must hold a deadline. The
+/// match is a method/assoc call (`.accept(` / `TcpStream::connect(`), so
+/// `fn read_exact` definitions and plain idents do not fire.
+const T1_SOCKET_OPS: &[&str] =
+    &["accept", "connect", "read_exact", "read_to_end", "read_to_string", "read_line", "write_all"];
+
+fn check_t1(
+    file: &str,
+    code: &[Token<'_>],
+    i: usize,
+    fn_ranges: &[(usize, usize, bool)],
+) -> Option<Diagnostic> {
+    let tok = code[i];
+    if !T1_SOCKET_OPS.contains(&tok.text)
+        || !code.get(i + 1).is_some_and(|t| t.is_punct('('))
+        || !(i > 0 && (code[i - 1].is_punct('.') || code[i - 1].is_punct(':')))
+    {
+        return None;
+    }
+    // Innermost enclosing fn (fn regions nest properly, so the one with
+    // the greatest start is the innermost). A call outside any fn (e.g.
+    // a const initializer) has no worker thread to hang and is skipped.
+    let &(_, _, has_timeout) = fn_ranges
+        .iter()
+        .filter(|&&(lo, hi, _)| i >= lo && i <= hi)
+        .max_by_key(|&&(lo, _, _)| lo)?;
+    if has_timeout {
+        return None;
+    }
+    Some(Diagnostic {
+        file: file.to_string(),
+        line: tok.line,
+        rule: rule("T1").unwrap(),
+        message: format!(
+            "`{}(…)` blocks on a socket with no timeout in its enclosing fn; a hung peer \
+             parks this worker forever — pair it with set_read_timeout/set_write_timeout \
+             or a *_timeout call (or justify with `// wsg_lint: allow(socket-timeout)`)",
+            tok.text
+        ),
+    })
+}
+
 // ------------------------------------------------------------ allow parsing
 
 fn collect_allows(
@@ -444,9 +595,9 @@ fn collect_allows(
                 message: msg.to_string(),
             });
         };
-        let Some(inner) = rest.strip_prefix("allow(").and_then(|r| {
+        let Some((inner, after)) = rest.strip_prefix("allow(").and_then(|r| {
             // Take up to the matching close paren on this comment.
-            r.find(')').map(|end| &r[..end])
+            r.find(')').map(|end| (&r[..end], &r[end + 1..]))
         }) else {
             bad(
                 "malformed wsg_lint comment: expected `wsg_lint: allow(<rule>[, <rule>...])`",
@@ -468,6 +619,18 @@ fn collect_allows(
             }
         }
         if !ok {
+            continue;
+        }
+        // An error-swallowing suppression must say *why* the discard is
+        // safe: the reason is the audit trail. Anything alphanumeric
+        // after the close paren counts; a bare `allow(E2)` does not.
+        let wants_e2 = names.iter().any(|n| n == "E2" || n == "error-swallowing");
+        if wants_e2 && !after.chars().any(char::is_alphanumeric) {
+            bad(
+                "allow(error-swallowing) requires a reason after the close paren, e.g. \
+                 `// wsg_lint: allow(E2) — receiver gone means shutdown`",
+                diags,
+            );
             continue;
         }
         // A trailing comment covers its own line; a standalone comment
@@ -589,6 +752,27 @@ fn match_brace(code: &[Token<'_>], open: usize) -> usize {
         j += 1;
     }
     code.len().saturating_sub(1)
+}
+
+/// Token ranges of every `fn` item (including nested fns), tagged with
+/// whether the fn's tokens mention a timeout anywhere — a
+/// `set_read_timeout`/`connect_timeout` call, a `read_timeout` field, a
+/// `TIMEOUT` const. T1 judges socket calls against the innermost range.
+fn fn_regions(code: &[Token<'_>]) -> Vec<(usize, usize, bool)> {
+    let mut regions = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("fn")
+            || !code.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            continue;
+        }
+        let end = item_end(code, i);
+        let has_timeout = code[i..=end.min(code.len() - 1)]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text.to_ascii_lowercase().contains("timeout"));
+        regions.push((i, end, has_timeout));
+    }
+    regions
 }
 
 /// Body token ranges of `impl <Trait> for <Type>` blocks where the trait
@@ -794,7 +978,7 @@ mod tests {
     #[test]
     fn p1_fires_in_http_files_outside_tests() {
         let src = concat!(
-            "fn serve() { stream.write_all(b).unwrap(); }\n",
+            "fn serve() { stream.set_write_timeout(t).unwrap(); }\n",
             "fn fail() { panic!(\"boom\"); }\n",
             "#[cfg(test)]\n",
             "mod tests {\n",
@@ -894,6 +1078,137 @@ mod tests {
     fn rule_lookup_by_id_and_name() {
         assert_eq!(rule("D1").unwrap().name, "hash-collections");
         assert_eq!(rule("wall-clock").unwrap().id, "D2");
+        assert_eq!(rule("atomic-ordering").unwrap().id, "A2");
+        assert_eq!(rule("E2").unwrap().name, "error-swallowing");
+        assert_eq!(rule("socket-timeout").unwrap().id, "T1");
         assert!(rule("nope").is_none());
+    }
+
+    #[test]
+    fn a2_fires_on_relaxed_outside_the_allowlist() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(lint_at("crates/net/src/sync.rs", src), vec!["A2:1"]);
+    }
+
+    #[test]
+    fn a2_silent_in_allowlisted_stats_modules_and_tests() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        for file in A2_RELAXED_FILES {
+            assert!(lint_at(file, src).is_empty(), "{file} must be exempt");
+        }
+        let test_src = concat!(
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+            "}\n",
+        );
+        assert!(lint_at("crates/net/src/sync.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn a2_silent_on_other_orderings_and_non_code_text() {
+        let src = concat!(
+            "// Ordering::Relaxed in a comment\n",
+            "const DOC: &str = r#\"Ordering::Relaxed // with a fake comment\"#;\n",
+            "fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }\n",
+        );
+        assert!(lint_at("crates/net/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn e2_fires_on_let_discard_and_terminal_ok() {
+        let src = concat!(
+            "fn f(tx: &Sender<u32>) {\n",
+            "    let _ = tx.send(1);\n",
+            "    tx.send(2).ok();\n",
+            "}\n",
+        );
+        assert_eq!(lint_at("crates/gossip/src/engine.rs", src), vec!["E2:2", "E2:3"]);
+    }
+
+    #[test]
+    fn e2_ignores_consumed_ok_named_discards_and_tests() {
+        let src = concat!(
+            "fn f(s: &str) -> Option<u32> { s.parse().ok() }\n",
+            "fn g(s: &str) -> Option<u32> { let v = s.parse::<u32>().ok()?; Some(v) }\n",
+            "fn h(tx: &Sender<u32>) { let _ignored = tx.send(1); }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t(tx: &Sender<u32>) { let _ = tx.send(1); tx.send(2).ok(); }\n",
+            "}\n",
+        );
+        assert!(lint_at("crates/gossip/src/engine.rs", src).is_empty());
+    }
+
+    #[test]
+    fn e2_allow_requires_a_reason() {
+        let with_reason = concat!(
+            "fn f(tx: &Sender<u32>) {\n",
+            "    // wsg_lint: allow(E2) — receiver gone means shutdown\n",
+            "    let _ = tx.send(1);\n",
+            "}\n",
+        );
+        let report = check_source("crates/gossip/src/engine.rs", with_reason);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert!(report.stale_allows.is_empty());
+
+        let bare = concat!(
+            "fn f(tx: &Sender<u32>) {\n",
+            "    // wsg_lint: allow(E2)\n",
+            "    let _ = tx.send(1);\n",
+            "}\n",
+        );
+        let hits = lint_at("crates/gossip/src/engine.rs", bare);
+        assert_eq!(hits, vec!["M1:2", "E2:3"], "a reasonless allow must not suppress");
+    }
+
+    #[test]
+    fn t1_fires_on_untimed_socket_calls_in_transport_crates_only() {
+        let src = concat!(
+            "fn dial(addr: &str) -> io::Result<TcpStream> {\n",
+            "    TcpStream::connect(addr)\n",
+            "}\n",
+        );
+        assert_eq!(lint_at("crates/http/src/client.rs", src), vec!["T1:2"]);
+        assert_eq!(lint_at("crates/cluster/src/transport.rs", src), vec!["T1:2"]);
+        assert!(lint_at("crates/net/src/threads.rs", src).is_empty(), "out of T1 scope");
+    }
+
+    #[test]
+    fn t1_silent_when_the_enclosing_fn_mentions_a_timeout() {
+        let src = concat!(
+            "fn dial(addr: &SocketAddr) -> io::Result<TcpStream> {\n",
+            "    let s = TcpStream::connect_timeout(addr, IO_TIMEOUT)?;\n",
+            "    s.set_read_timeout(Some(IO_TIMEOUT))?;\n",
+            "    s.read_exact(&mut buf)?;\n",
+            "    Ok(s)\n",
+            "}\n",
+        );
+        assert!(lint_at("crates/http/src/client.rs", src).is_empty());
+    }
+
+    #[test]
+    fn t1_judges_the_innermost_fn() {
+        // The outer fn knows a timeout; the nested helper does not.
+        let src = concat!(
+            "fn outer(l: &TcpListener) {\n",
+            "    let t = ACCEPT_TIMEOUT;\n",
+            "    fn inner(l: &TcpListener) { let _c = l.accept(); }\n",
+            "    inner(l);\n",
+            "}\n",
+        );
+        let hits = lint_at("crates/http/src/server.rs", src);
+        assert!(hits.contains(&"T1:3".to_string()), "{hits:?}");
+    }
+
+    #[test]
+    fn t1_ignores_definitions_and_plain_idents() {
+        let src = concat!(
+            "impl Read for Framed {\n",
+            "    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> { self.fill(buf) }\n",
+            "}\n",
+            "fn doc() { let accept = 1; let _use = accept; }\n",
+        );
+        assert!(lint_at("crates/http/src/parser.rs", src).is_empty());
     }
 }

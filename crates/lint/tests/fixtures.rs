@@ -28,6 +28,10 @@ fn bad_tree_yields_exactly_the_planted_violations() {
         // alias and the test module are silent.
         "D1:crates/cluster/src/plane.rs:4",
         "D1:crates/cluster/src/plane.rs:7",
+        // T1: connect/accept with no timeout in the enclosing fn; the
+        // connect_timeout + set_*_timeout fn and the test module are silent.
+        "T1:crates/cluster/src/transport.rs:6",
+        "T1:crates/cluster/src/transport.rs:10",
         // D1: use, field, and un-allowed alias — NOT the occurrences in
         // comments/strings/raw strings, the allow-listed line, or tests.
         "D1:crates/coord/src/lib.rs:4",
@@ -37,10 +41,22 @@ fn bad_tree_yields_exactly_the_planted_violations() {
         "D3:crates/gossip/src/engine.rs:6",
         "D3:crates/gossip/src/engine.rs:6",
         "D3:crates/gossip/src/engine.rs:7",
-        // P1 inside Protocol/Handler impls; the free fn on line 12 is exempt.
+        // E2 discards; line 19 fires both E2 (the `let _ =`) and P1 (the
+        // unwrap). P1 only inside Protocol/Handler impls; the free fn on
+        // line 12 is exempt.
+        "E2:crates/gossip/src/engine.rs:8",
+        "E2:crates/gossip/src/engine.rs:19",
         "P1:crates/gossip/src/engine.rs:19",
         "P1:crates/gossip/src/engine.rs:20",
         "P1:crates/gossip/src/engine.rs:26",
+        // E2: let-discard and terminal `.ok();` fire; consumed `.ok()?`,
+        // the reasoned allow, and the test module are silent. The
+        // reasonless allow on line 21 is an M1 and suppresses nothing,
+        // so line 22 still fires.
+        "E2:crates/gossip/src/swallow.rs:6",
+        "E2:crates/gossip/src/swallow.rs:7",
+        "M1:crates/gossip/src/swallow.rs:21",
+        "E2:crates/gossip/src/swallow.rs:22",
         // D1 + P1 by file scope in the wire-batching queue module; the
         // test module's HashMap and unwrap are silent.
         "D1:crates/http/src/batch.rs:4",
@@ -56,6 +72,9 @@ fn bad_tree_yields_exactly_the_planted_violations() {
         "D2:crates/net/src/clock.rs:8",
         // M1: allow naming an unknown rule.
         "M1:crates/net/src/clock.rs:16",
+        // A2: Relaxed outside the stats-counter allowlist — NOT the same
+        // spelling in comments, strings or raw strings, nor Acquire.
+        "A2:crates/net/src/counters.rs:8",
         // O1: bad literal metric names; the valid and dynamic ones are
         // silent, as is the test module.
         "O1:crates/obs/src/metrics.rs:4",
@@ -71,7 +90,7 @@ fn bad_tree_yields_exactly_the_planted_violations() {
 #[test]
 fn every_rule_fires_at_least_once_on_the_bad_tree() {
     let report = wsg_lint::lint_workspace(&fixture("bad")).expect("walk bad fixture tree");
-    for id in ["D1", "D2", "D3", "P1", "H1", "M1", "O1"] {
+    for id in ["D1", "D2", "D3", "P1", "H1", "M1", "O1", "A2", "E2", "T1"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule.id == id),
             "rule {id} has no fixture coverage"
@@ -85,7 +104,7 @@ fn clean_tree_is_clean() {
     let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
     assert!(msgs.is_empty(), "clean fixture tree produced diagnostics:\n{}", msgs.join("\n"));
     assert!(report.stale_allows.is_empty());
-    assert_eq!((report.sources, report.manifests), (5, 1));
+    assert_eq!((report.sources, report.manifests), (7, 1));
 }
 
 // ------------------------------------------------------------- binary
@@ -115,6 +134,9 @@ fn binary_exits_nonzero_with_file_line_diagnostics_on_bad_tree() {
         "crates/http/src/server.rs:5: P1 [panic-path]",
         "Cargo.toml:8: H1 [registry-deps]",
         "crates/net/src/clock.rs:16: M1 [allow-grammar]",
+        "crates/net/src/counters.rs:8: A2 [atomic-ordering]",
+        "crates/gossip/src/swallow.rs:6: E2 [error-swallowing]",
+        "crates/cluster/src/transport.rs:6: T1 [socket-timeout]",
         "stale `wsg_lint: allow(wall-clock)`",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");

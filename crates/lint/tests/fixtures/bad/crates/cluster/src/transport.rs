@@ -1,0 +1,27 @@
+//! T1 fixture: blocking socket calls in a live-transport crate, some
+//! with no timeout in their enclosing fn (fire) and one lexically paired
+//! with the deadline machinery (silent).
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr) // line 6: fires (T1 — no timeout in this fn)
+}
+
+pub fn accept_one(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (stream, _peer) = listener.accept()?; // line 10: fires (T1)
+    Ok(stream)
+}
+
+pub fn dial_with_deadline(addr: &SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(addr, IO_TIMEOUT)?; // timeout-named: silent
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_block_forever() {
+        let _c = TcpStream::connect("127.0.0.1:1"); // silent: test region
+    }
+}

@@ -4,8 +4,8 @@
 
 pub fn seed_peers() {
     let mut rng = rand::thread_rng(); // line 6: fires twice (rand:: path + thread_rng)
-    let _state = RandomState::new(); // line 7: fires (RandomState)
-    let _ = rng;
+    let _state = RandomState::new(); // line 7: fires (RandomState); named discard, no E2
+    let _ = rng; // line 8: fires (E2)
 }
 
 pub fn free_function_can_unwrap(x: Option<u8>) -> u8 {
@@ -16,7 +16,7 @@ pub struct Node;
 
 impl Protocol for Node {
     fn on_message(&mut self, payload: Option<u8>) {
-        let _ = payload.unwrap(); // line 19: fires (P1)
+        let _ = payload.unwrap(); // line 19: fires twice (E2 discard + P1 unwrap)
         panic!("boom"); // line 20: fires (P1)
     }
 }

@@ -1,0 +1,32 @@
+//! E2 fixture: silently discarded fallible results fire; consumed
+//! `.ok()` values, named discards, reasoned allows and test code do not.
+//! A reasonless allow(E2) is itself an M1 and suppresses nothing.
+
+pub fn swallows(tx: &Sender<u32>) {
+    let _ = tx.send(1); // line 6: fires (E2 — let discard)
+    tx.send(2).ok(); // line 7: fires (E2 — terminal .ok())
+}
+
+pub fn consumed(s: &str) -> Option<u32> {
+    let v = s.parse::<u32>().ok()?; // .ok()? is consumed: silent
+    Some(v).filter(|n| *n > 0)
+}
+
+pub fn reasoned(tx: &Sender<u32>) {
+    // wsg_lint: allow(E2) — receiver gone means shutdown; nothing to log
+    let _ = tx.send(3);
+}
+
+pub fn reasonless(tx: &Sender<u32>) {
+    // wsg_lint: allow(E2)
+    let _ = tx.send(4); // line 22: fires (E2 — the line-21 allow lacks a reason, which is M1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_discard() {
+        let _ = super::consumed("7");
+        "8".parse::<u32>().ok();
+    }
+}

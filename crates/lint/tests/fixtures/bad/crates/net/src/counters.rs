@@ -1,0 +1,17 @@
+//! A2 fixture: a Relaxed ordering outside the audited stats-counter
+//! allowlist fires; the same spelling inside comments, strings and raw
+//! strings must not. Ordering::Relaxed mentioned right here is trivia.
+
+pub static SEQ: AtomicU64 = AtomicU64::new(0);
+
+pub fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed) // line 8: fires (A2 — net is not a stats module)
+}
+
+pub fn published(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire) // other orderings are silent
+}
+
+pub const PLAIN: &str = "stats use Ordering::Relaxed everywhere";
+pub const RAW: &str = r#"raw text: Ordering::Relaxed // not a comment, not code"#;
+pub const FENCED: &str = r##"fenced "quote" plus Ordering::Relaxed and // slashes"##;

@@ -1,0 +1,22 @@
+//! Clean: socket I/O lexically paired with its deadlines (T1), and a
+//! discard justified by a reasoned allow (E2).
+
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+pub fn dial(addr: &SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // wsg_lint: allow(E2) — Nagle is a latency tuning; a socket that rejects it still serves
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+pub fn request(stream: &mut TcpStream, wire: &[u8]) -> io::Result<Vec<u8>> {
+    let deadline = READ_TIMEOUT; // timeout-named ident covers this fn
+    stream.set_read_timeout(Some(deadline))?;
+    stream.write_all(wire)?;
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body)?;
+    Ok(body)
+}

@@ -1,0 +1,12 @@
+//! Clean: `Ordering::Relaxed` on pure stats counters inside an
+//! allowlisted module (A2 exempts the audited stats-counter files).
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn snapshot() -> u64 {
+    HITS.load(Ordering::Relaxed)
+}

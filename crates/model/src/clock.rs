@@ -1,0 +1,53 @@
+//! Vector clocks: the happens-before bookkeeping behind both the atomic
+//! visibility windows (which stale values a load may observe) and the
+//! synchronizes-with edges of mutexes, notify tokens, spawn and join.
+
+/// A grow-on-demand vector clock indexed by model-thread id. Missing
+/// components read as 0, so clocks created before a thread existed stay
+/// valid after it spawns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn get(&self, thread: usize) -> u32 {
+        self.0.get(thread).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component (one new event).
+    pub(crate) fn tick(&mut self, thread: usize) {
+        if self.0.len() <= thread {
+            self.0.resize(thread + 1, 0);
+        }
+        self.0[thread] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(o)`, everything known to `o`
+    /// happens-before every later event of `self`'s owner.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_grows() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(99), 0, "missing components read as zero");
+    }
+}

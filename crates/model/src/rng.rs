@@ -1,0 +1,38 @@
+//! Tiny in-crate RNG and hash mixing so the explorer stays
+//! zero-dependency (`wsg_model` must not depend on `wsg_net` — the net
+//! crate's own primitives are ported onto these shims).
+
+/// SplitMix64: the sampling phase's schedule generator. One seed, one
+/// deterministic stream — `WSG_MODEL_SEED` replays reduce to re-seeding.
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`). Modulo bias is irrelevant here: the
+    /// arity of a scheduling choice is tiny compared to 2^64.
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Order-sensitive 64-bit mixing step used for canonical trace hashes
+/// and for deriving per-sample seeds from the base seed.
+pub(crate) fn mix(h: u64, x: u64) -> u64 {
+    let mut z = h.rotate_left(5) ^ x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

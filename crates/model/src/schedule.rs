@@ -1,0 +1,151 @@
+//! Replayable schedules: the recorded branch decisions of one execution,
+//! printable as `"1.0.2"` and parseable back for `WSG_MODEL_SCHEDULE`
+//! replays.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One recorded branch decision: which alternative was taken at a choice
+/// point, out of how many. Choice points with a single alternative are
+/// recorded with `arity == 1` (so replays stay aligned whatever the
+/// preemption bound) and are never incremented by the DFS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub(crate) index: u32,
+    pub(crate) arity: u32,
+}
+
+/// A schedule: the choice indices of one execution, trailing defaults
+/// trimmed. Feeding it back as the prescribed prefix of a replay
+/// reproduces the execution decision-for-decision (model tests must be
+/// deterministic apart from scheduling, which the shims guarantee).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule(pub(crate) Vec<u32>);
+
+impl Schedule {
+    /// Canonical form of a run's recorded choices: indices only, with
+    /// trailing zeros trimmed (beyond the prescription the explorer takes
+    /// choice 0 anyway, so the trimmed and untrimmed forms replay
+    /// identically).
+    pub(crate) fn from_recorded(recorded: &[Choice]) -> Self {
+        let mut indices: Vec<u32> = recorded.iter().map(|c| c.index).collect();
+        while indices.last() == Some(&0) {
+            indices.pop();
+        }
+        Schedule(indices)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("-");
+        }
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a `WSG_MODEL_SCHEDULE` string.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseScheduleError(String);
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl FromStr for Schedule {
+    type Err = ParseScheduleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(Schedule(Vec::new()));
+        }
+        let mut indices = Vec::new();
+        for part in s.split('.') {
+            indices.push(
+                part.trim()
+                    .parse::<u32>()
+                    .map_err(|e| ParseScheduleError(format!("{part:?}: {e}")))?,
+            );
+        }
+        Ok(Schedule(indices))
+    }
+}
+
+/// The DFS successor: increment the rightmost choice that still has an
+/// untaken alternative and truncate everything after it. [`None`] when
+/// the recorded run was the last schedule in its subtree — exploration
+/// is exhausted.
+pub(crate) fn next_prescribed(recorded: &[Choice]) -> Option<Vec<u32>> {
+    for i in (0..recorded.len()).rev() {
+        if recorded[i].index + 1 < recorded[i].arity {
+            let mut prescribed: Vec<u32> = recorded[..i].iter().map(|c| c.index).collect();
+            prescribed.push(recorded[i].index + 1);
+            return Some(prescribed);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(index: u32, arity: u32) -> Choice {
+        Choice { index, arity }
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for text in ["-", "0", "2.0.1", "10.3"] {
+            let s: Schedule = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+        assert_eq!("".parse::<Schedule>().unwrap(), Schedule(Vec::new()));
+        assert!(" 1 . 2 ".parse::<Schedule>().unwrap().to_string() == "1.2");
+        assert!("1.x".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn from_recorded_trims_trailing_defaults() {
+        let rec = [ch(1, 2), ch(0, 3), ch(2, 3), ch(0, 2), ch(0, 2)];
+        assert_eq!(Schedule::from_recorded(&rec).to_string(), "1.0.2");
+        assert_eq!(Schedule::from_recorded(&[ch(0, 2)]).to_string(), "-");
+    }
+
+    #[test]
+    fn dfs_successor_increments_rightmost_and_truncates() {
+        let rec = [ch(0, 2), ch(1, 2), ch(0, 3)];
+        assert_eq!(next_prescribed(&rec), Some(vec![0, 1, 1]));
+        let rec = [ch(0, 2), ch(1, 2), ch(2, 3)];
+        assert_eq!(next_prescribed(&rec), Some(vec![1]));
+        let rec = [ch(1, 2), ch(1, 2), ch(2, 3)];
+        assert_eq!(next_prescribed(&rec), None);
+        assert_eq!(next_prescribed(&[]), None);
+    }
+
+    #[test]
+    fn forced_points_record_arity_one_and_never_increment() {
+        let rec = [ch(0, 1), ch(1, 2), ch(0, 1)];
+        assert_eq!(next_prescribed(&rec), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shim `Mutex` and `Notify`: inside an exploration every operation is a
+//! scheduling point driven by the explorer; outside one they behave as
+//! the ordinary blocking primitives, so a crate compiled with
+//! `--cfg wsg_model` still runs its regular test suite unchanged.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex as StdMutex};
+
+use crate::exec::{current, Ctx, ObjInit, ObjRef};
+
+fn relock<T>(m: &StdMutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+/// Under exploration, acquisition order is a recorded scheduling choice
+/// and blocking is visible to the deadlock detector.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    obj: ObjRef,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { obj: ObjRef::new(), inner: StdMutex::new(value) }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            // The `aborted` arm: during the `ExecAbort` unwind the
+            // storage mutex is either free or about to be released by
+            // another unwinding thread, so a plain blocking lock is safe.
+            Some(ctx) if !ctx.exec.aborted() => {
+                let obj = self.obj.resolve(&ctx, || ObjInit::Mutex);
+                ctx.exec.mutex_lock(ctx.id, obj);
+                // The model lock is now ours and the scheduler token is
+                // held, so the storage mutex must be free (a previous
+                // holder that panicked leaves it poisoned, not held).
+                let inner = match self.inner.try_lock() {
+                    Ok(guard) => guard,
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        unreachable!("model-held mutex contended outside the exploration")
+                    }
+                };
+                MutexGuard { inner, model: Some((ctx, obj)) }
+            }
+            _ => MutexGuard { inner: relock(&self.inner), model: None },
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the model lock on drop
+/// (while the dropping thread still holds the scheduler token, so the
+/// storage release below it can never be observed out of order).
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((ctx, obj)) = self.model.take() {
+            ctx.exec.mutex_unlock(ctx.id, obj);
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// A wake token ("eventcount-lite"): `notify_one` deposits at most one
+/// token; `wait` consumes it or parks. Multiple notifies before a wait
+/// coalesce into one token — exactly the semantics the batching sender's
+/// wakeup path relies on. Under exploration, a `wait` that parks with no
+/// notify left to come is reported as a deadlock (a lost wakeup).
+#[derive(Debug, Default)]
+pub struct Notify {
+    obj: ObjRef,
+    token: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Notify {
+    pub const fn new() -> Self {
+        Notify { obj: ObjRef::new(), token: StdMutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Deposit the token (idempotent) and wake a parked waiter.
+    pub fn notify_one(&self) {
+        match current() {
+            Some(ctx) if !ctx.exec.aborted() => {
+                let obj = self.obj.resolve(&ctx, || ObjInit::Notify);
+                ctx.exec.notify_notify(ctx.id, obj);
+            }
+            _ => {
+                *relock(&self.token) = true;
+                self.cv.notify_one();
+            }
+        }
+    }
+
+    /// Consume the token, parking until one is deposited.
+    pub fn wait(&self) {
+        match current() {
+            Some(ctx) if !ctx.exec.aborted() => {
+                let obj = self.obj.resolve(&ctx, || ObjInit::Notify);
+                ctx.exec.notify_wait(ctx.id, obj);
+            }
+            _ => {
+                let mut token = relock(&self.token);
+                while !*token {
+                    token = self.cv.wait(token).unwrap_or_else(|e| e.into_inner());
+                }
+                *token = false;
+            }
+        }
+    }
+}

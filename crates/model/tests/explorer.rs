@@ -1,0 +1,153 @@
+//! Explorer self-tests (ISSUE 9 satellite): a seeded known-racy fixture
+//! the checker must catch quickly, a race-free fixture it must pass
+//! exhaustively, and replay proofs — the minimized failing schedule
+//! replays byte-identically, and `WSG_MODEL_SEED`-style re-seeding
+//! reproduces the exact sampling stream.
+
+use std::sync::Arc;
+
+use wsg_model::atomic::{AtomicUsize, Ordering};
+use wsg_model::{sync, thread, Explorer, Schedule};
+
+/// The classic two-thread lost update on a shim atomic: both threads
+/// load, both add locally, both store — one increment vanishes.
+fn racy_lost_update() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                let v = counter.load(Ordering::Relaxed);
+                counter.store(v + 1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+/// The corrected version: the read-modify-write is atomic.
+fn race_free_counter() {
+    let counter = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn racy_fixture_is_caught_within_budget() {
+    let outcome = Explorer::new()
+        .preemption_bound(3)
+        .max_schedules(500)
+        .samples(0)
+        .explore(racy_lost_update);
+    let failure = outcome.failure.expect("the lost update must be found");
+    assert!(
+        outcome.schedules <= 500,
+        "caught within the schedule budget, not by luck: {}",
+        outcome.schedules
+    );
+    assert!(failure.message.contains("lost update"), "{}", failure.message);
+    assert!(!failure.schedule.is_empty(), "a racy schedule needs at least one real choice");
+    assert!(!failure.trace.is_empty(), "minimized failing trace is part of the report");
+}
+
+#[test]
+fn race_free_fixture_passes_exhaustively() {
+    let outcome = Explorer::new()
+        .preemption_bound(3)
+        .max_schedules(20_000)
+        .samples(32)
+        .explore(race_free_counter);
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure.map(|f| f.report()));
+    assert!(outcome.exhausted, "DFS must complete within the bound for this tiny fixture");
+    assert!(outcome.schedules > 1);
+    assert!(outcome.distinct_traces >= 1);
+}
+
+#[test]
+fn minimized_schedule_replays_byte_identically() {
+    let explorer = Explorer::new().preemption_bound(3).max_schedules(500).samples(0);
+    let failure = explorer
+        .explore(racy_lost_update)
+        .failure
+        .expect("the lost update must be found");
+
+    // Round-trip the schedule through its string form (the exact bytes a
+    // user would paste into WSG_MODEL_SCHEDULE) and replay it.
+    let text = failure.schedule.to_string();
+    let parsed: Schedule = text.parse().expect("schedule strings parse back");
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(racy_lost_update);
+    let replayed = explorer
+        .replay(&body, &parsed)
+        .failure
+        .expect("minimized schedule must reproduce the failure");
+
+    assert_eq!(
+        replayed.schedule.to_string(),
+        text,
+        "replay must record the exact same schedule string"
+    );
+    assert_eq!(replayed.message, failure.message, "same failure, same message");
+    assert_eq!(replayed.trace, failure.trace, "same failure, same minimized trace");
+}
+
+#[test]
+fn same_seed_reproduces_the_same_sampled_failing_schedule() {
+    // Sampling-only exploration (what runs beyond the preemption bound):
+    // the same WSG_MODEL_SEED value must walk the identical stream and
+    // find the identical failing schedule.
+    let explore = |seed: u64| {
+        Explorer::new()
+            .sampling_only()
+            .samples(200)
+            .max_schedules(400)
+            .seed(seed)
+            .explore(racy_lost_update)
+    };
+    let first = explore(42).failure.expect("sampling must eventually hit the race");
+    let second = explore(42).failure.expect("same seed, same outcome");
+    assert_eq!(first.schedule.to_string(), second.schedule.to_string());
+    assert_eq!(first.message, second.message);
+    assert_eq!(first.sampled_seed, second.sampled_seed);
+    assert!(first.sampled_seed.is_some(), "sampling failures carry their per-sample seed");
+
+    let other = explore(43).failure.expect("different seed still finds this easy race");
+    // Not asserting inequality of schedules (different seeds *may*
+    // collide), only that the deterministic pipeline ran again.
+    assert!(other.sampled_seed.is_some());
+}
+
+#[test]
+fn mutex_blocking_is_modeled_not_busy_waited() {
+    // Two threads contend on one mutex; every interleaving must still
+    // terminate (the scheduler parks blocked threads instead of spinning
+    // them, so exploration terminates too).
+    let outcome = Explorer::new().preemption_bound(3).samples(8).explore(|| {
+        let m = Arc::new(sync::Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || m.lock().push(i))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = m.lock();
+        assert_eq!(got.len(), 2);
+    });
+    assert!(outcome.failure.is_none(), "{:?}", outcome.failure.map(|f| f.report()));
+    assert!(outcome.exhausted);
+}

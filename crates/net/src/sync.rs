@@ -29,8 +29,31 @@
 //! `size_of::<Mutex<T>>()` to exactly `std::sync::Mutex<T>`'s, so the
 //! detector is zero-cost where it matters — `cargo build --release`
 //! fails if tracking ever leaks into release layout.
+//!
+//! ## Model checking (`--cfg wsg_model`)
+//!
+//! This module is the workspace's single aliasing point for the
+//! `wsg_model` deterministic schedule explorer: under
+//! `RUSTFLAGS="--cfg wsg_model"` the [`Mutex`] storage, the lock-order
+//! graph's own lock, the [`Notify`] wake token, and the re-exported
+//! atomics all switch to `wsg_model` shims, so every consumer that says
+//! `wsg_net::sync::{Mutex, Notify, AtomicBool, …}` becomes explorable
+//! without further changes. In normal builds the shims are absent and
+//! the re-exports are the `std` types themselves.
 
 use std::ops::{Deref, DerefMut};
+
+// Re-exported atomics: `std`'s in normal builds, the explorer's shims
+// under `--cfg wsg_model`. `Ordering` is always `std`'s enum (the shims
+// take it verbatim and honor it in the model's memory system).
+pub use std::sync::atomic::Ordering;
+#[cfg(not(wsg_model))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(wsg_model)]
+pub use wsg_model::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+#[cfg(wsg_model)]
+pub use wsg_model::sync::Notify;
 
 #[cfg(debug_assertions)]
 mod order {
@@ -39,8 +62,8 @@ mod order {
     use std::cell::RefCell;
     use std::collections::BTreeMap;
     use std::panic::Location;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Mutex as StdMutex;
+
+    use super::{AtomicU64, Ordering};
 
     type Site = &'static Location<'static>;
 
@@ -52,8 +75,24 @@ mod order {
         acq_site: Site,
     }
 
-    /// Adjacency: from-lock → (to-lock → first observed sites).
-    static GRAPH: StdMutex<BTreeMap<u64, BTreeMap<u64, Edge>>> = StdMutex::new(BTreeMap::new());
+    type Adjacency = BTreeMap<u64, BTreeMap<u64, Edge>>;
+
+    /// Adjacency: from-lock → (to-lock → first observed sites). Under
+    /// `--cfg wsg_model` the graph's own lock is a model mutex, so the
+    /// detector's internal synchronization is itself explored.
+    #[cfg(not(wsg_model))]
+    static GRAPH: std::sync::Mutex<Adjacency> = std::sync::Mutex::new(BTreeMap::new());
+    #[cfg(wsg_model)]
+    static GRAPH: wsg_model::sync::Mutex<Adjacency> = wsg_model::sync::Mutex::new(BTreeMap::new());
+
+    #[cfg(not(wsg_model))]
+    fn graph() -> std::sync::MutexGuard<'static, Adjacency> {
+        GRAPH.lock().unwrap_or_else(|e| e.into_inner())
+    }
+    #[cfg(wsg_model)]
+    fn graph() -> wsg_model::sync::MutexGuard<'static, Adjacency> {
+        GRAPH.lock()
+    }
 
     thread_local! {
         /// Locks this thread currently holds, in acquisition order.
@@ -71,13 +110,14 @@ mod order {
     impl Track {
         pub(super) fn fresh() -> Self {
             static NEXT: AtomicU64 = AtomicU64::new(1);
+            // wsg_lint: allow(atomic-ordering) — audited: the RMW's atomicity alone guarantees unique ids; no other data is published
             Track { id: NEXT.fetch_add(1, Ordering::Relaxed) }
         }
     }
 
     impl Drop for Track {
         fn drop(&mut self) {
-            let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+            let mut graph = graph();
             graph.remove(&self.id);
             for targets in graph.values_mut() {
                 targets.remove(&self.id);
@@ -116,7 +156,7 @@ mod order {
                 ));
             }
             let &(top_id, top_site) = held.last()?;
-            let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+            let mut graph = graph();
             if graph.get(&top_id).is_some_and(|t| t.contains_key(&id)) {
                 return None; // ordering already known good
             }
@@ -187,11 +227,7 @@ mod order {
     /// (test support).
     #[cfg(test)]
     pub(super) fn has_edge(a: u64, b: u64) -> bool {
-        GRAPH
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&a)
-            .is_some_and(|t| t.contains_key(&b))
+        graph().get(&a).is_some_and(|t| t.contains_key(&b))
     }
 }
 
@@ -211,7 +247,10 @@ mod order {
 /// ```
 #[derive(Debug)]
 pub struct Mutex<T> {
+    #[cfg(not(wsg_model))]
     inner: std::sync::Mutex<T>,
+    #[cfg(wsg_model)]
+    inner: wsg_model::sync::Mutex<T>,
     #[cfg(debug_assertions)]
     track: order::Track,
 }
@@ -226,7 +265,10 @@ impl<T> Mutex<T> {
     /// A new lock guarding `value`.
     pub fn new(value: T) -> Self {
         Mutex {
+            #[cfg(not(wsg_model))]
             inner: std::sync::Mutex::new(value),
+            #[cfg(wsg_model)]
+            inner: wsg_model::sync::Mutex::new(value),
             #[cfg(debug_assertions)]
             track: order::Track::fresh(),
         }
@@ -247,7 +289,10 @@ impl<T> Mutex<T> {
         #[cfg(debug_assertions)]
         let held = order::acquire(self.track.id, std::panic::Location::caller());
         MutexGuard {
+            #[cfg(not(wsg_model))]
             inner: self.inner.lock().expect("wsg_net::sync::Mutex poisoned"),
+            #[cfg(wsg_model)]
+            inner: self.inner.lock(),
             #[cfg(debug_assertions)]
             _held: held,
         }
@@ -255,19 +300,36 @@ impl<T> Mutex<T> {
 
     /// Consume the lock and return the guarded value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().expect("wsg_net::sync::Mutex poisoned")
+        #[cfg(not(wsg_model))]
+        {
+            self.inner.into_inner().expect("wsg_net::sync::Mutex poisoned")
+        }
+        #[cfg(wsg_model)]
+        {
+            self.inner.into_inner()
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().expect("wsg_net::sync::Mutex poisoned")
+        #[cfg(not(wsg_model))]
+        {
+            self.inner.get_mut().expect("wsg_net::sync::Mutex poisoned")
+        }
+        #[cfg(wsg_model)]
+        {
+            self.inner.get_mut()
+        }
     }
 }
 
 /// Guard returned by [`Mutex::lock`]; releases the lock (and, in debug
 /// builds, pops the thread's held-lock stack) on drop.
 pub struct MutexGuard<'a, T> {
+    #[cfg(not(wsg_model))]
     inner: std::sync::MutexGuard<'a, T>,
+    #[cfg(wsg_model)]
+    inner: wsg_model::sync::MutexGuard<'a, T>,
     #[cfg(debug_assertions)]
     _held: order::Held,
 }
@@ -292,10 +354,47 @@ impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
     }
 }
 
+/// A wake token ("eventcount-lite"): [`Notify::notify_one`] deposits at
+/// most one token; [`Notify::wait`] consumes it or parks until one
+/// arrives. Multiple notifies before a wait coalesce into a single
+/// token — exactly the semantics the batching sender's wakeup path
+/// relies on (a wake is "there may be work", not a counted message).
+/// Under `--cfg wsg_model` this is the explorer's shim, whose deadlock
+/// detector reports a `wait` that can never be woken as a lost wakeup.
+#[cfg(not(wsg_model))]
+#[derive(Debug, Default)]
+pub struct Notify {
+    token: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+#[cfg(not(wsg_model))]
+impl Notify {
+    pub const fn new() -> Self {
+        Notify { token: std::sync::Mutex::new(false), cv: std::sync::Condvar::new() }
+    }
+
+    /// Deposit the token (idempotent) and wake a parked waiter.
+    pub fn notify_one(&self) {
+        *self.token.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_one();
+    }
+
+    /// Consume a token, parking until one is deposited.
+    pub fn wait(&self) {
+        let mut token = self.token.lock().unwrap_or_else(|e| e.into_inner());
+        while !*token {
+            token = self.cv.wait(token).unwrap_or_else(|e| e.into_inner());
+        }
+        *token = false;
+    }
+}
+
 // Zero-cost guarantee: in release builds the tracking fields are gone
 // and this wrapper is layout-identical to std's. Checked at compile
 // time, so `cargo build --release` itself is the regression test.
-#[cfg(not(debug_assertions))]
+// (Model builds opt out: the shim carries its object registration.)
+#[cfg(all(not(debug_assertions), not(wsg_model)))]
 const _: () = {
     assert!(
         std::mem::size_of::<Mutex<u64>>() == std::mem::size_of::<std::sync::Mutex<u64>>(),
@@ -436,7 +535,34 @@ mod tests {
         assert!(!order::has_edge(ia, ib));
     }
 
-    #[cfg(debug_assertions)]
+    #[test]
+    fn notify_tokens_coalesce() {
+        let n = Notify::new();
+        n.notify_one();
+        n.notify_one();
+        n.notify_one();
+        n.wait(); // consumes the single coalesced token
+        // A second wait would park forever: verify the token is spent
+        // without blocking by racing a fresh notify.
+        n.notify_one();
+        n.wait();
+    }
+
+    #[test]
+    fn notify_wakes_parked_waiter() {
+        let n = Arc::new(Notify::new());
+        let seen = Arc::new(Mutex::new(false));
+        let (n2, seen2) = (Arc::clone(&n), Arc::clone(&seen));
+        let waiter = std::thread::spawn(move || {
+            n2.wait();
+            *seen2.lock() = true;
+        });
+        n.notify_one();
+        waiter.join().unwrap();
+        assert!(*seen.lock());
+    }
+
+    #[cfg(all(debug_assertions, not(wsg_model)))]
     #[test]
     fn debug_build_actually_tracks() {
         // The inverse of the release-mode compile-time layout check:

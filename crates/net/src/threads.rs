@@ -108,6 +108,7 @@ where
 
     /// Inject a message as if sent by `from`.
     pub fn send_external(&self, from: NodeId, to: NodeId, msg: P::Message) {
+        // wsg_lint: allow(E2) — a closed inbox means the node already stopped; external sends to it drop by design
         let _ = self.senders[to.0].send(Inbox::Message { from, msg });
     }
 
@@ -121,6 +122,7 @@ where
     /// Stop all nodes immediately and return their final states.
     pub fn shutdown(self) -> Vec<P> {
         for sender in &self.senders {
+            // wsg_lint: allow(E2) — a closed inbox means the node loop already exited; Stop is advisory
             let _ = sender.send(Inbox::Stop);
         }
         self.handles
@@ -166,6 +168,7 @@ where
         let ThreadCtx { outbox, timer_requests, .. } = ctx;
         for (to, msg) in outbox {
             if let Some(sender) = senders.get(to.0) {
+                // wsg_lint: allow(E2) — messages to stopped peers drop, mirroring the simulated network's semantics
                 let _ = sender.send(Inbox::Message { from: id, msg });
             }
         }

@@ -1,0 +1,93 @@
+//! Exhaustive model-checking of the debug lock-order deadlock detector
+//! (ISSUE 9): the detector's own bookkeeping — the global order graph
+//! and its check-then-insert critical section — must be race-free, and
+//! in *every* interleaving of an inverted-order acquisition pair the
+//! detector must panic before an actual deadlock can form.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg wsg_model"` (and debug, where
+//! the detector exists); see DESIGN.md §13.
+#![cfg(all(wsg_model, debug_assertions))]
+
+use std::sync::Arc;
+
+use wsg_model::{thread, Explorer};
+use wsg_net::sync::Mutex;
+
+#[test]
+fn detector_bookkeeping_is_race_free() {
+    // Two threads acquire the same pair in the same order: no cycle
+    // exists, so every interleaving of the graph's check-then-insert
+    // sections and the held-stack updates must complete cleanly.
+    let outcome = Explorer::new()
+        .preemption_bound(2)
+        .max_schedules(200_000)
+        .samples(16)
+        .explore(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                    thread::spawn(move || {
+                        let mut ga = a.lock();
+                        let mut gb = b.lock(); // records a → b (once)
+                        *ga += 1;
+                        *gb += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*a.lock(), 2);
+            assert_eq!(*b.lock(), 2);
+        });
+    assert!(
+        outcome.failure.is_none(),
+        "detector bookkeeping raced:\n{}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    assert!(outcome.exhausted, "fixture must be small enough to explore exhaustively");
+}
+
+#[test]
+fn cycle_detection_fires_before_deadlock_in_every_interleaving() {
+    // The classic inverted pair: t1 takes a then b, t2 takes b then a.
+    // Because the cycle check and the edge insert share one critical
+    // section, every interleaving has exactly one thread panic with the
+    // cycle report *before* blocking — the model's deadlock detector
+    // (which would fail the exploration) must never trigger.
+    let outcome = Explorer::new()
+        .preemption_bound(2)
+        .max_schedules(200_000)
+        .samples(16)
+        .explore(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let spawn_pair = |first: Arc<Mutex<()>>, second: Arc<Mutex<()>>| {
+                thread::spawn(move || {
+                    let _g = first.lock();
+                    wsg_model::catch(|| drop(second.lock())).err()
+                })
+            };
+            let t1 = spawn_pair(Arc::clone(&a), Arc::clone(&b)); // a → b
+            let t2 = spawn_pair(Arc::clone(&b), Arc::clone(&a)); // b → a
+            let reports: Vec<String> = [t1, t2]
+                .into_iter()
+                .filter_map(|h| h.join().unwrap())
+                .collect();
+            assert!(
+                !reports.is_empty(),
+                "one thread must hit the detector before any deadlock forms"
+            );
+            for msg in &reports {
+                assert!(msg.contains("lock-order cycle"), "unexpected panic: {msg}");
+            }
+        });
+    assert!(
+        outcome.failure.is_none(),
+        "a schedule deadlocked or panicked outside the detector:\n{}",
+        outcome.failure.map(|f| f.report()).unwrap_or_default()
+    );
+    assert!(outcome.exhausted, "fixture must be small enough to explore exhaustively");
+}

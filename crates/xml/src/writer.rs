@@ -211,6 +211,7 @@ impl XmlWriter {
         if let Some(m) = self.mixed.last_mut() {
             *m = true;
         }
+        // wsg_lint: allow(E2) — fmt::Write to a String is infallible
         let _ = write!(self.out, "<![CDATA[{text}]]>");
         Ok(())
     }
@@ -226,6 +227,7 @@ impl XmlWriter {
         }
         self.close_pending_tag(false)?;
         self.newline_indent();
+        // wsg_lint: allow(E2) — fmt::Write to a String is infallible
         let _ = write!(self.out, "<!--{text}-->");
         Ok(())
     }
