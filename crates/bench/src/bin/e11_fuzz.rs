@@ -1,0 +1,66 @@
+//! E11 — fuzzer throughput: executions per second of the coverage-guided
+//! engine on each wire-parser target, seeded from the committed corpus.
+//!
+//! Build with `RUSTFLAGS="--cfg wsg_cov"` for live edge instrumentation
+//! (the honest number for the fuzzing workflow — the corpus can only
+//! grow under coverage feedback); without it the engine still runs, the
+//! edge columns just stay at zero.
+
+use wsg_bench::report::Report;
+use wsg_bench::{timing, Table};
+use wsg_fuzz::targets::all_targets;
+use wsg_fuzz::{corpus, fuzz, FuzzConfig};
+
+fn main() {
+    let fast = timing::fast_mode();
+    let budget: u64 = if fast { 2_000 } else { 50_000 };
+    let mut report = Report::new("e11_fuzz");
+    println!("E11 — coverage-guided fuzzer throughput per wire-parser target");
+    println!(
+        "claim: the in-tree engine sustains useful exec rates on every parser{}\n",
+        if wsg_net::cov::enabled() {
+            " (edge instrumentation live)"
+        } else {
+            " (instrumentation compiled out; RUSTFLAGS=\"--cfg wsg_cov\" arms the edge columns)"
+        }
+    );
+
+    let config = FuzzConfig { budget, ..FuzzConfig::default() };
+    let mut table =
+        Table::new(&["target", "execs", "wall ms", "execs/s", "corpus", "new edges", "crashes"]);
+    for target in all_targets() {
+        let mut seeds = corpus::seeds(target.name()).expect("committed seed corpus");
+        seeds.extend(corpus::regressions(target.name()).expect("regression corpus"));
+        let start = timing::now();
+        let outcome = fuzz(target.as_ref(), &seeds, &config);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let execs_per_sec = outcome.executions as f64 / (wall_ms / 1e3).max(1e-9);
+        println!(
+            "  {:<11} {:>7} execs in {:>6.0} ms -> {:>8.0} execs/s ({} corpus, {} new edges)",
+            outcome.target,
+            outcome.executions,
+            wall_ms,
+            execs_per_sec,
+            outcome.corpus.len(),
+            outcome.new_edges,
+        );
+        table.row_owned(vec![
+            outcome.target.to_string(),
+            outcome.executions.to_string(),
+            format!("{wall_ms:.0}"),
+            format!("{execs_per_sec:.0}"),
+            outcome.corpus.len().to_string(),
+            outcome.new_edges.to_string(),
+            outcome.crashes.len().to_string(),
+        ]);
+        assert!(
+            outcome.crashes.is_empty(),
+            "{}: the committed parsers must survive a budgeted fuzz run",
+            outcome.target
+        );
+    }
+    println!();
+    print!("{}", table.render());
+    report.add_table("throughput", &table);
+    report.write_if_requested();
+}

@@ -10,7 +10,7 @@
 
 use std::net::SocketAddr;
 
-use wsg_net::NodeId;
+use wsg_net::{cov, NodeId};
 use wsg_soap::{Envelope, MessageHeaders};
 use wsg_xml::Element;
 
@@ -42,17 +42,24 @@ impl MemberEntry {
 
     fn from_element(element: &Element) -> Result<Self, ProtoError> {
         let field = |name: &str| {
-            element.attr(name).ok_or_else(|| ProtoError(format!("Member missing @{name}")))
+            element.attr(name).ok_or_else(|| {
+                cov!();
+                ProtoError(format!("Member missing @{name}"))
+            })
         };
-        let id = field("id")?
-            .parse::<usize>()
-            .map_err(|_| ProtoError("unparseable member id".into()))?;
-        let addr = field("addr")?
-            .parse::<SocketAddr>()
-            .map_err(|_| ProtoError("unparseable member addr".into()))?;
-        let heartbeat = field("heartbeat")?
-            .parse::<u64>()
-            .map_err(|_| ProtoError("unparseable member heartbeat".into()))?;
+        let id = field("id")?.parse::<usize>().map_err(|_| {
+            cov!();
+            ProtoError("unparseable member id".into())
+        })?;
+        let addr = field("addr")?.parse::<SocketAddr>().map_err(|_| {
+            cov!();
+            ProtoError("unparseable member addr".into())
+        })?;
+        let heartbeat = field("heartbeat")?.parse::<u64>().map_err(|_| {
+            cov!();
+            ProtoError("unparseable member heartbeat".into())
+        })?;
+        cov!();
         Ok(MemberEntry { id: NodeId(id), addr, heartbeat })
     }
 }
@@ -123,7 +130,10 @@ impl ClusterMessage {
     /// [`ProtoError`] when the body is absent, the operation unknown, or a
     /// `Member` entry malformed.
     pub fn from_envelope(envelope: &Envelope) -> Result<Self, ProtoError> {
-        let body = envelope.body().ok_or_else(|| ProtoError("empty body".into()))?;
+        let body = envelope.body().ok_or_else(|| {
+            cov!();
+            ProtoError("empty body".into())
+        })?;
         let entries: Result<Vec<MemberEntry>, ProtoError> = body
             .children()
             .into_iter()
@@ -132,17 +142,32 @@ impl ClusterMessage {
             .collect();
         let entries = entries?;
         let single = |op: &str| {
-            entries
-                .first()
-                .copied()
-                .ok_or_else(|| ProtoError(format!("{op} without a Member entry")))
+            entries.first().copied().ok_or_else(|| {
+                cov!();
+                ProtoError(format!("{op} without a Member entry"))
+            })
         };
         match body.local_name() {
-            "Join" => Ok(ClusterMessage::Join(single("Join")?)),
-            "JoinResponse" => Ok(ClusterMessage::JoinResponse(entries)),
-            "Heartbeat" => Ok(ClusterMessage::Heartbeat(entries)),
-            "Leave" => Ok(ClusterMessage::Leave(single("Leave")?)),
-            other => Err(ProtoError(format!("unknown operation '{other}'"))),
+            "Join" => {
+                cov!();
+                Ok(ClusterMessage::Join(single("Join")?))
+            }
+            "JoinResponse" => {
+                cov!();
+                Ok(ClusterMessage::JoinResponse(entries))
+            }
+            "Heartbeat" => {
+                cov!();
+                Ok(ClusterMessage::Heartbeat(entries))
+            }
+            "Leave" => {
+                cov!();
+                Ok(ClusterMessage::Leave(single("Leave")?))
+            }
+            other => {
+                cov!();
+                Err(ProtoError(format!("unknown operation '{other}'")))
+            }
         }
     }
 }

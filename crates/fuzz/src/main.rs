@@ -1,0 +1,268 @@
+//! `wsg_fuzz` CLI — run the coverage-guided sweep, replay one input, or
+//! regenerate the committed seed corpus.
+//!
+//! ```text
+//! wsg_fuzz [--all | --target NAME]... [--budget N|Ns|Nms] [--seed N]
+//!          [--save] [--assert-coverage]
+//! wsg_fuzz --target NAME --replay FILE     (also: WSG_FUZZ_INPUT=FILE)
+//! wsg_fuzz --write-seeds                   (regenerate fuzz/corpus seeds)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` crashes or oracle violations were found,
+//! `2` usage error or `--assert-coverage` failure.
+
+use std::process::ExitCode;
+
+use wsg_fuzz::targets::{all_targets, target_by_name, FuzzTarget};
+use wsg_fuzz::{corpus, fnv64, run_input, FuzzConfig};
+
+struct Cli {
+    targets: Vec<Box<dyn FuzzTarget>>,
+    config: FuzzConfig,
+    save: bool,
+    assert_coverage: bool,
+    replay: Option<String>,
+    write_seeds: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        targets: Vec::new(),
+        config: FuzzConfig::from_env(),
+        save: false,
+        assert_coverage: false,
+        replay: std::env::var("WSG_FUZZ_INPUT").ok(),
+        write_seeds: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--all" => cli.targets = all_targets(),
+            "--target" => {
+                let name = value("--target")?;
+                cli.targets
+                    .push(target_by_name(&name).ok_or(format!("unknown target '{name}'"))?);
+            }
+            "--budget" => {
+                let spec = value("--budget")?;
+                let (iterations, wall_ms) = wsg_fuzz::parse_budget(&spec);
+                cli.config.budget = iterations.ok_or(format!("bad --budget '{spec}'"))?;
+                cli.config.wall_ms = wall_ms;
+            }
+            "--seed" => {
+                cli.config.seed =
+                    value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--save" => cli.save = true,
+            "--assert-coverage" => cli.assert_coverage = true,
+            "--replay" => cli.replay = Some(value("--replay")?),
+            "--write-seeds" => cli.write_seeds = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if cli.targets.is_empty() {
+        cli.targets = all_targets();
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(error) => {
+            eprintln!("wsg_fuzz: {error}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.write_seeds {
+        return match write_seeds() {
+            Ok(count) => {
+                println!("wrote {count} seed inputs under {}", corpus::corpus_root().display());
+                ExitCode::SUCCESS
+            }
+            Err(error) => {
+                eprintln!("wsg_fuzz: --write-seeds: {error}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if let Some(path) = &cli.replay {
+        let input = match std::fs::read(path) {
+            Ok(input) => input,
+            Err(error) => {
+                eprintln!("wsg_fuzz: cannot read {path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut failed = false;
+        for target in &cli.targets {
+            match run_input(target.as_ref(), &input) {
+                Ok(()) => println!("{}: ok ({} bytes)", target.name(), input.len()),
+                Err(message) => {
+                    failed = true;
+                    println!("{}: FAIL — {message}", target.name());
+                }
+            }
+        }
+        return if failed { ExitCode::from(1) } else { ExitCode::SUCCESS };
+    }
+
+    let mut any_crash = false;
+    let mut coverage_ok = true;
+    for target in &cli.targets {
+        let mut seeds = corpus::seeds(target.name()).unwrap_or_default();
+        seeds.extend(corpus::regressions(target.name()).unwrap_or_default());
+        let outcome = wsg_fuzz::fuzz(target.as_ref(), &seeds, &cli.config);
+        println!(
+            "{:<11} execs={:<7} corpus={:<4} edges={:<4} new-edges={:<4} crashes={}",
+            outcome.target,
+            outcome.executions,
+            outcome.corpus.len(),
+            outcome.coverage.iter().map(|(edge, _)| edge).collect::<std::collections::BTreeSet<_>>().len(),
+            outcome.new_edges,
+            outcome.crashes.len(),
+        );
+        if cli.save {
+            for input in &outcome.corpus[seeds.len().min(outcome.corpus.len())..] {
+                if let Err(err) = corpus::save(&corpus::dir_for(target.name()), input) {
+                    eprintln!("wsg_fuzz: saving {} corpus entry failed: {err}", target.name());
+                }
+            }
+            for crash in &outcome.crashes {
+                if let Ok(path) =
+                    corpus::save(&corpus::regressions_for(target.name()), &crash.minimized)
+                {
+                    println!("  saved regression {}", path.display());
+                }
+            }
+        }
+        for crash in &outcome.crashes {
+            any_crash = true;
+            println!(
+                "  crash at iteration {} ({} bytes, minimized {}): {}",
+                crash.iteration,
+                crash.input.len(),
+                crash.minimized.len(),
+                crash.message
+            );
+            println!("  minimized input hash {:016x}", fnv64(&crash.minimized));
+        }
+        if cli.assert_coverage && outcome.new_edges == 0 {
+            coverage_ok = false;
+            eprintln!("wsg_fuzz: target {} discovered no new edges", outcome.target);
+        }
+    }
+    if cli.assert_coverage && !wsg_net::cov::enabled() {
+        eprintln!("wsg_fuzz: --assert-coverage requires RUSTFLAGS=\"--cfg wsg_cov\"");
+        coverage_ok = false;
+    }
+    if !coverage_ok {
+        ExitCode::from(2)
+    } else if any_crash {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Regenerate the committed seed corpus from the real serialisers, so
+/// seeds never drift from the wire format they exercise.
+fn write_seeds() -> std::io::Result<usize> {
+    use wsg_cluster::proto::{ClusterMessage, MemberEntry};
+    use wsg_net::NodeId;
+    use wsg_soap::batch::{write_batch, BatchItem};
+    use wsg_soap::{Envelope, Fault, FaultCode, MessageHeaders};
+    use wsg_xml::Element;
+
+    let push = Envelope::request(
+        MessageHeaders::request("http://peer:9000/gossip", "urn:ws-gossip:2008:Push"),
+        Element::in_ns("wsg", "urn:ws-gossip:2008", "Push")
+            .with_attr("round", "3")
+            .with_child(Element::text_node("state", "v=17")),
+    )
+    .with_header(Element::text_node("Hint", "lazy"))
+    .to_xml();
+    let fault = Envelope::fault(
+        MessageHeaders::request("http://peer:9000/gossip", "urn:ws-gossip:2008:Fault"),
+        Fault::new(FaultCode::Sender, "malformed digest"),
+    )
+    .to_xml();
+
+    let entry = |id: usize, port: u16, heartbeat: u64| MemberEntry {
+        id: NodeId(id),
+        addr: format!("10.0.0.{}:{port}", id + 1).parse().unwrap(),
+        heartbeat,
+    };
+    let heartbeat = ClusterMessage::Heartbeat(vec![entry(0, 9000, 12), entry(1, 9001, 7)])
+        .to_envelope("http://10.0.0.1:9000/membership")
+        .to_xml();
+    let join = ClusterMessage::Join(entry(2, 9002, 1))
+        .to_envelope("http://10.0.0.1:9000/membership")
+        .to_xml();
+
+    let mut pair = String::new();
+    write_batch(
+        &[
+            BatchItem { target: None, xml: &push },
+            BatchItem { target: Some("/membership"), xml: &heartbeat },
+        ],
+        &mut pair,
+    );
+    let mut empty = String::new();
+    write_batch(&[], &mut empty);
+
+    type TargetSeeds<'a> = (&'a str, &'a [(&'a str, &'a [u8])]);
+    let seeds: &[TargetSeeds<'_>] = &[
+        (
+            "http",
+            &[
+                (
+                    "post-gossip",
+                    b"POST /gossip HTTP/1.1\r\nHost: peer:9000\r\nSOAPAction: \"urn:ws-gossip:2008:Push\"\r\nContent-Length: 5\r\n\r\nhello",
+                ),
+                ("response-ok", b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"),
+                (
+                    "pipelined",
+                    b"POST /a HTTP/1.1\r\nContent-Length: 1\r\n\r\nxPOST /b HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+                ),
+            ],
+        ),
+        (
+            "xml",
+            &[
+                ("envelope", push.as_bytes()),
+                (
+                    "mixed",
+                    b"<?xml version=\"1.0\" encoding=\"UTF-8\"?><root a=\"1\"><!-- c --><child xmlns:p=\"urn:x\"><p:leaf>text &amp; more</p:leaf><![CDATA[raw <bits>]]></child><?pi data?></root>",
+                ),
+            ],
+        ),
+        ("envelope", &[("push", push.as_bytes()), ("fault", fault.as_bytes())]),
+        (
+            "batch",
+            &[
+                ("pair", pair.as_bytes()),
+                ("empty", empty.as_bytes()),
+                ("single", push.as_bytes()),
+            ],
+        ),
+        (
+            "membership",
+            &[("heartbeat", heartbeat.as_bytes()), ("join", join.as_bytes())],
+        ),
+    ];
+
+    let mut written = 0;
+    for (target, inputs) in seeds {
+        let dir = corpus::dir_for(target);
+        std::fs::create_dir_all(&dir)?;
+        for (name, bytes) in *inputs {
+            std::fs::write(dir.join(format!("seed-{name}")), bytes)?;
+            written += 1;
+        }
+    }
+    Ok(written)
+}

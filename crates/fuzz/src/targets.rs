@@ -1,0 +1,437 @@
+//! The five wire-parser fuzz targets and their oracles.
+//!
+//! A target wraps one parse path behind a uniform byte-string entry
+//! point. `run` returning `Err` is an **oracle violation** (the parser
+//! accepted/produced something inconsistent); a panic inside `run` is
+//! caught by the engine and reported as a crash. A clean rejection of
+//! malformed input is `Ok` — rejecting garbage is the parsers' job.
+
+use wsg_cluster::proto::ClusterMessage;
+use wsg_http::parser::{Parsed, RequestParser, ResponseParser};
+use wsg_http::Request;
+use wsg_soap::batch::{is_batch, parse_wire, unbundle, Unbundled};
+use wsg_soap::Envelope;
+use wsg_xml::reader::MAX_DEPTH;
+use wsg_xml::{Element, XmlEvent, XmlReader};
+
+/// One fuzzable parse path.
+pub trait FuzzTarget: Sync {
+    /// Stable name — keys the corpus directory and the RNG stream.
+    fn name(&self) -> &'static str;
+
+    /// Feed one input. `Err` = oracle violation; panics are caught by the
+    /// engine; `Ok` covers both acceptance and clean rejection.
+    fn run(&self, input: &[u8]) -> Result<(), String>;
+}
+
+/// The five production parse paths, in corpus-directory order.
+pub fn all_targets() -> Vec<Box<dyn FuzzTarget>> {
+    vec![
+        Box::new(HttpTarget),
+        Box::new(XmlTarget),
+        Box::new(EnvelopeTarget),
+        Box::new(BatchTarget),
+        Box::new(MembershipTarget),
+    ]
+}
+
+/// Look a target up by name (CLI `--target`, corpus replay).
+pub fn target_by_name(name: &str) -> Option<Box<dyn FuzzTarget>> {
+    all_targets().into_iter().find(|t| t.name() == name)
+}
+
+// ---------------------------------------------------------------------
+// HTTP framing
+// ---------------------------------------------------------------------
+
+/// `wsg_http::parser` — incremental request/response framing.
+///
+/// Oracles: chunked feeding agrees with whole-buffer feeding; a parser
+/// left in `Partial` never buffers more than head cap + body cap
+/// (limits actually bound allocation); completed messages survive a
+/// parse → serialise → parse round trip.
+pub struct HttpTarget;
+
+/// Drive a request parser to its terminal state: completed messages,
+/// then either a clean `Partial` (`None`) or the first error.
+fn drain_requests(parser: &mut RequestParser) -> (Vec<Request>, Option<String>) {
+    let mut messages = Vec::new();
+    loop {
+        match parser.parse() {
+            Ok(Parsed::Complete(request)) => messages.push(request),
+            Ok(Parsed::Partial) => return (messages, None),
+            Err(error) => return (messages, Some(error.to_string())),
+        }
+    }
+}
+
+impl FuzzTarget for HttpTarget {
+    fn name(&self) -> &'static str {
+        "http"
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        // Whole-buffer feed.
+        let mut whole = RequestParser::new();
+        whole.feed(input);
+        let (whole_messages, whole_end) = drain_requests(&mut whole);
+
+        // Chunked feed: same bytes, 7 at a time, draining after each
+        // chunk. Terminal state must agree with the whole-buffer parse.
+        let mut chunked = RequestParser::new();
+        let mut chunked_messages = Vec::new();
+        let mut chunked_end = None;
+        'feed: for chunk in input.chunks(7) {
+            chunked.feed(chunk);
+            loop {
+                match chunked.parse() {
+                    Ok(Parsed::Complete(request)) => chunked_messages.push(request),
+                    Ok(Parsed::Partial) => break,
+                    Err(error) => {
+                        chunked_end = Some(error.to_string());
+                        break 'feed;
+                    }
+                }
+            }
+        }
+        if whole_messages != chunked_messages || whole_end != chunked_end {
+            return Err(format!(
+                "chunked vs whole-buffer divergence: {}+{:?} vs {}+{:?}",
+                whole_messages.len(),
+                whole_end,
+                chunked_messages.len(),
+                chunked_end
+            ));
+        }
+
+        // Round trip every completed request.
+        for request in &whole_messages {
+            let mut reparse = RequestParser::new();
+            reparse.feed(&request.to_bytes());
+            match reparse.parse() {
+                Ok(Parsed::Complete(again)) => {
+                    if again != *request {
+                        return Err(format!(
+                            "request parse→serialise→parse mismatch: {request:?} vs {again:?}"
+                        ));
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "serialised accepted request does not reparse: {other:?}"
+                    ))
+                }
+            }
+        }
+
+        // Limit enforcement: a small-capped parser that stays Partial
+        // must never be buffering more than head + separator + body.
+        let (max_head, max_body) = (128usize, 256usize);
+        let mut limited = RequestParser::with_limits(max_head, max_body);
+        limited.feed(input);
+        let (_, end) = drain_requests(&mut limited);
+        if end.is_none() && limited.buffered() > max_head + 4 + max_body {
+            return Err(format!(
+                "limited parser is Partial with {} bytes buffered (caps {max_head}+{max_body})",
+                limited.buffered()
+            ));
+        }
+
+        // The response parser shares the framing code but has its own
+        // status-line grammar; completed responses must round-trip too.
+        let mut responses = ResponseParser::new();
+        responses.feed(input);
+        while let Ok(Parsed::Complete(response)) = responses.parse() {
+            let mut reparse = ResponseParser::new();
+            reparse.feed(&response.to_bytes());
+            match reparse.parse() {
+                Ok(Parsed::Complete(again)) if again == response => {}
+                other => {
+                    return Err(format!("response round trip failed: {response:?} vs {other:?}"))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// XML reader
+// ---------------------------------------------------------------------
+
+/// `wsg_xml::XmlReader` + `Element::parse`.
+///
+/// Oracles: the event stream terminates within a linear bound (no
+/// livelock), open-element depth never exceeds [`MAX_DEPTH`], and a tree
+/// that parses has an idempotent serialisation
+/// (serialise → parse → serialise is a fixed point).
+pub struct XmlTarget;
+
+impl FuzzTarget for XmlTarget {
+    fn name(&self) -> &'static str {
+        "xml"
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        let text = String::from_utf8_lossy(input);
+        let mut reader = XmlReader::new(&text);
+        let bound = 4 * text.len() + 16;
+        let mut events = 0usize;
+        loop {
+            match reader.next_event() {
+                Ok(XmlEvent::Eof) => break,
+                Ok(_) => {
+                    events += 1;
+                    if events > bound {
+                        return Err(format!(
+                            "reader emitted {events} events for {} bytes (livelock?)",
+                            text.len()
+                        ));
+                    }
+                    if reader.depth() > MAX_DEPTH {
+                        return Err(format!("depth {} exceeds MAX_DEPTH", reader.depth()));
+                    }
+                }
+                Err(_) => return Ok(()), // clean rejection
+            }
+        }
+
+        if let Ok(first) = Element::parse(&text) {
+            let serialised = first.to_xml_string();
+            let again = Element::parse(&serialised).map_err(|error| {
+                format!("serialised tree does not reparse: {error} in {serialised:?}")
+            })?;
+            let twice = again.to_xml_string();
+            if serialised != twice {
+                return Err(format!(
+                    "serialise→parse→serialise not a fixed point: {serialised:?} vs {twice:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// SOAP envelope
+// ---------------------------------------------------------------------
+
+/// `wsg_soap::Envelope::parse`.
+///
+/// Oracle: an accepted envelope's serialisation is a fixed point —
+/// `parse(to_xml(parse(x)))` serialises to the same bytes again.
+pub struct EnvelopeTarget;
+
+impl FuzzTarget for EnvelopeTarget {
+    fn name(&self) -> &'static str {
+        "envelope"
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        let text = String::from_utf8_lossy(input);
+        let Ok(envelope) = Envelope::parse(&text) else {
+            return Ok(()); // clean rejection
+        };
+        let serialised = envelope.to_xml();
+        let again = Envelope::parse(&serialised)
+            .map_err(|error| format!("serialised envelope does not reparse: {error}"))?;
+        let twice = again.to_xml();
+        if serialised != twice {
+            return Err(format!(
+                "envelope parse→serialise→parse not a fixed point: {serialised:?} vs {twice:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batch wire
+// ---------------------------------------------------------------------
+
+/// `wsg_soap::batch::parse_wire` vs the tree path (`Element::parse` +
+/// `unbundle`).
+///
+/// Oracles: the streaming classifier agrees with the tree walk; each
+/// streamed message's `raw` is the sender's bytes and reparses to the
+/// same envelope (byte-identity recovery).
+pub struct BatchTarget;
+
+impl FuzzTarget for BatchTarget {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        let text = String::from_utf8_lossy(input);
+        let streamed = parse_wire(&text);
+        let tree = Element::parse(&text);
+        match (streamed, tree) {
+            (Ok(_), Err(error)) => Err(format!(
+                "parse_wire accepted a document Element::parse rejects: {error}"
+            )),
+            (Ok(Unbundled::Single(root)), Ok(parsed)) => {
+                if is_batch(&parsed) {
+                    return Err("parse_wire classified a batch as Single".into());
+                }
+                if root != parsed {
+                    return Err("parse_wire Single tree differs from Element::parse".into());
+                }
+                Ok(())
+            }
+            (Ok(Unbundled::Batch(messages)), Ok(parsed)) => {
+                let via_tree = unbundle(&parsed).map_err(|error| {
+                    format!("parse_wire accepted a batch unbundle rejects: {error}")
+                })?;
+                if messages.len() != via_tree.len() {
+                    return Err(format!(
+                        "streamed {} messages, tree walk {}",
+                        messages.len(),
+                        via_tree.len()
+                    ));
+                }
+                for (i, (streamed, tree)) in messages.iter().zip(&via_tree).enumerate() {
+                    if streamed.envelope != tree.envelope || streamed.target != tree.target {
+                        return Err(format!("message {i} differs between stream and tree"));
+                    }
+                    // Byte-identity recovery: the raw slice must itself be
+                    // a standalone document for the same envelope.
+                    match Envelope::parse(&streamed.raw) {
+                        Ok(env) if env == streamed.envelope => {}
+                        other => {
+                            return Err(format!(
+                                "message {i} raw does not recover its envelope: {other:?}"
+                            ))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            (Err(_), Ok(parsed)) => {
+                // A structural rejection must be one the tree walk makes
+                // too — otherwise parse_wire dropped a valid document.
+                if is_batch(&parsed) {
+                    if unbundle(&parsed).is_ok() {
+                        return Err("parse_wire rejected a batch unbundle accepts".into());
+                    }
+                    Ok(())
+                } else {
+                    Err("parse_wire rejected a non-batch document Element::parse accepts".into())
+                }
+            }
+            (Err(_), Err(_)) => Ok(()), // agreed rejection
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// WS-Membership binding
+// ---------------------------------------------------------------------
+
+/// `wsg_cluster::proto::ClusterMessage::from_envelope`.
+///
+/// Oracle: a decoded membership message re-encodes to an envelope that
+/// decodes to the same message.
+pub struct MembershipTarget;
+
+impl FuzzTarget for MembershipTarget {
+    fn name(&self) -> &'static str {
+        "membership"
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        let text = String::from_utf8_lossy(input);
+        let Ok(envelope) = Envelope::parse(&text) else {
+            return Ok(());
+        };
+        let Ok(message) = ClusterMessage::from_envelope(&envelope) else {
+            return Ok(()); // clean rejection
+        };
+        let to = envelope.addressing().to().unwrap_or("http://node/membership");
+        let xml = message.to_envelope(to).to_xml();
+        let again = Envelope::parse(&xml)
+            .map_err(|error| format!("re-encoded membership envelope does not parse: {error}"))?;
+        let decoded = ClusterMessage::from_envelope(&again)
+            .map_err(|error| format!("re-encoded membership envelope does not decode: {error}"))?;
+        if decoded != message {
+            return Err(format!(
+                "membership decode→encode→decode mismatch: {message:?} vs {decoded:?}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Planted bug (self-test only)
+// ---------------------------------------------------------------------
+
+/// A deliberately buggy target for the engine's own self-test: panics on
+/// inputs containing `BOOM` (one case-flip away from the seed corpus the
+/// test plants). Mirrors the `wsg_model` explorer self-test pattern —
+/// the harness proves it can find, minimize and replay a real panic
+/// before anyone trusts a clean sweep.
+pub struct Planted;
+
+impl FuzzTarget for Planted {
+    fn name(&self) -> &'static str {
+        "planted"
+    }
+
+    fn run(&self, input: &[u8]) -> Result<(), String> {
+        if input.windows(4).any(|w| w == b"BOOM") {
+            panic!("planted bug reached");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_stable() {
+        let names: Vec<&str> = all_targets().iter().map(|t| t.name()).collect();
+        assert_eq!(names, ["http", "xml", "envelope", "batch", "membership"]);
+        assert!(target_by_name("batch").is_some());
+        assert!(target_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn targets_accept_well_formed_inputs() {
+        let envelope = Envelope::request(
+            wsg_soap::MessageHeaders::request("http://dest/svc", "urn:app:Op"),
+            Element::text_node("tick", "hi"),
+        )
+        .to_xml();
+        assert_eq!(EnvelopeTarget.run(envelope.as_bytes()), Ok(()));
+        assert_eq!(XmlTarget.run(b"<a x=\"1\"><b/>text</a>"), Ok(()));
+        assert_eq!(
+            HttpTarget.run(b"POST /gossip HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"),
+            Ok(())
+        );
+        let heartbeat = ClusterMessage::Heartbeat(Vec::new())
+            .to_envelope("http://x/membership")
+            .to_xml();
+        assert_eq!(MembershipTarget.run(heartbeat.as_bytes()), Ok(()));
+        let mut batch = String::new();
+        wsg_soap::batch::write_batch(
+            &[
+                wsg_soap::batch::BatchItem { target: None, xml: &envelope },
+                wsg_soap::batch::BatchItem { target: Some("/membership"), xml: &heartbeat },
+            ],
+            &mut batch,
+        );
+        assert_eq!(BatchTarget.run(batch.as_bytes()), Ok(()));
+    }
+
+    #[test]
+    fn targets_cleanly_reject_garbage() {
+        for garbage in [&b"\xff\xfe\x00garbage"[..], b"<unclosed", b"", b"GET"] {
+            for target in all_targets() {
+                assert_eq!(target.run(garbage), Ok(()), "{}", target.name());
+            }
+        }
+    }
+}

@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+use wsg_net::cov;
+
 use crate::message::{Headers, Request, Response};
 
 /// Hard cap on the head (request/status line + headers) in bytes.
@@ -89,14 +91,18 @@ fn parse_header_lines<'a>(
     let mut headers = Headers::new();
     for line in lines {
         if line.is_empty() {
+            cov!();
             continue;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| ParseError::BadHeader(line.to_string()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            cov!();
+            return Err(ParseError::BadHeader(line.to_string()));
+        };
         if !is_token(name) {
+            cov!();
             return Err(ParseError::BadHeader(line.to_string()));
         }
+        cov!();
         headers.push(name, value.trim());
     }
     Ok(headers)
@@ -104,16 +110,24 @@ fn parse_header_lines<'a>(
 
 fn content_length(headers: &Headers, max_body: usize) -> Result<usize, ParseError> {
     if headers.get("transfer-encoding").is_some() {
+        cov!();
         return Err(ParseError::UnsupportedTransferEncoding);
     }
     let length = match headers.get("content-length") {
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .map_err(|_| ParseError::BadContentLength(v.to_string()))?,
-        None => 0,
+        Some(v) => {
+            cov!();
+            v.trim().parse::<usize>().map_err(|_| {
+                cov!();
+                ParseError::BadContentLength(v.to_string())
+            })?
+        }
+        None => {
+            cov!();
+            0
+        }
     };
     if length > max_body {
+        cov!();
         return Err(ParseError::BodyTooLarge(length));
     }
     Ok(length)
@@ -144,22 +158,29 @@ impl Buffer {
     fn split_message(&mut self) -> Result<Option<HeadAndBody>, ParseError> {
         let Some(head_end) = find_head_end(&self.bytes) else {
             if self.bytes.len() > self.max_head {
+                cov!();
                 return Err(ParseError::HeadTooLarge(self.max_head));
             }
+            cov!();
             return Ok(None);
         };
         if head_end > self.max_head {
+            cov!();
             return Err(ParseError::HeadTooLarge(self.max_head));
         }
-        let head = std::str::from_utf8(&self.bytes[..head_end])
-            .map_err(|_| ParseError::NonUtf8Head)?;
+        let head = std::str::from_utf8(&self.bytes[..head_end]).map_err(|_| {
+            cov!();
+            ParseError::NonUtf8Head
+        })?;
         let lines: Vec<String> = head.split("\r\n").map(str::to_string).collect();
         let headers = parse_header_lines(lines.iter().skip(1).map(String::as_str))?;
         let body_len = content_length(&headers, self.max_body)?;
         let body_start = head_end + 4;
         if self.bytes.len() < body_start + body_len {
+            cov!();
             return Ok(None);
         }
+        cov!();
         let body = self.bytes[body_start..body_start + body_len].to_vec();
         self.bytes.drain(..body_start + body_len);
         Ok(Some((lines, body)))
@@ -221,14 +242,20 @@ fn parse_request_line(line: &str) -> Result<(String, String, String), ParseError
     let mut parts = line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) => (m, t, v),
-        _ => return Err(bad()),
+        _ => {
+            cov!();
+            return Err(bad());
+        }
     };
     if !is_token(method) || target.is_empty() {
+        cov!();
         return Err(bad());
     }
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        cov!();
         return Err(bad());
     }
+    cov!();
     Ok((method.to_string(), target.to_string(), version.to_string()))
 }
 
@@ -276,15 +303,24 @@ fn parse_status_line(line: &str) -> Result<(String, u16, String), ParseError> {
     let mut parts = line.splitn(3, ' ');
     let (version, code) = match (parts.next(), parts.next()) {
         (Some(v), Some(c)) => (v, c),
-        _ => return Err(bad()),
+        _ => {
+            cov!();
+            return Err(bad());
+        }
     };
     if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        cov!();
         return Err(bad());
     }
-    let status = code.parse::<u16>().map_err(|_| bad())?;
+    let status = code.parse::<u16>().map_err(|_| {
+        cov!();
+        bad()
+    })?;
     if !(100..=599).contains(&status) {
+        cov!();
         return Err(bad());
     }
+    cov!();
     let reason = parts.next().unwrap_or("").to_string();
     Ok((version.to_string(), status, reason))
 }

@@ -5,6 +5,7 @@
 //! cargo run -p wsg_lint -- --deny-all  # CI mode: stale allows also fail
 //! cargo run -p wsg_lint -- --list      # print the rule catalogue
 //! cargo run -p wsg_lint -- --root DIR  # lint an explicit tree
+//! cargo run -p wsg_lint -- --json      # machine-readable report on stdout
 //! ```
 //!
 //! Exit code 0 when clean, 1 on any diagnostic (or, with `--deny-all`,
@@ -18,10 +19,12 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut deny_all = false;
     let mut quiet = false;
+    let mut json = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
             "--quiet" | "-q" => quiet = true,
+            "--json" => json = true,
             "--list" => {
                 for rule in wsg_lint::rules::RULES {
                     println!("{:3} {:17} {}", rule.id, rule.name, rule.summary);
@@ -38,7 +41,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "wsg_lint — workspace invariants as machine-checkable lint rules\n\n\
-                     usage: wsg_lint [--root DIR] [--deny-all] [--quiet] [--list]\n\n\
+                     usage: wsg_lint [--root DIR] [--deny-all] [--quiet] [--list] [--json]\n\n\
                      Suppress a finding with `// wsg_lint: allow(<rule>)` on (or above)\n\
                      the offending line; run --list for the rule catalogue."
                 );
@@ -79,6 +82,13 @@ fn main() -> ExitCode {
         }
     };
 
+    let failed = !report.is_clean() || (deny_all && !report.stale_allows.is_empty());
+
+    if json {
+        println!("{}", to_json(&report, failed));
+        return if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+
     for diag in &report.diagnostics {
         println!("{diag}");
     }
@@ -89,7 +99,6 @@ fn main() -> ExitCode {
         );
     }
 
-    let failed = !report.is_clean() || (deny_all && !report.stale_allows.is_empty());
     if !quiet {
         eprintln!(
             "wsg_lint: {} source files, {} manifests; {} violation(s), {} stale allow(s){}",
@@ -105,4 +114,58 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Serialise a report as one JSON object (schema `wsg-lint-report/1`).
+/// Hand-rolled — the linter is part of the zero-dependency toolchain.
+fn to_json(report: &wsg_lint::Report, failed: bool) -> String {
+    let mut out = String::with_capacity(256 + report.diagnostics.len() * 160);
+    out.push_str("{\n  \"schema\": \"wsg-lint-report/1\",\n");
+    out.push_str(&format!("  \"sources\": {},\n", report.sources));
+    out.push_str(&format!("  \"manifests\": {},\n", report.manifests));
+    out.push_str(&format!("  \"failed\": {failed},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"name\": {}, \"message\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule.id),
+            json_str(d.rule.name),
+            json_str(&d.message)
+        ));
+    }
+    out.push_str(if report.diagnostics.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"stale_allows\": [");
+    for (i, s) in report.stale_allows.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rules\": {}}}",
+            json_str(&s.file),
+            s.line,
+            json_str(&s.rules)
+        ));
+    }
+    out.push_str(if report.stale_allows.is_empty() { "]\n}" } else { "\n  ]\n}" });
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -42,6 +42,11 @@
 //!   crates (`wsg_http`, `wsg_cluster`) must share their enclosing `fn`
 //!   with a `set_*_timeout` call or another timeout-named identifier,
 //!   so a hung peer cannot park a worker thread forever.
+//! * **F1 `cov-scope`** — the `cov!()` edge-instrumentation macro only
+//!   in the designated wire-parser modules ([`F1_COV_FILES`]). Edge ids
+//!   are compile-time hashes of their callsite, so scattered probes
+//!   dilute the fuzzer's coverage map and drag the `wsg_cov` cfg into
+//!   crates that should not know about it.
 //!
 //! Rules run on the [`crate::lexer`] token stream, never on raw text, so
 //! occurrences inside strings, raw strings, char literals and comments
@@ -122,6 +127,11 @@ pub const RULES: &[Rule] = &[
         name: "socket-timeout",
         summary: "socket I/O in live-transport crates must pair with a timeout",
     },
+    Rule {
+        id: "F1",
+        name: "cov-scope",
+        summary: "cov!() edge instrumentation only in the designated parser modules",
+    },
 ];
 
 /// Look a rule up by id or name.
@@ -188,6 +198,7 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
     let d3 = in_src && rel_path != "crates/net/src/rng.rs";
     let p1_file = in_src && P1_FILES.contains(&rel_path);
     let a2 = in_src && !A2_RELAXED_FILES.contains(&rel_path);
+    let f1 = in_src && !F1_COV_FILES.contains(&rel_path);
     let t1 = in_src && in_t1_scope(rel_path);
     let fn_ranges = if t1 { fn_regions(&code) } else { Vec::new() };
 
@@ -227,6 +238,11 @@ pub fn check_source(rel_path: &str, src: &str) -> FileReport {
         }
         if a2 {
             if let Some(d) = check_a2(rel_path, &code, i) {
+                raw.push(d);
+            }
+        }
+        if f1 {
+            if let Some(d) = check_f1(rel_path, &code, i) {
                 raw.push(d);
             }
         }
@@ -321,6 +337,9 @@ pub const A2_RELAXED_FILES: &[&str] = &[
     "crates/bench/src/timing.rs",
     "crates/bench/src/sweep.rs",
     "crates/soap/src/handlers.rs",
+    // Coverage hit counters: monotonic per-edge tallies read only after
+    // the fuzz loop quiesces — classic stats-counter Relaxed.
+    "crates/net/src/cov.rs",
 ];
 
 /// Live-transport crates whose blocking socket calls must carry
@@ -329,6 +348,19 @@ pub const A2_RELAXED_FILES: &[&str] = &[
 fn in_t1_scope(path: &str) -> bool {
     path.starts_with("crates/http/src/") || path.starts_with("crates/cluster/src/")
 }
+
+/// The wire-parser modules `wsg_fuzz` instruments: the only places the
+/// `cov!()` edge-hit macro may appear (plus its defining module). The
+/// list is the fuzzer's instrumentation contract — extending coverage to
+/// a new parse path means extending this list in the same change.
+pub const F1_COV_FILES: &[&str] = &[
+    "crates/net/src/cov.rs",
+    "crates/http/src/parser.rs",
+    "crates/xml/src/reader.rs",
+    "crates/soap/src/envelope.rs",
+    "crates/soap/src/batch.rs",
+    "crates/cluster/src/proto.rs",
+];
 
 // ---------------------------------------------------------------- rules
 
@@ -497,6 +529,27 @@ fn check_a2(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
         message: "Ordering::Relaxed provides no inter-thread synchronization; outside the \
                   audited stats-counter modules use Acquire/Release (or record the audit with \
                   `// wsg_lint: allow(atomic-ordering)`)"
+            .to_string(),
+    })
+}
+
+fn check_f1(file: &str, code: &[Token<'_>], i: usize) -> Option<Diagnostic> {
+    let tok = code[i];
+    // The invocation shape `cov!(` — a `cov` path segment (`use …::cov;`,
+    // `cov::reset()`) or `cov != x` does not fire.
+    if !(tok.is_ident("cov")
+        && code.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct('(')))
+    {
+        return None;
+    }
+    Some(Diagnostic {
+        file: file.to_string(),
+        line: tok.line,
+        rule: rule("F1").unwrap(),
+        message: "cov!() outside the designated parser modules dilutes the fuzzer's edge map; \
+                  instrument a new parse path by adding its file to F1_COV_FILES in the same \
+                  change (or justify with `// wsg_lint: allow(cov-scope)`)"
             .to_string(),
     })
 }
@@ -1081,6 +1134,7 @@ mod tests {
         assert_eq!(rule("atomic-ordering").unwrap().id, "A2");
         assert_eq!(rule("E2").unwrap().name, "error-swallowing");
         assert_eq!(rule("socket-timeout").unwrap().id, "T1");
+        assert_eq!(rule("cov-scope").unwrap().id, "F1");
         assert!(rule("nope").is_none());
     }
 
@@ -1113,6 +1167,38 @@ mod tests {
             "fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }\n",
         );
         assert!(lint_at("crates/net/src/sync.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f1_fires_on_cov_macro_outside_the_designated_parsers() {
+        let src = "fn f() { cov!(); parse(); }\n";
+        assert_eq!(lint_at("crates/gossip/src/engine.rs", src), vec!["F1:1"]);
+    }
+
+    #[test]
+    fn f1_silent_in_designated_files_paths_and_tests() {
+        let src = "fn f() { cov!(); }\n";
+        for file in F1_COV_FILES {
+            assert!(lint_at(file, src).is_empty(), "{file} must be exempt");
+        }
+        let paths = concat!(
+            "use wsg_net::cov;\n",
+            "fn f(a: u32) -> bool { cov::reset(); let cov = a; cov != 3 }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() { cov!(); }\n",
+            "}\n",
+        );
+        assert!(lint_at("crates/gossip/src/engine.rs", paths).is_empty());
+    }
+
+    #[test]
+    fn f1_allow_comment_suppresses() {
+        let src = "fn f() { cov!(); } // wsg_lint: allow(cov-scope)\n";
+        let report = check_source("crates/gossip/src/engine.rs", src);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert!(report.stale_allows.is_empty());
     }
 
     #[test]

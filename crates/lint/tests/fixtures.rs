@@ -79,6 +79,9 @@ fn bad_tree_yields_exactly_the_planted_violations() {
         // silent, as is the test module.
         "O1:crates/obs/src/metrics.rs:4",
         "O1:crates/obs/src/metrics.rs:5",
+        // F1: cov!() outside the designated parser modules; the `cov::`
+        // path, the string, the allowed probe and the test are silent.
+        "F1:crates/soap/src/codec.rs:7",
     ];
     assert_eq!(got, want, "diagnostics drifted from the planted fixture violations");
 
@@ -90,7 +93,7 @@ fn bad_tree_yields_exactly_the_planted_violations() {
 #[test]
 fn every_rule_fires_at_least_once_on_the_bad_tree() {
     let report = wsg_lint::lint_workspace(&fixture("bad")).expect("walk bad fixture tree");
-    for id in ["D1", "D2", "D3", "P1", "H1", "M1", "O1", "A2", "E2", "T1"] {
+    for id in ["D1", "D2", "D3", "P1", "H1", "M1", "O1", "A2", "E2", "T1", "F1"] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule.id == id),
             "rule {id} has no fixture coverage"
@@ -104,7 +107,7 @@ fn clean_tree_is_clean() {
     let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
     assert!(msgs.is_empty(), "clean fixture tree produced diagnostics:\n{}", msgs.join("\n"));
     assert!(report.stale_allows.is_empty());
-    assert_eq!((report.sources, report.manifests), (7, 1));
+    assert_eq!((report.sources, report.manifests), (8, 1));
 }
 
 // ------------------------------------------------------------- binary
@@ -137,6 +140,7 @@ fn binary_exits_nonzero_with_file_line_diagnostics_on_bad_tree() {
         "crates/net/src/counters.rs:8: A2 [atomic-ordering]",
         "crates/gossip/src/swallow.rs:6: E2 [error-swallowing]",
         "crates/cluster/src/transport.rs:6: T1 [socket-timeout]",
+        "crates/soap/src/codec.rs:7: F1 [cov-scope]",
         "stale `wsg_lint: allow(wall-clock)`",
     ] {
         assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
@@ -174,6 +178,32 @@ fn deny_all_turns_stale_allows_into_failure() {
     assert_eq!(code, Some(1), "--deny-all must fail on stale allows:\n{stdout}\n{stderr}");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_report_carries_schema_diagnostics_and_exit_codes() {
+    let bad = fixture("bad");
+    let (code, stdout, _) = run_lint(&["--root", bad.to_str().unwrap(), "--json"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    // One JSON object, nothing human-readable mixed into the stream.
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    for needle in [
+        "\"schema\": \"wsg-lint-report/1\"",
+        "\"failed\": true",
+        "\"rule\": \"F1\"",
+        "\"name\": \"cov-scope\"",
+        "\"file\": \"crates/coord/src/lib.rs\"",
+        "\"rules\": \"wall-clock\"",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+
+    let clean = fixture("clean");
+    let (code, stdout, _) = run_lint(&["--root", clean.to_str().unwrap(), "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"failed\": false"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\": []"), "{stdout}");
+    assert!(stdout.contains("\"stale_allows\": []"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,29 @@
+//! F1 fixture: a cov!() invocation outside the designated parser
+//! modules fires; `cov` in comments, strings and non-macro paths is
+//! silent, as are the test module and the allow-commented probe.
+//! cov!() mentioned right here is trivia.
+
+pub fn decode(buf: &[u8]) -> usize {
+    cov!(); // line 7: fires (F1 — soap/codec is not an instrumented parser)
+    buf.len()
+}
+
+pub fn reset_counters() {
+    cov::reset(); // a `cov` path, not the macro — silent
+}
+
+pub const DOC: &str = "sprinkle cov!() everywhere";
+
+pub fn audited(buf: &[u8]) -> bool {
+    // wsg_lint: allow(cov-scope) — fixture: justified one-off probe
+    cov!();
+    !buf.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn instrumented_for_a_test() {
+        cov!(); // test modules are silent
+    }
+}

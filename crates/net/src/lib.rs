@@ -36,6 +36,7 @@
 //! ```
 
 pub mod check;
+pub mod cov;
 pub mod faults;
 pub mod histogram;
 pub mod latency;

@@ -23,6 +23,7 @@
 //! XML verbatim, byte-identical to the pre-batching wire format (see
 //! `wsg_http::runtime`).
 
+use wsg_net::cov;
 use wsg_xml::escape::escape_attr_into;
 use wsg_xml::{Element, QName, XmlEvent, XmlReader};
 
@@ -140,13 +141,15 @@ pub fn parse_wire(wire: &str) -> Result<Unbundled, SoapError> {
         match reader.next_event()? {
             XmlEvent::StartElement { name, attributes, empty } => break (name, attributes, empty),
             XmlEvent::Eof => {
-                return Err(SoapError::Batch("document has no root element".into()))
+                cov!();
+                return Err(SoapError::Batch("document has no root element".into()));
             }
             _ => {}
         }
     };
 
     if !name.matches(Some(BATCH_NS), "Batch") {
+        cov!();
         let root = Element::from_start_event(&mut reader, name, attributes)?;
         drain_epilogue(&mut reader)?;
         return Ok(Unbundled::Single(root));
@@ -158,8 +161,10 @@ pub fn parse_wire(wire: &str) -> Result<Unbundled, SoapError> {
             match reader.next_event()? {
                 XmlEvent::StartElement { name, attributes, empty } => {
                     if !name.matches(Some(BATCH_NS), "Msg") {
+                        cov!();
                         return Err(SoapError::Batch(format!("batch carries a {name}")));
                     }
+                    cov!();
                     let target = attributes
                         .iter()
                         .find(|a| a.name.namespace().is_none() && a.name.local() == "target")
@@ -169,18 +174,23 @@ pub fn parse_wire(wire: &str) -> Result<Unbundled, SoapError> {
                 // `</wsgb:Batch>` — the reader itself balances tags, so an
                 // EndElement at this depth can only be the wrapper's.
                 XmlEvent::EndElement { .. } => break,
-                XmlEvent::Eof => return Err(SoapError::Batch("truncated batch".into())),
+                XmlEvent::Eof => {
+                    cov!();
+                    return Err(SoapError::Batch("truncated batch".into()));
+                }
                 // Text and comments between messages are ignored, exactly
                 // as the tree walk in `unbundle` ignores non-element nodes.
                 _ => {}
             }
         }
     } else {
+        cov!();
         // Consume the synthetic EndElement of `<wsgb:Batch/>`.
         reader.next_event()?;
     }
     drain_epilogue(&mut reader)?;
     if out.is_empty() {
+        cov!();
         return Err(SoapError::Batch("batch carries no messages".into()));
     }
     Ok(Unbundled::Batch(out))
@@ -195,29 +205,58 @@ fn read_msg(
     empty: bool,
 ) -> Result<BatchedEnvelope, SoapError> {
     let mut inner: Option<(Envelope, String)> = None;
+    // Bindings declared at or below this scope depth (the batch wrapper's
+    // xmlns:wsgb, or anything else on the outer elements) are invisible to
+    // a message slice replayed standalone.
+    let outer_scope = reader.scope_depth();
     if !empty {
         loop {
             // After the previous event is consumed the cursor sits exactly
             // on the next construct, so for a start tag this is the byte
             // offset of its `<`.
             let start = reader.position();
+            reader.reset_binding_watermark();
             match reader.next_event()? {
                 XmlEvent::StartElement { name, attributes, .. } => {
                     if inner.is_some() {
+                        cov!();
                         return Err(SoapError::Batch(
                             "Msg wraps more than one element (want exactly 1)".into(),
                         ));
                     }
+                    cov!();
                     let element = Element::from_start_event(reader, name, attributes)?;
                     let envelope = Envelope::from_element(&element)?;
-                    let slice = &wire[start..reader.position()];
-                    let mut raw = String::with_capacity(XML_DECL.len() + slice.len());
-                    raw.push_str(XML_DECL);
-                    raw.push_str(slice);
+                    let raw = if reader.binding_watermark() > outer_scope {
+                        // The envelope resolved every prefix from its own
+                        // declarations: the sender's exact bytes are a
+                        // standalone document.
+                        cov!();
+                        let slice = &wire[start..reader.position()];
+                        let mut raw = String::with_capacity(XML_DECL.len() + slice.len());
+                        raw.push_str(XML_DECL);
+                        raw.push_str(slice);
+                        raw
+                    } else {
+                        // The envelope leaned on a binding inherited from
+                        // the batch wrapper (e.g. wsgb:), which the slice
+                        // would lose — re-serialise from the tree, which
+                        // re-declares everything it uses. (Regression:
+                        // fuzz/corpus/regressions/batch/24ffc09407f20b43.)
+                        cov!();
+                        let serialised = element.to_xml_string();
+                        let mut raw = String::with_capacity(XML_DECL.len() + serialised.len());
+                        raw.push_str(XML_DECL);
+                        raw.push_str(&serialised);
+                        raw
+                    };
                     inner = Some((envelope, raw));
                 }
                 XmlEvent::EndElement { .. } => break, // `</wsgb:Msg>`
-                XmlEvent::Eof => return Err(SoapError::Batch("truncated batch".into())),
+                XmlEvent::Eof => {
+                    cov!();
+                    return Err(SoapError::Batch("truncated batch".into()));
+                }
                 _ => {} // text/comments alongside the envelope are ignored
             }
         }
@@ -226,7 +265,10 @@ fn read_msg(
     }
     match inner {
         Some((envelope, raw)) => Ok(BatchedEnvelope { target, envelope, raw }),
-        None => Err(SoapError::Batch("Msg wraps 0 elements (want exactly 1)".into())),
+        None => {
+            cov!();
+            Err(SoapError::Batch("Msg wraps 0 elements (want exactly 1)".into()))
+        }
     }
 }
 
@@ -237,7 +279,8 @@ fn drain_epilogue(reader: &mut XmlReader<'_>) -> Result<(), SoapError> {
             XmlEvent::Eof => return Ok(()),
             XmlEvent::Comment(_) | XmlEvent::ProcessingInstruction { .. } => {}
             other => {
-                return Err(SoapError::Batch(format!("content after root element: {other:?}")))
+                cov!();
+                return Err(SoapError::Batch(format!("content after root element: {other:?}")));
             }
         }
     }
@@ -254,27 +297,32 @@ fn drain_epilogue(reader: &mut XmlReader<'_>) -> Result<(), SoapError> {
 /// tree looks like.
 pub fn unbundle(root: &Element) -> Result<Vec<BatchedEnvelope>, SoapError> {
     if !is_batch(root) {
+        cov!();
         return Err(SoapError::Batch(format!("root element is {}", root.name())));
     }
     let children = root.children();
     if children.is_empty() {
+        cov!();
         return Err(SoapError::Batch("batch carries no messages".into()));
     }
     let mut out = Vec::with_capacity(children.len());
     for child in children {
         if !child.name().matches(Some(BATCH_NS), "Msg") {
+            cov!();
             return Err(SoapError::Batch(format!("batch carries a {}", child.name())));
         }
         let wrapped = child.children();
         let inner = match wrapped.as_slice() {
             [only] => *only,
             _ => {
+                cov!();
                 return Err(SoapError::Batch(format!(
                     "Msg wraps {} elements (want exactly 1)",
                     wrapped.len()
-                )))
+                )));
             }
         };
+        cov!();
         let envelope = Envelope::from_element(inner)?;
         let serialised = inner.to_xml_string();
         let mut raw = String::with_capacity(XML_DECL.len() + serialised.len());

@@ -180,6 +180,27 @@ pub fn is_name_char(c: char) -> bool {
         || matches!(c, '\u{B7}' | '\u{300}'..='\u{36F}' | '\u{203F}'..='\u{2040}')
 }
 
+/// Validate that `lexical` is a namespace-well-formed qualified name: at
+/// most one colon, and the prefix / local parts each a legal colon-free
+/// name. Plain [`validate_name`] treats `:` as an ordinary name character
+/// (per XML 1.0), so it accepts `wsa:0` — whose local part the writer
+/// then refuses to serialise. Parsers that resolve prefixes must use this
+/// instead (regression: fuzz/corpus/regressions/xml/79758a29844b826c).
+pub fn validate_qname(lexical: &str) -> Result<(), XmlError> {
+    let invalid = || XmlError::new(XmlErrorKind::InvalidName(lexical.to_string()), 0);
+    let (prefix, local) = match lexical.split_once(':') {
+        Some((prefix, local)) => (Some(prefix), local),
+        None => (None, lexical),
+    };
+    if local.contains(':') {
+        return Err(invalid());
+    }
+    if let Some(prefix) = prefix {
+        validate_name(prefix).map_err(|_| invalid())?;
+    }
+    validate_name(local).map_err(|_| invalid())
+}
+
 /// Validate that `name` is a legal XML name.
 pub fn validate_name(name: &str) -> Result<(), XmlError> {
     let mut chars = name.chars();

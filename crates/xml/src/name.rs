@@ -185,11 +185,19 @@ impl NamespaceScope {
     /// `None` when nothing is declared, and `Some("")` is normalised to
     /// `None` by callers treating it as "no namespace".
     pub fn resolve(&self, prefix: &str) -> Option<&str> {
+        self.resolve_with_depth(prefix).map(|(_, uri)| uri)
+    }
+
+    /// Like [`resolve`](Self::resolve), but also reporting the scope depth
+    /// the winning binding was declared at (0 = the implicit `xml`
+    /// binding). Lets callers distinguish bindings inherited from ancestor
+    /// elements from ones declared within a subtree of interest.
+    pub fn resolve_with_depth(&self, prefix: &str) -> Option<(usize, &str)> {
         self.bindings
             .iter()
             .rev()
             .find(|(_, p, _)| p == prefix)
-            .map(|(_, _, uri)| uri.as_str())
+            .map(|(depth, _, uri)| (*depth, uri.as_str()))
     }
 
     /// Find a prefix already bound to `uri`, preferring the innermost.

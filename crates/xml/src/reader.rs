@@ -1,7 +1,9 @@
 //! A namespace-aware pull parser.
 
+use wsg_net::cov;
+
 use crate::error::{XmlError, XmlErrorKind};
-use crate::escape::{is_name_char, is_name_start, unescape};
+use crate::escape::{is_name_char, is_name_start, unescape, validate_qname};
 use crate::event::{Attribute, XmlEvent};
 use crate::name::{NamespaceScope, QName};
 
@@ -38,6 +40,11 @@ pub struct XmlReader<'a> {
     pending_end: Option<QName>,
     seen_root: bool,
     finished: bool,
+    // Shallowest scope depth a namespace resolution consulted since the
+    // last `reset_binding_watermark` (`usize::MAX` = none). Depth-0
+    // bindings (the implicit `xml` prefix) never count: they exist in
+    // every document, so relying on them keeps a slice self-contained.
+    binding_watermark: usize,
 }
 
 impl<'a> XmlReader<'a> {
@@ -51,12 +58,39 @@ impl<'a> XmlReader<'a> {
             pending_end: None,
             seen_root: false,
             finished: false,
+            binding_watermark: usize::MAX,
         }
     }
 
     /// Byte offset of the parse cursor.
     pub fn position(&self) -> usize {
         self.pos
+    }
+
+    /// Depth of the current namespace scope (one level per open element).
+    pub fn scope_depth(&self) -> usize {
+        self.scope.depth()
+    }
+
+    /// Start tracking which namespace bindings the following events consult.
+    pub fn reset_binding_watermark(&mut self) {
+        self.binding_watermark = usize::MAX;
+    }
+
+    /// Shallowest scope depth a namespace resolution consulted since the
+    /// last [`reset_binding_watermark`](Self::reset_binding_watermark)
+    /// (`usize::MAX` when none, or only the implicit `xml` binding, was).
+    /// A subtree whose watermark stays **above** the scope depth at its
+    /// start resolved every prefix from its own declarations — its byte
+    /// span is a namespace-self-contained document on its own.
+    pub fn binding_watermark(&self) -> usize {
+        self.binding_watermark
+    }
+
+    fn note_binding_depth(&mut self, depth: usize) {
+        if depth > 0 {
+            self.binding_watermark = self.binding_watermark.min(depth);
+        }
     }
 
     /// Depth of currently open elements.
@@ -72,21 +106,26 @@ impl<'a> XmlReader<'a> {
     /// used further after an error.
     pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
         if let Some(name) = self.pending_end.take() {
+            cov!();
             self.open.pop();
             self.scope.pop_scope();
             return Ok(XmlEvent::EndElement { name });
         }
         if self.finished {
+            cov!();
             return Ok(XmlEvent::Eof);
         }
         if self.pos >= self.input.len() {
+            cov!();
             return self.at_eof();
         }
 
         let rest = &self.input[self.pos..];
         if rest.starts_with('<') {
+            cov!();
             self.parse_markup()
         } else {
+            cov!();
             self.parse_text()
         }
     }
@@ -112,12 +151,14 @@ impl<'a> XmlReader<'a> {
 
     fn at_eof(&mut self) -> Result<XmlEvent, XmlError> {
         if let Some((lexical, _)) = self.open.last() {
+            cov!();
             return Err(XmlError::new(
                 XmlErrorKind::Malformed(format!("unclosed element <{lexical}>")),
                 self.pos,
             ));
         }
         if !self.seen_root {
+            cov!();
             return Err(self.err(XmlErrorKind::UnexpectedEof));
         }
         self.finished = true;
@@ -137,23 +178,27 @@ impl<'a> XmlReader<'a> {
         if self.open.is_empty() {
             // Only whitespace is allowed outside the root element.
             if raw.trim().is_empty() {
+                cov!();
                 return if self.pos >= self.input.len() {
                     self.at_eof()
                 } else {
                     self.next_event()
                 };
             }
+            cov!();
             return Err(XmlError::new(
                 XmlErrorKind::Malformed("character data outside root element".into()),
                 start,
             ));
         }
         if raw.contains("]]>") {
+            cov!();
             return Err(XmlError::new(
                 XmlErrorKind::Malformed("']]>' not allowed in character data".into()),
                 start,
             ));
         }
+        cov!();
         let text = unescape(raw, start)?;
         Ok(XmlEvent::Text(text.into_owned()))
     }
@@ -161,22 +206,28 @@ impl<'a> XmlReader<'a> {
     fn parse_markup(&mut self) -> Result<XmlEvent, XmlError> {
         let rest = &self.input[self.pos..];
         if let Some(r) = rest.strip_prefix("<?") {
+            cov!();
             return self.parse_pi(r);
         }
         if rest.starts_with("<!--") {
+            cov!();
             return self.parse_comment();
         }
         if rest.starts_with("<![CDATA[") {
+            cov!();
             return self.parse_cdata();
         }
         if rest.starts_with("<!") {
+            cov!();
             return Err(self.err(XmlErrorKind::Unsupported(
                 "DTD / declaration markup ('<!') is not supported".into(),
             )));
         }
         if rest.starts_with("</") {
+            cov!();
             return self.parse_end_tag();
         }
+        cov!();
         self.parse_start_tag()
     }
 
@@ -194,11 +245,13 @@ impl<'a> XmlReader<'a> {
         self.pos += consumed;
         if target.eq_ignore_ascii_case("xml") {
             if start_pos != 0 {
+                cov!();
                 return Err(XmlError::new(
                     XmlErrorKind::Malformed("xml declaration not at document start".into()),
                     start_pos,
                 ));
             }
+            cov!();
             let version = pseudo_attr(data, "version").unwrap_or_else(|| "1.0".to_string());
             let encoding = pseudo_attr(data, "encoding");
             return Ok(XmlEvent::Declaration { version, encoding });
@@ -216,6 +269,7 @@ impl<'a> XmlReader<'a> {
             .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
         let text = &body[..close];
         if text.contains("--") {
+            cov!();
             return Err(self.err(XmlErrorKind::Malformed("'--' inside comment".into())));
         }
         self.pos += 4 + close + 3;
@@ -224,10 +278,12 @@ impl<'a> XmlReader<'a> {
 
     fn parse_cdata(&mut self) -> Result<XmlEvent, XmlError> {
         if self.open.is_empty() {
+            cov!();
             return Err(self.err(XmlErrorKind::Malformed(
                 "CDATA outside root element".into(),
             )));
         }
+        cov!();
         let body = &self.input[self.pos + 9..];
         let close = body
             .find("]]>")
@@ -246,17 +302,20 @@ impl<'a> XmlReader<'a> {
         let lexical = body[..close].trim_end();
         self.pos += 2 + close + 1;
         let (open_lexical, qname) = self.open.pop().ok_or_else(|| {
+            cov!();
             XmlError::new(
                 XmlErrorKind::Malformed(format!("close tag </{lexical}> with no open element")),
                 tag_start,
             )
         })?;
         if open_lexical != lexical {
+            cov!();
             return Err(XmlError::new(
                 XmlErrorKind::MismatchedTag { expected: open_lexical, found: lexical.to_string() },
                 tag_start,
             ));
         }
+        cov!();
         self.scope.pop_scope();
         Ok(XmlEvent::EndElement { name: qname })
     }
@@ -265,33 +324,43 @@ impl<'a> XmlReader<'a> {
         let tag_start = self.pos;
         self.pos += 1; // consume '<'
         let lexical = self.read_name()?;
+        if validate_qname(&lexical).is_err() {
+            cov!();
+            return Err(XmlError::new(XmlErrorKind::InvalidName(lexical), tag_start));
+        }
         let mut raw_attrs: Vec<(String, String)> = Vec::new();
         let empty;
         loop {
             self.skip_whitespace();
             let rest = &self.input[self.pos..];
             if rest.starts_with("/>") {
+                cov!();
                 self.pos += 2;
                 empty = true;
                 break;
             }
             if rest.starts_with('>') {
+                cov!();
                 self.pos += 1;
                 empty = false;
                 break;
             }
             if rest.is_empty() {
+                cov!();
                 return Err(self.err(XmlErrorKind::UnexpectedEof));
             }
             let (name, value) = self.read_attribute()?;
             if raw_attrs.iter().any(|(n, _)| *n == name) {
+                cov!();
                 return Err(XmlError::new(XmlErrorKind::DuplicateAttribute(name), tag_start));
             }
+            cov!();
             raw_attrs.push((name, value));
         }
 
         if self.open.is_empty() {
             if self.seen_root {
+                cov!();
                 return Err(XmlError::new(
                     XmlErrorKind::Malformed("multiple root elements".into()),
                     tag_start,
@@ -300,6 +369,7 @@ impl<'a> XmlReader<'a> {
             self.seen_root = true;
         }
         if self.open.len() >= MAX_DEPTH {
+            cov!();
             return Err(XmlError::new(
                 XmlErrorKind::Malformed(format!("element depth exceeds {MAX_DEPTH}")),
                 tag_start,
@@ -310,9 +380,12 @@ impl<'a> XmlReader<'a> {
         self.scope.push_scope();
         for (name, value) in &raw_attrs {
             if name == "xmlns" {
+                cov!();
                 self.scope.declare("", value);
             } else if let Some(prefix) = name.strip_prefix("xmlns:") {
+                cov!();
                 if value.is_empty() {
+                    cov!();
                     return Err(XmlError::new(
                         XmlErrorKind::Malformed(format!(
                             "cannot bind prefix '{prefix}' to empty namespace"
@@ -336,36 +409,47 @@ impl<'a> XmlReader<'a> {
                 // namespace (the default namespace does not apply).
                 None => QName::new(local),
                 Some(p) => {
-                    let uri = self.scope.resolve(p).ok_or_else(|| {
+                    let (depth, uri) = self.scope.resolve_with_depth(p).ok_or_else(|| {
+                        cov!();
                         XmlError::new(XmlErrorKind::UndeclaredPrefix(p.to_string()), tag_start)
                     })?;
-                    QName::with_ns(uri, local).with_prefix(p)
+                    let name = QName::with_ns(uri, local).with_prefix(p);
+                    self.note_binding_depth(depth);
+                    name
                 }
             };
             attributes.push(Attribute { name: qname, value });
         }
 
         if empty {
+            cov!();
             self.pending_end = Some(name.clone());
             self.open.push((lexical, name.clone()));
         } else {
+            cov!();
             self.open.push((lexical, name.clone()));
         }
         Ok(XmlEvent::StartElement { name, attributes, empty })
     }
 
-    fn resolve_element(&self, lexical: &str, at: usize) -> Result<QName, XmlError> {
+    fn resolve_element(&mut self, lexical: &str, at: usize) -> Result<QName, XmlError> {
         let (prefix, local) = QName::split_lexical(lexical);
         match prefix {
             Some(p) => {
-                let uri = self
+                let (depth, uri) = self
                     .scope
-                    .resolve(p)
+                    .resolve_with_depth(p)
                     .ok_or_else(|| XmlError::new(XmlErrorKind::UndeclaredPrefix(p.to_string()), at))?;
-                Ok(QName::with_ns(uri, local).with_prefix(p))
+                let name = QName::with_ns(uri, local).with_prefix(p);
+                self.note_binding_depth(depth);
+                Ok(name)
             }
-            None => match self.scope.resolve("") {
-                Some(uri) if !uri.is_empty() => Ok(QName::with_ns(uri, local)),
+            None => match self.scope.resolve_with_depth("") {
+                Some((depth, uri)) if !uri.is_empty() => {
+                    let name = QName::with_ns(uri, local);
+                    self.note_binding_depth(depth);
+                    Ok(name)
+                }
                 _ => Ok(QName::new(local)),
             },
         }
@@ -377,9 +461,13 @@ impl<'a> XmlReader<'a> {
         match chars.next() {
             Some((_, c)) if is_name_start(c) => {}
             Some((_, c)) => {
+                cov!();
                 return Err(self.err(XmlErrorKind::InvalidName(c.to_string())));
             }
-            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            None => {
+                cov!();
+                return Err(self.err(XmlErrorKind::UnexpectedEof));
+            }
         }
         let end = chars
             .find(|&(_, c)| !is_name_char(c))
@@ -392,8 +480,13 @@ impl<'a> XmlReader<'a> {
 
     fn read_attribute(&mut self) -> Result<(String, String), XmlError> {
         let name = self.read_name()?;
+        if validate_qname(&name).is_err() {
+            cov!();
+            return Err(self.err(XmlErrorKind::InvalidName(name)));
+        }
         self.skip_whitespace();
         if !self.input[self.pos..].starts_with('=') {
+            cov!();
             return Err(self.err(XmlErrorKind::Malformed(format!(
                 "expected '=' after attribute '{name}'"
             ))));
@@ -404,11 +497,15 @@ impl<'a> XmlReader<'a> {
         let quote = match rest.chars().next() {
             Some(q @ ('"' | '\'')) => q,
             Some(c) => {
+                cov!();
                 return Err(self.err(XmlErrorKind::Malformed(format!(
                     "attribute value must be quoted, found '{c}'"
                 ))));
             }
-            None => return Err(self.err(XmlErrorKind::UnexpectedEof)),
+            None => {
+                cov!();
+                return Err(self.err(XmlErrorKind::UnexpectedEof));
+            }
         };
         let body = &rest[1..];
         let close = body
@@ -416,6 +513,7 @@ impl<'a> XmlReader<'a> {
             .ok_or_else(|| self.err(XmlErrorKind::UnexpectedEof))?;
         let raw = &body[..close];
         if raw.contains('<') {
+            cov!();
             return Err(self.err(XmlErrorKind::Malformed(
                 "'<' not allowed in attribute value".into(),
             )));
